@@ -1,0 +1,14 @@
+"""Figure 10 — roofline analysis on the A100 (m = n = k = 4096)."""
+
+from repro.bench.fig10 import render_fig10, run_fig10
+
+
+def test_fig10_roofline(benchmark, emit):
+    result = benchmark(run_fig10, "A100")
+    emit("fig10_roofline", render_fig10(result))
+
+    for sparsity in (0.5, 0.625, 0.75, 0.875):
+        ours = result.point("NM-SpMM", sparsity)
+        theirs = result.point("nmSPARSE", sparsity)
+        assert ours.roofline_efficiency > theirs.roofline_efficiency * 0.99
+        assert ours.achieved_tflops <= ours.attainable_tflops

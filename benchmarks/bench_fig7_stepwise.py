@@ -1,0 +1,20 @@
+"""Figure 7 — step-wise optimization evaluation (V1/V2/V3 vs cuBLAS).
+
+Regenerates the paper's bars: efficiency at sparsity 0/50/62.5/75/87.5%
+on A100, RTX 3090 and RTX 4090 with m = n = k = 4096.
+"""
+
+from repro.bench.fig7 import render_fig7, run_fig7
+
+
+def test_fig7_stepwise(benchmark, emit):
+    result = benchmark(run_fig7, ("A100", "3090", "4090"))
+    emit("fig7_stepwise", render_fig7(result))
+
+    # Shape acceptance (same assertions as tests/test_paper_shapes.py,
+    # re-checked on the benchmarked artefact).
+    for sparsity in (0.75, 0.875):
+        v1 = result.cell("A100 80G", sparsity, "V1").efficiency
+        v2 = result.cell("A100 80G", sparsity, "V2").efficiency
+        v3 = result.cell("A100 80G", sparsity, "V3").efficiency
+        assert v1 < v2 < v3

@@ -1,0 +1,27 @@
+"""Figure 8 — kernels with different blocking parameters.
+
+Small/medium/large Table I kernels on the six Table II matrices at
+every sparsity level; the kernel class matched to the matrix class
+must win its column.  The paper shows A100; the same shape holds on
+the other catalogued parts, benched here as an extension.
+"""
+
+import pytest
+
+from repro.bench.fig8 import render_fig8, run_fig8
+from repro.kernels.tiling import MatrixSizeClass
+
+
+def test_fig8_blocking_parameters(benchmark, emit):
+    result = benchmark(run_fig8, "A100")
+    emit("fig8_blocking", render_fig8(result))
+
+    assert result.best_kernel("A", 0.5) is MatrixSizeClass.SMALL
+    assert result.best_kernel("F", 0.5) is MatrixSizeClass.LARGE
+
+
+@pytest.mark.parametrize("gpu", ["3090", "4090"])
+def test_fig8_blocking_parameters_consumer(benchmark, emit, gpu):
+    result = benchmark(run_fig8, gpu)
+    emit(f"fig8_blocking_{gpu}", render_fig8(result))
+    assert result.best_kernel("F", 0.5) is MatrixSizeClass.LARGE

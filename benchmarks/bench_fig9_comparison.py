@@ -1,0 +1,31 @@
+"""Figure 9 — kernel performance against related work.
+
+The full 100-point Llama dataset at the four sparsity levels on each
+GPU: NM-SpMM / nmSPARSE / Sputnik speedups over cuBLAS plus the ideal
+bound, exactly the series the paper plots.
+"""
+
+import pytest
+
+from repro.bench.fig9 import render_fig9, run_fig9
+
+GPUS = ("A100", "3090", "4090")
+
+
+@pytest.mark.parametrize("gpu", GPUS)
+def test_fig9_comparison(benchmark, emit, gpu):
+    result = benchmark(run_fig9, gpu)
+    emit(f"fig9_comparison_{gpu.lower().replace(' ', '')}", render_fig9(result))
+
+    for sparsity in (0.5, 0.625, 0.75, 0.875):
+        nm = result.geomean_speedup("NM-SpMM", sparsity)
+        ns = result.geomean_speedup("nmSPARSE", sparsity)
+        sp = result.geomean_speedup("Sputnik", sparsity)
+        ideal = result.geomean_speedup("ideal", sparsity)
+        assert ideal >= nm > ns > sp
+
+
+def test_fig9_per_point_detail(emit):
+    """Archive the full 100-point series (the paper's x-axis)."""
+    result = run_fig9("A100")
+    emit("fig9_per_point_a100", render_fig9(result, per_point=True))

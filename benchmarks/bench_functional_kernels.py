@@ -1,0 +1,81 @@
+"""Functional-kernel throughput (pytest-benchmark wall clock).
+
+Times the NumPy kernels themselves — reference vs functional vs
+blocked vs packed vs dense BLAS — on a medium problem.  These are the
+substrate's own numbers (host CPU), not the GPU model's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.blocked import nm_spmm_blocked
+from repro.kernels.dense import dense_gemm
+from repro.kernels.functional import nm_spmm_functional
+from repro.kernels.packed import nm_spmm_packed
+from repro.kernels.reference import nm_spmm_reference
+from repro.kernels.tiling import TileParams
+from repro.sparsity.colinfo import preprocess_offline
+from repro.sparsity.compress import compress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.pruning import prune_dense
+from repro.workloads.synthetic import random_dense
+
+M, N, K = 256, 512, 512
+PATTERN = NMPattern(8, 32, vector_length=32)
+PARAMS = TileParams(ms=32, ns=64, mr=32, nr=32, mt=8, nt=4, ks=128)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    a = random_dense(M, K, rng)
+    b = random_dense(K, N, rng)
+    pruned, mask = prune_dense(PATTERN, b)
+    comp = compress(PATTERN, pruned, mask)
+    ws = PARAMS.ws(PATTERN)
+    col_info = preprocess_offline(comp, ws, PARAMS.ns)
+    return a, b, pruned, comp, col_info
+
+
+def test_bench_dense_gemm(benchmark, data):
+    a, b, pruned, comp, col_info = data
+    out = benchmark(dense_gemm, a, pruned)
+    assert out.shape == (M, N)
+
+
+def test_bench_functional(benchmark, data):
+    a, b, pruned, comp, col_info = data
+    out = benchmark(nm_spmm_functional, a, comp)
+    np.testing.assert_allclose(out, a @ pruned, rtol=2e-5, atol=2e-5)
+
+
+def test_bench_blocked(benchmark, data):
+    a, b, pruned, comp, col_info = data
+    out = benchmark(nm_spmm_blocked, a, comp, PARAMS)
+    np.testing.assert_allclose(out, a @ pruned, rtol=2e-5, atol=2e-5)
+
+
+def test_bench_packed(benchmark, data):
+    a, b, pruned, comp, col_info = data
+    out = benchmark(nm_spmm_packed, a, comp, PARAMS, col_info)
+    np.testing.assert_allclose(out, a @ pruned, rtol=2e-5, atol=2e-5)
+
+
+def test_bench_reference_small(benchmark, data):
+    """The gold reference is O(w*q) Python loops — bench a slice."""
+    a, b, pruned, comp, col_info = data
+    out = benchmark(nm_spmm_reference, a[:16], comp)
+    np.testing.assert_allclose(out, a[:16] @ pruned, rtol=2e-5, atol=2e-5)
+
+
+def test_bench_compression(benchmark, data):
+    a, b, pruned, comp, col_info = data
+    result = benchmark(compress, PATTERN, b)
+    assert result.w == comp.w
+
+
+def test_bench_offline_preprocessing(benchmark, data):
+    a, b, pruned, comp, col_info = data
+    ws = PARAMS.ws(PATTERN)
+    result = benchmark(preprocess_offline, comp, ws, PARAMS.ns)
+    assert result.num_k_blocks == col_info.num_k_blocks

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper artefact, times the driver with
+pytest-benchmark, prints the paper-style table, and archives it under
+``benchmarks/results/`` so the run leaves inspectable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir, capsys):
+    """Print a rendered table and archive it as <name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _emit

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Accuracy vs performance across sparsity and vector length.
+
+N:M sparsity "provides an option for balancing performance and model
+accuracy" (paper §I).  This example makes the trade concrete on a small
+synthetic regression task: an MLP is pruned one-shot at every (N:M, L)
+combination and evaluated for output fidelity, alongside the modelled
+A100 speedup of its hidden-layer GEMMs.
+
+Also demonstrates §III-A's L trade-off: smaller vector length L tracks
+the dense model better at identical sparsity, while larger L is the
+kernel-friendly choice.
+
+Run:  python examples/accuracy_tradeoff.py
+"""
+
+import numpy as np
+
+from repro import NMPattern
+from repro.model.baselines.cublas import simulate_cublas
+from repro.model.engine import simulate_nm_spmm
+from repro.nn.mlp import MLP
+from repro.nn.prune import sparsify_mlp
+from repro.utils.tables import TextTable
+
+
+def make_task(rng, in_dim=128, out_dim=32, samples=512):
+    """A teacher-generated regression task."""
+    teacher = MLP.random([in_dim, 256, out_dim], seed=99)
+    x = rng.standard_normal((samples, in_dim)).astype(np.float32)
+    y = teacher(x)
+    return x, y
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+    in_dim, hidden, out_dim = 128, 512, 32
+    x, y_target = make_task(rng, in_dim, out_dim)
+
+    # The "trained" dense model is the teacher plus noise — enough to
+    # have meaningful magnitudes for pruning.
+    model = MLP.random([in_dim, hidden, hidden, out_dim], seed=5)
+    y_dense = model(x)
+
+    def fidelity(y_sparse: np.ndarray) -> float:
+        """Relative output drift vs the dense model (lower = better)."""
+        return float(
+            np.linalg.norm(y_sparse - y_dense) / (np.linalg.norm(y_dense) + 1e-9)
+        )
+
+    cub = simulate_cublas(512, hidden, hidden, "A100")
+
+    table = TextTable(
+        ["N:M", "sparsity", "L", "output drift", "modelled speedup (A100)"],
+        title="One-shot N:M pruning of a 128-512-512-32 MLP",
+    )
+    for n, m in [(16, 32), (12, 32), (8, 32), (4, 32), (2, 32)]:
+        for ell in (4, 16, 32):
+            pattern = NMPattern(n, m, vector_length=ell)
+            sparse = sparsify_mlp(model, pattern)
+            drift = fidelity(sparse(x))
+            rep = simulate_nm_spmm(512, hidden, hidden, pattern, "A100")
+            table.add_row(
+                [
+                    f"{n}:{m}",
+                    f"{pattern.sparsity * 100:.1f}%",
+                    ell,
+                    f"{drift:.4f}",
+                    f"{cub.seconds / rep.seconds:.2f}x",
+                ]
+            )
+    print(table.render())
+    print(
+        "\nReading: drift grows with sparsity (fewer weights survive)"
+        " and, at fixed sparsity, shrinks with smaller L — §III-A's"
+        " accuracy argument for fine vectors.  Speedups move the other"
+        " way, which is exactly the trade the paper's flexible N:M"
+        " support exists to navigate."
+    )
+
+
+if __name__ == "__main__":
+    main()

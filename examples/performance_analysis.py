@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The paper's top-down performance analysis, interactively.
+
+Walks §III-A for a problem you choose: Eq. 3 arithmetic intensity at
+the selected blocking, the roofline placement (compute vs memory
+bound), the packing recommendation, and the modelled effect of each
+step-wise optimization (V1 -> V2 -> V3) — the reasoning behind Figs. 2,
+7 and 10.
+
+Run:  python examples/performance_analysis.py [--m 4096 --n 4096 --k 4096]
+      python examples/performance_analysis.py --gpu 3090 --sparsity 0.875
+"""
+
+import argparse
+
+from repro import NMPattern, analyze
+from repro.core.strategy import select_strategy
+from repro.gpu import resolve_gpu
+from repro.gpu.roofline import Roofline
+from repro.model.baselines.cublas import simulate_cublas
+from repro.model.engine import simulate_nm_spmm
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--m", type=int, default=4096)
+    parser.add_argument("--n", type=int, default=4096)
+    parser.add_argument("--k", type=int, default=4096)
+    parser.add_argument("--gpu", default="A100")
+    parser.add_argument(
+        "--sparsity",
+        type=float,
+        default=None,
+        help="single sparsity (default: the paper's four)",
+    )
+    args = parser.parse_args()
+
+    spec = resolve_gpu(args.gpu)
+    roof = Roofline.for_gpu(spec)
+    print(f"GPU: {spec.name}")
+    print(
+        f"  locked FP32 peak: {roof.peak_flops / 1e12:.1f} TFLOPS, "
+        f"DRAM {spec.dram_bw_gbps:.0f} GB/s, ridge "
+        f"{roof.ridge_point:.2f} FLOP/B"
+    )
+    print(f"problem: m={args.m}, n={args.n}, k={args.k}\n")
+
+    sparsities = (
+        [args.sparsity] if args.sparsity is not None else [0.5, 0.625, 0.75, 0.875]
+    )
+    cub = simulate_cublas(args.m, args.n, args.k, spec)
+    print(
+        f"cuBLAS dense reference: {cub.seconds * 1e3:.3f} ms "
+        f"({cub.tflops:.2f} TFLOPS, {cub.efficiency_vs(spec) * 100:.0f}% of peak)\n"
+    )
+
+    table = TextTable(
+        ["sparsity", "AI (FLOP/elem)", "bound", "strategy",
+         "V1 (ms)", "V2 (ms)", "V3 (ms)", "V3 speedup", "ideal"],
+        title="Top-down analysis and step-wise optimization effect",
+    )
+    for sparsity in sparsities:
+        pattern = NMPattern.from_sparsity(sparsity, m=32, vector_length=32)
+        res = analyze(pattern, args.m, args.n, args.k, spec)
+        strategy = select_strategy(pattern)
+        reps = {
+            v: simulate_nm_spmm(args.m, args.n, args.k, pattern, spec, version=v)
+            for v in ("V1", "V2", "V3")
+        }
+        table.add_row(
+            [
+                f"{sparsity * 100:.1f}%",
+                f"{res.ai_elements:.1f}",
+                res.bound.value,
+                strategy.value,
+                f"{reps['V1'].seconds * 1e3:.3f}",
+                f"{reps['V2'].seconds * 1e3:.3f}",
+                f"{reps['V3'].seconds * 1e3:.3f}",
+                f"{cub.seconds / reps['V3'].seconds:.2f}x",
+                f"{pattern.ideal_speedup:.2f}x",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nReading: the bound column is Eq. 3 + roofline (§III-A); at"
+        " high sparsity the non-packed kernel turns memory-bound, which"
+        " is where V2 (packing) and V3 (pipelining) earn their keep."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e .` works on offline hosts without the
+`wheel` package (pip falls back to `setup.py develop` with
+--no-use-pep517).  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

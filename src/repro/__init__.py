@@ -1,0 +1,60 @@
+"""NM-SpMM reproduction: N:M sparsity matrix multiplication with a
+GPGPU performance model.
+
+Reproduces "NM-SpMM: Accelerating Matrix Multiplication Using N:M
+Sparsity with GPGPU" (IPDPS 2025).  The package has two layers:
+
+* **functional** — numerically exact NumPy implementations of the
+  vector-wise N:M format and the blocked/packed kernels of the paper's
+  Listings 1-4 (:mod:`repro.sparsity`, :mod:`repro.kernels`);
+* **performance** — an analytic GPU model (Table III hardware catalog,
+  traffic/occupancy/pipeline simulation) that regenerates every figure
+  and table of the evaluation (:mod:`repro.gpu`, :mod:`repro.model`,
+  :mod:`repro.bench`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import NMPattern, NMSpMM
+
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((512, 1024), dtype=np.float32)
+    b = rng.standard_normal((1024, 512), dtype=np.float32)
+
+    op = NMSpMM(NMPattern(8, 32, vector_length=32))
+    handle = op.prepare(b)            # prune + compress + preprocess
+    c = op.execute(a, handle)         # sparse product
+    report = op.predict(a.shape[0], gpu="A100")   # modelled performance
+"""
+
+from repro._version import __version__
+from repro.sparsity import NMPattern, NMCompressedMatrix, compress, decompress
+from repro.core.api import NMSpMM, SparseHandle, nm_spmm
+from repro.core.plan import ExecutionPlan, build_plan
+from repro.core.analysis import PerformanceAnalysis, analyze
+from repro.gpu import GPUSpec, get_gpu, list_gpus
+from repro.kernels import nm_spmm_functional, nm_spmm_reference, dense_gemm
+from repro.model import KernelReport, simulate_nm_spmm
+
+__all__ = [
+    "__version__",
+    "NMPattern",
+    "NMCompressedMatrix",
+    "compress",
+    "decompress",
+    "NMSpMM",
+    "SparseHandle",
+    "nm_spmm",
+    "ExecutionPlan",
+    "build_plan",
+    "PerformanceAnalysis",
+    "analyze",
+    "GPUSpec",
+    "get_gpu",
+    "list_gpus",
+    "nm_spmm_functional",
+    "nm_spmm_reference",
+    "dense_gemm",
+    "KernelReport",
+    "simulate_nm_spmm",
+]

@@ -1,0 +1,36 @@
+"""Benchmark harness: one driver per paper table/figure.
+
+Each ``run_*`` function computes the figure's full data series with
+the performance model and returns a structured result; ``render_*``
+helpers print the same rows/series the paper reports.  The pytest
+benchmarks under ``benchmarks/`` and the CLI (``python -m repro``)
+are thin wrappers over these drivers.
+"""
+
+from repro.bench.fig7 import run_fig7, render_fig7, Fig7Result
+from repro.bench.fig8 import run_fig8, render_fig8, Fig8Result
+from repro.bench.fig9 import run_fig9, render_fig9, Fig9Result
+from repro.bench.fig10 import run_fig10, render_fig10, Fig10Result
+from repro.bench.tables import run_table1, render_table1, Table1Result
+from repro.bench.runner import Sweep, SweepCell, run_sweep
+
+__all__ = [
+    "run_fig7",
+    "render_fig7",
+    "Fig7Result",
+    "run_fig8",
+    "render_fig8",
+    "Fig8Result",
+    "run_fig9",
+    "render_fig9",
+    "Fig9Result",
+    "run_fig10",
+    "render_fig10",
+    "Fig10Result",
+    "run_table1",
+    "render_table1",
+    "Table1Result",
+    "Sweep",
+    "SweepCell",
+    "run_sweep",
+]

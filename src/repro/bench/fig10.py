@@ -1,0 +1,106 @@
+"""Figure 10 — roofline analysis on the A100.
+
+NM-SpMM and nmSPARSE placed on the A100 FP32 roofline (locked peak
+14.7 TFLOPS) at the four sparsity levels, m = n = k = 4096: arithmetic
+intensity from the staged-traffic accounting (the executable Eq. 3)
+and achieved TFLOPS from the performance model.  Expected shape: both
+below the roof; NM-SpMM near it (>= ~85%), nmSPARSE well below;
+packing gives NM-SpMM the higher AI at 75/87.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.catalog import resolve_gpu
+from repro.gpu.roofline import Roofline
+from repro.model.baselines.nmsparse import simulate_nmsparse
+from repro.model.engine import simulate_nm_spmm
+from repro.sparsity.config import NMPattern
+from repro.utils.tables import TextTable
+from repro.workloads.cases import PAPER_SPARSITY_PATTERNS, STEPWISE_SHAPE
+
+__all__ = ["Fig10Point", "Fig10Result", "run_fig10", "render_fig10"]
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    kernel: str
+    sparsity: float
+    ai_flop_per_byte: float
+    achieved_tflops: float
+    attainable_tflops: float
+    roofline_efficiency: float
+    bound: str
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    gpu: str
+    peak_tflops: float
+    ridge_flop_per_byte: float
+    points: tuple[Fig10Point, ...]
+
+    def point(self, kernel: str, sparsity: float) -> Fig10Point:
+        for p in self.points:
+            if p.kernel == kernel and abs(p.sparsity - sparsity) < 1e-9:
+                return p
+        raise KeyError((kernel, sparsity))
+
+
+def run_fig10(gpu: str = "A100", *, vector_length: int = 32) -> Fig10Result:
+    """Compute every marker of Fig. 10."""
+    spec = resolve_gpu(gpu)
+    roof = Roofline.for_gpu(spec)
+    shape = STEPWISE_SHAPE
+    points: list[Fig10Point] = []
+    for sparsity, (n, m) in sorted(PAPER_SPARSITY_PATTERNS.items()):
+        if sparsity == 0.0:
+            continue
+        pattern = NMPattern(n, m, vector_length)
+        for kernel, rep in (
+            ("NM-SpMM", simulate_nm_spmm(shape.m, shape.n, shape.k, pattern, spec)),
+            ("nmSPARSE", simulate_nmsparse(shape.m, shape.n, shape.k, pattern, spec)),
+        ):
+            ai, achieved = rep.roofline_point(spec)
+            points.append(
+                Fig10Point(
+                    kernel=kernel,
+                    sparsity=sparsity,
+                    ai_flop_per_byte=ai,
+                    achieved_tflops=achieved / 1e12,
+                    attainable_tflops=roof.attainable(ai) / 1e12,
+                    roofline_efficiency=rep.efficiency_vs_roofline(spec),
+                    bound=roof.bound_kind(ai).value,
+                )
+            )
+    return Fig10Result(
+        gpu=spec.name,
+        peak_tflops=roof.peak_flops / 1e12,
+        ridge_flop_per_byte=roof.ridge_point,
+        points=tuple(points),
+    )
+
+
+def render_fig10(result: Fig10Result) -> str:
+    table = TextTable(
+        ["kernel", "sparsity", "AI (FLOP/B)", "achieved TF", "roof TF", "% of roof", "bound"],
+        title=(
+            f"Fig. 10 — roofline on {result.gpu} "
+            f"(peak {result.peak_tflops:.1f} TFLOPS, ridge "
+            f"{result.ridge_flop_per_byte:.2f} FLOP/B), m=n=k=4096"
+        ),
+    )
+    for p in sorted(result.points, key=lambda x: (x.kernel, x.sparsity)):
+        table.add_row(
+            [
+                p.kernel,
+                f"{p.sparsity * 100:.1f}%",
+                f"{p.ai_flop_per_byte:.2f}",
+                f"{p.achieved_tflops:.2f}",
+                f"{p.attainable_tflops:.2f}",
+                f"{p.roofline_efficiency * 100:.1f}",
+                p.bound,
+            ]
+        )
+    return table.render()

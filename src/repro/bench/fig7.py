@@ -1,0 +1,125 @@
+"""Figure 7 — step-wise optimization evaluation.
+
+"Step-wise optimization evaluation of NM-SpMM on A100 with input
+matrix shape m = n = k = 4096": efficiency of V1/V2/V3 versus cuBLAS
+at sparsity 0 / 50 / 62.5 / 75 / 87.5% on A100, RTX 3090 and RTX 4090.
+At 0% sparsity NM-SpMM runs the degenerate 32:32 pattern and cuBLAS
+performs the dense GEMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.catalog import resolve_gpu
+from repro.model.baselines.cublas import simulate_cublas
+from repro.model.engine import simulate_nm_spmm
+from repro.sparsity.config import NMPattern
+from repro.utils.tables import TextTable
+from repro.workloads.cases import PAPER_SPARSITY_PATTERNS, STEPWISE_SHAPE
+
+__all__ = ["Fig7Cell", "Fig7Result", "run_fig7", "render_fig7"]
+
+VERSIONS = ("V1", "V2", "V3")
+
+
+@dataclass(frozen=True)
+class Fig7Cell:
+    """One bar of the figure."""
+
+    gpu: str
+    sparsity: float
+    version: str
+    efficiency: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """All bars plus the cuBLAS reference levels per GPU."""
+
+    cells: tuple[Fig7Cell, ...]
+    cublas_efficiency: dict
+    shape: tuple[int, int, int]
+
+    def cell(self, gpu: str, sparsity: float, version: str) -> Fig7Cell:
+        for c in self.cells:
+            if (
+                c.gpu == gpu
+                and abs(c.sparsity - sparsity) < 1e-9
+                and c.version == version
+            ):
+                return c
+        raise KeyError((gpu, sparsity, version))
+
+    def efficiencies(self, gpu: str, version: str) -> list[float]:
+        """Efficiency series over the sparsity axis for one version."""
+        return [
+            c.efficiency
+            for c in self.cells
+            if c.gpu == gpu and c.version == version
+        ]
+
+
+def run_fig7(
+    gpus: tuple[str, ...] = ("A100", "3090", "4090"),
+    *,
+    vector_length: int = 32,
+) -> Fig7Result:
+    """Compute every bar of Fig. 7."""
+    shape = STEPWISE_SHAPE
+    cells: list[Fig7Cell] = []
+    cublas_eff: dict = {}
+    for gpu in gpus:
+        spec = resolve_gpu(gpu)
+        cub = simulate_cublas(shape.m, shape.n, shape.k, spec)
+        cublas_eff[spec.name] = cub.efficiency_vs(spec)
+        for sparsity, (n, m) in sorted(PAPER_SPARSITY_PATTERNS.items()):
+            pattern = NMPattern(n, m, vector_length)
+            for version in VERSIONS:
+                rep = simulate_nm_spmm(
+                    shape.m, shape.n, shape.k, pattern, spec, version=version
+                )
+                cells.append(
+                    Fig7Cell(
+                        gpu=spec.name,
+                        sparsity=sparsity,
+                        version=version,
+                        efficiency=rep.efficiency_vs(spec),
+                        seconds=rep.seconds,
+                    )
+                )
+    return Fig7Result(
+        cells=tuple(cells),
+        cublas_efficiency=cublas_eff,
+        shape=(shape.m, shape.n, shape.k),
+    )
+
+
+def render_fig7(result: Fig7Result) -> str:
+    """Print the figure as one table per GPU (efficiency %, as the
+    paper's vertical axis)."""
+    blocks: list[str] = []
+    gpus = sorted({c.gpu for c in result.cells})
+    sparsities = sorted({c.sparsity for c in result.cells})
+    for gpu in gpus:
+        table = TextTable(
+            ["sparsity"] + list(VERSIONS) + ["cuBLAS"],
+            title=(
+                f"Fig. 7 — step-wise optimization, {gpu}, "
+                f"m=n=k={result.shape[0]} (efficiency %)"
+            ),
+        )
+        for sparsity in sparsities:
+            row: list[str] = [f"{sparsity * 100:.1f}%"]
+            for version in VERSIONS:
+                cell = result.cell(gpu, sparsity, version)
+                row.append(f"{cell.efficiency * 100:.1f}")
+            row.append(
+                f"{result.cublas_efficiency[gpu] * 100:.1f}"
+                if sparsity == 0.0
+                else "-"
+            )
+            table.add_row(row)
+        blocks.append(table.render())
+    return "\n\n".join(blocks)

@@ -1,0 +1,140 @@
+"""Figure 8 — kernels with different blocking parameters.
+
+Efficiency of the small/medium/large kernel configurations (Table I)
+on the six Table II matrices (A-F) at each sparsity level, on the
+A100, with cuBLAS shown at 0% sparsity.  Expected shape: the kernel
+class matched to the matrix class wins its column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.catalog import resolve_gpu
+from repro.kernels.tiling import TABLE_I, MatrixSizeClass, classify_matrix
+from repro.model.baselines.cublas import simulate_cublas
+from repro.model.engine import simulate_nm_spmm
+from repro.sparsity.config import NMPattern
+from repro.utils.tables import TextTable
+from repro.workloads.cases import PAPER_SPARSITY_PATTERNS, TABLE_II_CASES
+
+__all__ = ["Fig8Cell", "Fig8Result", "run_fig8", "render_fig8"]
+
+KERNEL_CLASSES = (
+    MatrixSizeClass.SMALL,
+    MatrixSizeClass.MEDIUM,
+    MatrixSizeClass.LARGE,
+)
+
+
+@dataclass(frozen=True)
+class Fig8Cell:
+    case: str
+    sparsity: float
+    kernel_class: MatrixSizeClass
+    efficiency: float
+    seconds: float
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    cells: tuple[Fig8Cell, ...]
+    cublas_efficiency: dict
+    gpu: str
+
+    def cell(
+        self, case: str, sparsity: float, kernel_class: MatrixSizeClass
+    ) -> Fig8Cell:
+        for c in self.cells:
+            if (
+                c.case == case
+                and abs(c.sparsity - sparsity) < 1e-9
+                and c.kernel_class == kernel_class
+            ):
+                return c
+        raise KeyError((case, sparsity, kernel_class))
+
+    def best_kernel(self, case: str, sparsity: float) -> MatrixSizeClass:
+        """Which kernel class wins this (case, sparsity) column."""
+        best = max(
+            (c for c in self.cells
+             if c.case == case and abs(c.sparsity - sparsity) < 1e-9),
+            key=lambda c: c.efficiency,
+        )
+        return best.kernel_class
+
+
+def run_fig8(gpu: str = "A100", *, vector_length: int = 32) -> Fig8Result:
+    """Compute every bar of Fig. 8 on one GPU."""
+    spec = resolve_gpu(gpu)
+    cells: list[Fig8Cell] = []
+    cublas_eff: dict = {}
+    for case, shape in TABLE_II_CASES.items():
+        cub = simulate_cublas(shape.m, shape.n, shape.k, spec)
+        cublas_eff[case] = cub.efficiency_vs(spec)
+        for sparsity, (n, m) in sorted(PAPER_SPARSITY_PATTERNS.items()):
+            pattern = NMPattern(n, m, vector_length)
+            for kernel_class in KERNEL_CLASSES:
+                params = TABLE_I[kernel_class].with_ks(
+                    pattern, spec.smem_bytes_per_sm, shape.k
+                )
+                rep = simulate_nm_spmm(
+                    shape.m,
+                    shape.n,
+                    shape.k,
+                    pattern,
+                    spec,
+                    params=params,
+                )
+                cells.append(
+                    Fig8Cell(
+                        case=case,
+                        sparsity=sparsity,
+                        kernel_class=kernel_class,
+                        efficiency=rep.efficiency_vs(spec),
+                        seconds=rep.seconds,
+                    )
+                )
+    return Fig8Result(
+        cells=tuple(cells), cublas_efficiency=cublas_eff, gpu=spec.name
+    )
+
+
+def render_fig8(result: Fig8Result) -> str:
+    """One table per sparsity region, columns A-F (the paper's five
+    regions of six data points)."""
+    blocks: list[str] = []
+    sparsities = sorted({c.sparsity for c in result.cells})
+    cases = sorted({c.case for c in result.cells})
+    for sparsity in sparsities:
+        table = TextTable(
+            ["kernel"] + cases,
+            title=(
+                f"Fig. 8 — blocking-parameter kernels on {result.gpu}, "
+                f"sparsity {sparsity * 100:.1f}% (efficiency %)"
+            ),
+        )
+        for kernel_class in KERNEL_CLASSES:
+            row = [f"{kernel_class.value} kernel"]
+            for case in cases:
+                cell = result.cell(case, sparsity, kernel_class)
+                marker = (
+                    "*" if result.best_kernel(case, sparsity) == kernel_class else " "
+                )
+                row.append(f"{cell.efficiency * 100:5.1f}{marker}")
+            table.add_row(row)
+        if sparsity == 0.0:
+            table.add_row(
+                ["cuBLAS"]
+                + [f"{result.cublas_efficiency[c] * 100:5.1f} " for c in cases]
+            )
+        expected = {c: classify_matrix(
+            TABLE_II_CASES[c].m, TABLE_II_CASES[c].n, TABLE_II_CASES[c].k
+        ).value for c in cases}
+        blocks.append(
+            table.render()
+            + "\n(matrix classes: "
+            + ", ".join(f"{c}={expected[c]}" for c in cases)
+            + "; * = winning kernel)"
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,160 @@
+"""Figure 9 — kernel performance against related work.
+
+Speedup over cuBLAS on the 100-point Llama dataset for NM-SpMM,
+nmSPARSE and Sputnik at the four sparsity levels, on each GPU, with
+the ideal speedup (M/N) as the upper reference.  Also produces the
+§IV-D headline summary (geomean speedups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.catalog import resolve_gpu
+from repro.model.baselines.cublas import simulate_cublas
+from repro.model.baselines.nmsparse import simulate_nmsparse
+from repro.model.baselines.sputnik import simulate_sputnik
+from repro.model.engine import simulate_nm_spmm
+from repro.sparsity.config import NMPattern
+from repro.utils.intmath import geomean
+from repro.utils.tables import TextTable
+from repro.workloads.cases import PAPER_SPARSITY_PATTERNS
+from repro.workloads.llama import DataPoint, build_paper_dataset
+
+__all__ = ["Fig9Point", "Fig9Result", "run_fig9", "render_fig9"]
+
+KERNELS = ("NM-SpMM", "nmSPARSE", "Sputnik")
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    """Speedups at one data point and sparsity level."""
+
+    point: DataPoint
+    sparsity: float
+    nm_spmm: float
+    nmsparse: float
+    sputnik: float
+    ideal: float
+
+    def series(self, kernel: str) -> float:
+        return {
+            "NM-SpMM": self.nm_spmm,
+            "nmSPARSE": self.nmsparse,
+            "Sputnik": self.sputnik,
+            "ideal": self.ideal,
+        }[kernel]
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    gpu: str
+    points: tuple[Fig9Point, ...]
+
+    def sparsities(self) -> list[float]:
+        return sorted({p.sparsity for p in self.points})
+
+    def series(self, kernel: str, sparsity: float) -> list[float]:
+        """The 100-value speedup series for one kernel/sparsity."""
+        return [
+            p.series(kernel)
+            for p in self.points
+            if abs(p.sparsity - sparsity) < 1e-9
+        ]
+
+    def geomean_speedup(self, kernel: str, sparsity: float) -> float:
+        return geomean(self.series(kernel, sparsity))
+
+    def headline(self) -> dict:
+        """The §IV-D summary: geomean speedups per sparsity."""
+        out: dict = {}
+        for sparsity in self.sparsities():
+            out[sparsity] = {
+                kernel: self.geomean_speedup(kernel, sparsity)
+                for kernel in KERNELS
+            }
+            out[sparsity]["ideal"] = self.geomean_speedup("ideal", sparsity)
+            out[sparsity]["NM-SpMM vs nmSPARSE"] = (
+                out[sparsity]["NM-SpMM"] / out[sparsity]["nmSPARSE"]
+            )
+        return out
+
+
+def run_fig9(
+    gpu: str = "A100",
+    *,
+    vector_length: int = 32,
+    limit: int | None = None,
+) -> Fig9Result:
+    """Compute the full Fig. 9 sweep on one GPU.
+
+    ``limit`` truncates the dataset (useful for quick smoke runs).
+    """
+    spec = resolve_gpu(gpu)
+    dataset = build_paper_dataset()
+    if limit is not None:
+        dataset = dataset[:limit]
+    sparsities = [s for s in sorted(PAPER_SPARSITY_PATTERNS) if s > 0.0]
+    results: list[Fig9Point] = []
+    for point in dataset:
+        shape = point.shape
+        cub = simulate_cublas(shape.m, shape.n, shape.k, spec)
+        for sparsity in sparsities:
+            n, m = PAPER_SPARSITY_PATTERNS[sparsity]
+            pattern = NMPattern(n, m, vector_length)
+            nm = simulate_nm_spmm(shape.m, shape.n, shape.k, pattern, spec)
+            ns = simulate_nmsparse(shape.m, shape.n, shape.k, pattern, spec)
+            sp = simulate_sputnik(shape.m, shape.n, shape.k, pattern, spec)
+            results.append(
+                Fig9Point(
+                    point=point,
+                    sparsity=sparsity,
+                    nm_spmm=cub.seconds / nm.seconds,
+                    nmsparse=cub.seconds / ns.seconds,
+                    sputnik=cub.seconds / sp.seconds,
+                    ideal=pattern.ideal_speedup,
+                )
+            )
+    return Fig9Result(gpu=spec.name, points=tuple(results))
+
+
+def render_fig9(result: Fig9Result, *, per_point: bool = False) -> str:
+    """The headline table (and optionally all 100 points)."""
+    headline = result.headline()
+    table = TextTable(
+        ["sparsity", "NM-SpMM", "nmSPARSE", "Sputnik", "ideal", "NM/nmS"],
+        title=(
+            f"Fig. 9 — geomean speedup vs cuBLAS on {result.gpu} "
+            f"({len(result.points) // max(1, len(result.sparsities()))} points)"
+        ),
+    )
+    for sparsity, row in sorted(headline.items()):
+        table.add_row(
+            [
+                f"{sparsity * 100:.1f}%",
+                f"{row['NM-SpMM']:.2f}x",
+                f"{row['nmSPARSE']:.2f}x",
+                f"{row['Sputnik']:.2f}x",
+                f"{row['ideal']:.2f}x",
+                f"{row['NM-SpMM vs nmSPARSE']:.2f}x",
+            ]
+        )
+    out = table.render()
+    if per_point:
+        detail = TextTable(
+            ["point", "sparsity", "NM-SpMM", "nmSPARSE", "Sputnik", "ideal"],
+            title="Per-point speedups vs cuBLAS",
+        )
+        for p in result.points:
+            detail.add_row(
+                [
+                    p.point.label(),
+                    f"{p.sparsity * 100:.1f}%",
+                    f"{p.nm_spmm:.2f}",
+                    f"{p.nmsparse:.2f}",
+                    f"{p.sputnik:.2f}",
+                    f"{p.ideal:.2f}",
+                ]
+            )
+        out += "\n\n" + detail.render()
+    return out

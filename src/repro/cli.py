@@ -1,0 +1,142 @@
+"""Command-line entry points: ``python -m repro <experiment>``.
+
+Regenerates each paper artefact from the performance model and prints
+the same rows/series the paper reports::
+
+    python -m repro fig7            # step-wise optimization bars
+    python -m repro fig8            # blocking-parameter kernels
+    python -m repro fig9 --gpu 3090 # comparison on the 100-point set
+    python -m repro fig10           # roofline analysis
+    python -m repro table1          # autotuner vs Table I
+    python -m repro all             # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nm-spmm",
+        description="NM-SpMM reproduction: regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    p7 = sub.add_parser("fig7", help="step-wise optimization evaluation (Fig. 7)")
+    p7.add_argument("--gpus", nargs="+", default=["A100", "3090", "4090"])
+
+    p8 = sub.add_parser("fig8", help="blocking-parameter kernels (Fig. 8)")
+    p8.add_argument("--gpu", default="A100")
+
+    p9 = sub.add_parser("fig9", help="comparison with related work (Fig. 9)")
+    p9.add_argument("--gpu", default="A100")
+    p9.add_argument("--limit", type=int, default=None, help="truncate the 100-point set")
+    p9.add_argument("--per-point", action="store_true", help="print all points")
+
+    p10 = sub.add_parser("fig10", help="roofline analysis (Fig. 10)")
+    p10.add_argument("--gpu", default="A100")
+
+    pt1 = sub.add_parser("table1", help="autotuner vs Table I parameters")
+    pt1.add_argument("--gpu", default="A100")
+    pt1.add_argument("--max-block", type=int, default=128)
+
+    psw = sub.add_parser("sweep", help="custom shape/sparsity sweep")
+    psw.add_argument("--shapes", nargs="+", default=["4096x4096x4096"],
+                     help="MxNxK triples, e.g. 512x512x512")
+    psw.add_argument("--sparsities", nargs="+", type=float,
+                     default=[0.5, 0.625, 0.75, 0.875])
+    psw.add_argument("--gpus", nargs="+", default=["A100"])
+    psw.add_argument("--versions", nargs="+", default=["V3"])
+    psw.add_argument("--vector-length", type=int, default=32)
+
+    pv = sub.add_parser(
+        "validate", help="cross-check the analytic model vs the kernels"
+    )
+    pv.add_argument("--n-ratio", type=int, default=2, help="pattern N")
+    pv.add_argument("--m-ratio", type=int, default=8, help="pattern M")
+    pv.add_argument("--vector-length", type=int, default=4)
+
+    pall = sub.add_parser("all", help="run every experiment")
+    pall.add_argument("--gpu", default="A100")
+    pall.add_argument("--limit", type=int, default=20)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Imports are deferred so `--help` stays fast.
+    from repro.bench import (
+        render_fig7,
+        render_fig8,
+        render_fig9,
+        render_fig10,
+        render_table1,
+        run_fig7,
+        run_fig8,
+        run_fig9,
+        run_fig10,
+        run_table1,
+    )
+
+    if args.experiment == "fig7":
+        print(render_fig7(run_fig7(tuple(args.gpus))))
+    elif args.experiment == "fig8":
+        print(render_fig8(run_fig8(args.gpu)))
+    elif args.experiment == "fig9":
+        print(render_fig9(run_fig9(args.gpu, limit=args.limit), per_point=args.per_point))
+    elif args.experiment == "fig10":
+        print(render_fig10(run_fig10(args.gpu)))
+    elif args.experiment == "table1":
+        print(render_table1(run_table1(args.gpu, max_block=args.max_block)))
+    elif args.experiment == "sweep":
+        from repro.bench.runner import run_sweep
+        from repro.sparsity.config import NMPattern
+
+        shapes = []
+        for spec_str in args.shapes:
+            parts = spec_str.lower().split("x")
+            if len(parts) != 3:
+                raise SystemExit(f"bad shape {spec_str!r}; expected MxNxK")
+            shapes.append(tuple(int(p) for p in parts))
+        patterns = [
+            NMPattern.from_sparsity(s, m=32, vector_length=args.vector_length)
+            for s in args.sparsities
+        ]
+        sweep = run_sweep(shapes, patterns, args.gpus, args.versions)
+        print(sweep.render())
+        print(f"\ngeomean speedup vs cuBLAS: {sweep.geomean_speedup():.2f}x")
+    elif args.experiment == "validate":
+        from repro.model.validation import validate_model
+        from repro.sparsity.config import NMPattern
+
+        pattern = NMPattern(
+            args.n_ratio, args.m_ratio, vector_length=args.vector_length
+        )
+        report = validate_model(pattern)
+        print(report.render())
+        worst = report.max_rel_error()
+        print(f"\nmax relative error (exact quantities): {worst * 100:.3f}%")
+        if worst > 1e-6:
+            return 1
+    elif args.experiment == "all":
+        print(render_fig7(run_fig7()))
+        print()
+        print(render_fig8(run_fig8(args.gpu)))
+        print()
+        print(render_fig9(run_fig9(args.gpu, limit=args.limit)))
+        print()
+        print(render_fig10(run_fig10(args.gpu)))
+        print()
+        print(render_table1(run_table1(args.gpu)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution, assembled.
+
+* :mod:`repro.core.analysis` — the top-down performance-analysis model
+  (Eq. 3 arithmetic intensity, roofline classification);
+* :mod:`repro.core.strategy` — sparsity-aware strategy selection
+  (packing vs non-packing, the 70% threshold);
+* :mod:`repro.core.versions` — the V1/V2/V3 step-wise optimizations;
+* :mod:`repro.core.pipeline_design` — the Figs. 5/6 pipeline graphs;
+* :mod:`repro.core.plan` — the execution plan builder;
+* :mod:`repro.core.api` — the user-facing :class:`NMSpMM` facade.
+"""
+
+from repro.core.analysis import PerformanceAnalysis, analyze, block_arithmetic_intensity
+from repro.core.strategy import LoadStrategy, select_strategy
+from repro.core.versions import OptimizationVersion
+from repro.core.pipeline_design import PipelineDesign, design_pipeline
+from repro.core.plan import ExecutionPlan, build_plan
+from repro.core.api import NMSpMM, SparseHandle, nm_spmm
+
+__all__ = [
+    "PerformanceAnalysis",
+    "analyze",
+    "block_arithmetic_intensity",
+    "LoadStrategy",
+    "select_strategy",
+    "OptimizationVersion",
+    "PipelineDesign",
+    "design_pipeline",
+    "ExecutionPlan",
+    "build_plan",
+    "NMSpMM",
+    "SparseHandle",
+    "nm_spmm",
+]

@@ -1,0 +1,116 @@
+"""Top-down performance analysis for N:M sparsity (paper §III-A).
+
+The centrepiece is Eq. 3, the block-level arithmetic intensity::
+
+    AI = 2 * ms * ns * ws / (ms * ks + ws * ns + 2 * ms * ns)
+
+measured in FLOPs per *element* moved (multiply by 1/4 for FLOP/byte
+with FP32).  As sparsity rises, ``ws = ks * N/M`` shrinks: the
+numerator falls linearly while only one denominator term follows,
+so AI falls and the computation transitions from compute-bound to
+memory-bound — the insight the sparsity-aware optimizations build on.
+
+``packed=True`` evaluates the packed footprint: ``ms*ks`` becomes the
+expected packed width, raising AI at high sparsity (the Fig. 10
+separation between NM-SpMM and nmSPARSE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import FP32_BYTES
+from repro.errors import PlanError
+from repro.gpu.catalog import resolve_gpu
+from repro.gpu.roofline import BoundKind, Roofline
+from repro.gpu.spec import GPUSpec
+from repro.kernels.tiling import TileParams, params_for
+from repro.sparsity.colinfo import expected_packed_fraction
+from repro.sparsity.config import NMPattern
+
+__all__ = ["block_arithmetic_intensity", "PerformanceAnalysis", "analyze"]
+
+
+def block_arithmetic_intensity(
+    pattern: NMPattern,
+    params: TileParams,
+    *,
+    packed: bool = False,
+) -> float:
+    """Eq. 3 block-level AI in FLOPs per element.
+
+    With ``packed=True`` the ``ms*ks`` term is scaled by the expected
+    packed-column fraction (§III-C1).
+    """
+    if params.ks <= 0:
+        raise PlanError("TileParams.ks must be resolved to evaluate Eq. 3")
+    ws = params.ws(pattern)
+    qs = params.qs(pattern)
+    a_elems = params.ms * params.ks
+    if packed:
+        a_elems *= expected_packed_fraction(pattern, qs)
+    flops = 2.0 * params.ms * params.ns * ws
+    elements = a_elems + ws * params.ns + 2.0 * params.ms * params.ns
+    return flops / elements
+
+
+@dataclass(frozen=True)
+class PerformanceAnalysis:
+    """Outcome of the top-down analysis for one configuration."""
+
+    pattern: NMPattern
+    params: TileParams
+    gpu: GPUSpec
+    ai_elements: float
+    ai_flop_per_byte: float
+    bound: BoundKind
+    attainable_flops: float
+    ridge_flop_per_byte: float
+    recommend_packing: bool
+
+    @property
+    def attainable_tflops(self) -> float:
+        return self.attainable_flops / 1e12
+
+    def summary(self) -> str:
+        return (
+            f"{self.pattern.label()} with {self.params.label()} on "
+            f"{self.gpu.name}: AI {self.ai_elements:.1f} FLOP/elem "
+            f"({self.ai_flop_per_byte:.2f} FLOP/B) -> {self.bound.value}, "
+            f"attainable {self.attainable_tflops:.1f} TFLOPS; "
+            f"{'packing' if self.recommend_packing else 'non-packing'} "
+            f"strategy recommended"
+        )
+
+
+def analyze(
+    pattern: NMPattern,
+    m: int,
+    n: int,
+    k: int,
+    gpu: "str | GPUSpec" = "A100",
+    *,
+    params: TileParams | None = None,
+) -> PerformanceAnalysis:
+    """Run the §III-A analysis: place the blocked kernel on the
+    roofline and derive the optimization direction."""
+    spec = resolve_gpu(gpu)
+    if params is None:
+        params = params_for(m, n, k, pattern, spec.smem_bytes_per_sm)
+    elif params.ks <= 0:
+        params = params.with_ks(pattern, spec.smem_bytes_per_sm, k)
+    packing = pattern.is_high_sparsity
+    ai_elements = block_arithmetic_intensity(pattern, params, packed=packing)
+    ai_bytes = ai_elements / FP32_BYTES
+    roof = Roofline.for_gpu(spec)
+    return PerformanceAnalysis(
+        pattern=pattern,
+        params=params,
+        gpu=spec,
+        ai_elements=ai_elements,
+        ai_flop_per_byte=ai_bytes,
+        bound=roof.bound_kind(ai_bytes),
+        attainable_flops=roof.attainable(ai_bytes),
+        ridge_flop_per_byte=roof.ridge_point,
+        recommend_packing=packing,
+    )

@@ -1,0 +1,208 @@
+"""User-facing facade: prune, compress, execute, predict.
+
+:class:`NMSpMM` bundles the full workflow of Fig. 2: offline
+preparation of the weight matrix (pruning, compression, col_info
+pre-processing) and online execution via the strategy- and
+version-appropriate kernel, plus performance prediction on any
+catalogued GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan, build_plan
+from repro.core.strategy import LoadStrategy
+from repro.core.versions import OptimizationVersion
+from repro.errors import PlanError, ShapeError
+from repro.gpu.catalog import resolve_gpu
+from repro.gpu.spec import GPUSpec
+from repro.kernels.blocked import KernelTrace, nm_spmm_blocked
+from repro.kernels.packed import nm_spmm_packed
+from repro.kernels.tiling import TileParams
+from repro.sparsity.colinfo import ColumnInfo, preprocess_offline
+from repro.sparsity.compress import NMCompressedMatrix, compress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.pruning import prune_dense
+from repro.utils.arrays import as_f32
+from repro.utils.validation import check_matrix
+
+__all__ = ["SparseHandle", "NMSpMM", "nm_spmm"]
+
+
+@dataclass
+class SparseHandle:
+    """Prepared weights: the compressed matrix plus cached offline
+    pre-processing results (one :class:`ColumnInfo` per block shape)."""
+
+    compressed: NMCompressedMatrix
+    _colinfo_cache: dict[tuple[int, int], ColumnInfo] = field(default_factory=dict)
+
+    @property
+    def pattern(self) -> NMPattern:
+        return self.compressed.pattern
+
+    @property
+    def k(self) -> int:
+        return self.compressed.k
+
+    @property
+    def n(self) -> int:
+        return self.compressed.n
+
+    def col_info(self, ws: int, ns: int) -> ColumnInfo:
+        """The offline pre-processing output for a block shape, cached
+        (Listing 3's PreProcessing runs once per deployment)."""
+        key = (ws, ns)
+        if key not in self._colinfo_cache:
+            self._colinfo_cache[key] = preprocess_offline(self.compressed, ws, ns)
+        return self._colinfo_cache[key]
+
+    def dense(self) -> np.ndarray:
+        """The pruned dense weights (for verification)."""
+        return self.compressed.to_dense()
+
+
+class NMSpMM:
+    """The NM-SpMM operator.
+
+    Parameters
+    ----------
+    pattern:
+        The N:M sparsity pattern (N retained of every M vectors of
+        length L).
+    gpu:
+        Default GPU for planning and prediction.
+    version:
+        Optimization level, ``"V3"`` by default (all optimizations).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> op = NMSpMM(NMPattern(2, 4, vector_length=4))
+    >>> rng = np.random.default_rng(0)
+    >>> b = rng.standard_normal((64, 32)).astype(np.float32)
+    >>> a = rng.standard_normal((16, 64)).astype(np.float32)
+    >>> handle = op.prepare(b)
+    >>> c = op.execute(a, handle)
+    >>> c.shape
+    (16, 32)
+    """
+
+    def __init__(
+        self,
+        pattern: NMPattern,
+        gpu: "str | GPUSpec" = "A100",
+        version: "str | OptimizationVersion" = "V3",
+    ):
+        self.pattern = pattern
+        self.gpu = resolve_gpu(gpu)
+        self.version = OptimizationVersion.parse(version)
+
+    # ------------------------------------------------------------------
+    # Offline
+    # ------------------------------------------------------------------
+    def prepare(
+        self, b: np.ndarray, *, already_pruned: bool = False
+    ) -> SparseHandle:
+        """Prune (unless ``already_pruned``) and compress the weights.
+
+        Returns a :class:`SparseHandle` reusable across many
+        :meth:`execute` calls — the paper's offline phase.
+        """
+        b = as_f32(check_matrix("b", b))
+        if already_pruned:
+            compressed = compress(self.pattern, b)
+        else:
+            pruned, mask = prune_dense(self.pattern, b)
+            compressed = compress(self.pattern, pruned, mask)
+        return SparseHandle(compressed=compressed)
+
+    # ------------------------------------------------------------------
+    # Online
+    # ------------------------------------------------------------------
+    def plan_for(
+        self, m: int, handle: SparseHandle, params: TileParams | None = None
+    ) -> ExecutionPlan:
+        """The launch plan for batch size ``m`` against these weights."""
+        return build_plan(
+            m,
+            handle.n,
+            handle.k,
+            self.pattern,
+            self.gpu,
+            version=self.version,
+            params=params,
+        )
+
+    def execute(
+        self,
+        a: np.ndarray,
+        handle: SparseHandle,
+        *,
+        params: TileParams | None = None,
+        trace: KernelTrace | None = None,
+    ) -> np.ndarray:
+        """Compute ``C = A (*) (B', D)`` with the strategy the plan
+        selects (packed kernel at high sparsity, blocked otherwise)."""
+        a = as_f32(check_matrix("a", a))
+        if a.shape[1] < handle.k:
+            raise ShapeError(
+                f"A has k={a.shape[1]} but the prepared weights expect "
+                f"k={handle.k}"
+            )
+        plan = self.plan_for(a.shape[0], handle, params)
+        if plan.uses_packing:
+            ws = min(plan.ws, handle.compressed.w)
+            col_info = handle.col_info(ws, plan.params.ns)
+            return nm_spmm_packed(
+                a, handle.compressed, plan.params, col_info, trace=trace
+            )
+        return nm_spmm_blocked(a, handle.compressed, plan.params, trace=trace)
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        m: int,
+        n: int | None = None,
+        k: int | None = None,
+        *,
+        handle: SparseHandle | None = None,
+        gpu: "str | GPUSpec | None" = None,
+        version: "str | OptimizationVersion | None" = None,
+        params: TileParams | None = None,
+    ):
+        """Model the launch on a (possibly different) GPU; returns a
+        :class:`~repro.model.timing.KernelReport`."""
+        if handle is not None:
+            n, k = handle.n, handle.k
+        if n is None or k is None:
+            raise PlanError("predict() needs either a handle or explicit n and k")
+        plan = build_plan(
+            m,
+            n,
+            k,
+            self.pattern,
+            gpu if gpu is not None else self.gpu,
+            version=version if version is not None else self.version,
+            params=params,
+        )
+        return plan.simulate()
+
+
+def nm_spmm(
+    a: np.ndarray,
+    b: np.ndarray,
+    pattern: NMPattern,
+    *,
+    already_pruned: bool = False,
+) -> np.ndarray:
+    """One-shot convenience: prune ``b`` under ``pattern`` and return
+    ``A (*) (B', D)``."""
+    op = NMSpMM(pattern)
+    handle = op.prepare(b, already_pruned=already_pruned)
+    return op.execute(a, handle)

@@ -1,0 +1,137 @@
+"""Execution-plan construction.
+
+An :class:`ExecutionPlan` freezes every decision the paper's kernel
+makes before launch: the N:M pattern, the blocking parameters
+(Table I + Eq. 5), the load strategy (packing vs non-packing) and the
+optimization version.  The same plan drives both the functional
+executor (numerics) and the performance simulator (timing), so what is
+tested is what is timed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.strategy import LoadStrategy
+from repro.core.versions import OptimizationVersion
+from repro.errors import PlanError
+from repro.gpu.catalog import resolve_gpu
+from repro.gpu.spec import GPUSpec
+from repro.kernels.tiling import MatrixSizeClass, TileParams, params_for
+from repro.model.workload import ProblemShape, SparseProblem
+from repro.sparsity.config import NMPattern
+
+__all__ = ["ExecutionPlan", "build_plan"]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A fully resolved kernel launch plan."""
+
+    problem: SparseProblem
+    params: TileParams
+    version: OptimizationVersion
+    strategy: LoadStrategy
+    gpu: GPUSpec
+
+    def __post_init__(self) -> None:
+        if self.params.ks <= 0:
+            raise PlanError("plan requires resolved ks")
+        if self.params.ks % self.pattern.m != 0:
+            raise PlanError(
+                f"ks={self.params.ks} is not a multiple of M={self.pattern.m}"
+            )
+        if (
+            self.strategy is LoadStrategy.PACKING
+            and not self.version.uses_packing
+        ):
+            raise PlanError(f"{self.version.value} cannot use the packing strategy")
+
+    # ------------------------------------------------------------------
+    @property
+    def pattern(self) -> NMPattern:
+        return self.problem.pattern
+
+    @property
+    def shape(self) -> ProblemShape:
+        return self.problem.shape
+
+    @property
+    def ws(self) -> int:
+        return self.params.ws(self.pattern)
+
+    @property
+    def qs(self) -> int:
+        return self.params.qs(self.pattern)
+
+    @property
+    def uses_packing(self) -> bool:
+        return self.strategy is LoadStrategy.PACKING
+
+    # ------------------------------------------------------------------
+    def simulate(self):
+        """Model this plan's launch (returns a
+        :class:`~repro.model.timing.KernelReport`)."""
+        from repro.model.calibration import calibration_for
+        from repro.model.engine import KernelSimulator
+        from repro.model.profiles import profile_for_version
+
+        sim = KernelSimulator(spec=self.gpu, calib=calibration_for(self.gpu))
+        profile = profile_for_version(
+            self.version.value,
+            sim.calib,
+            high_sparsity=self.strategy is LoadStrategy.PACKING,
+        )
+        return sim.run(self.problem, self.params, profile)
+
+    def analyze(self):
+        """Run the §III-A analysis for this plan."""
+        from repro.core.analysis import analyze
+
+        return analyze(
+            self.pattern,
+            self.shape.m,
+            self.shape.n,
+            self.shape.k,
+            self.gpu,
+            params=self.params,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"ExecutionPlan[{self.problem.label()} | {self.params.label()} | "
+            f"{self.version.value} | {self.strategy.value} | {self.gpu.name}]"
+        )
+
+
+def build_plan(
+    m: int,
+    n: int,
+    k: int,
+    pattern: NMPattern,
+    gpu: "str | GPUSpec" = "A100",
+    *,
+    version: "str | OptimizationVersion" = "V3",
+    params: TileParams | None = None,
+    size_class: MatrixSizeClass | None = None,
+) -> ExecutionPlan:
+    """Build the launch plan the paper's heuristics would choose:
+    Table I blocking for the matrix class, Eq. 5 ``ks``, the 70%-rule
+    strategy, V3 pipeline."""
+    spec = resolve_gpu(gpu)
+    ver = OptimizationVersion.parse(version)
+    if params is None:
+        params = params_for(
+            m, n, k, pattern, spec.smem_bytes_per_sm, size_class=size_class
+        )
+    elif params.ks <= 0:
+        params = params.with_ks(pattern, spec.smem_bytes_per_sm, k)
+    strategy = ver.strategy_for(pattern)
+    problem = SparseProblem(ProblemShape(m, n, k), pattern)
+    return ExecutionPlan(
+        problem=problem,
+        params=params,
+        version=ver,
+        strategy=strategy,
+        gpu=spec,
+    )

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the NM-SpMM reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration problems from numerical ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PatternError",
+    "ShapeError",
+    "CompressionError",
+    "PlanError",
+    "SimulationError",
+    "CalibrationError",
+    "AutotuneError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied (bad N, M, L, tile...)."""
+
+
+class PatternError(ConfigurationError):
+    """An N:M sparsity pattern is malformed or violates its invariants."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Matrix operands have incompatible or unsupported shapes."""
+
+
+class CompressionError(ReproError):
+    """Compression or decompression of an N:M matrix failed."""
+
+
+class PlanError(ReproError):
+    """An execution plan could not be constructed or is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The performance simulator was asked to model an impossible setup."""
+
+
+class CalibrationError(ReproError):
+    """A calibration constant is missing or out of its documented range."""
+
+
+class AutotuneError(ReproError):
+    """The parameter autotuner found no feasible configuration."""

@@ -1,0 +1,36 @@
+"""GPU hardware model substrate.
+
+Models of the three evaluation GPUs (Table III), their memory
+hierarchies, shared-memory banking, occupancy rules and instruction
+issue rates — everything the performance simulator needs to reason the
+way the paper's §III analysis does.
+"""
+
+from repro.gpu.spec import GPUSpec
+from repro.gpu.catalog import A100_80G, RTX_3090, RTX_4090, get_gpu, list_gpus, resolve_gpu
+from repro.gpu.memory import MemoryHierarchy
+from repro.gpu.banks import bank_conflict_degree, warp_transactions, conflict_multiplier
+from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+from repro.gpu.isa import InstructionClass, IssueModel, issue_model_for
+from repro.gpu.roofline import Roofline, BoundKind
+
+__all__ = [
+    "GPUSpec",
+    "A100_80G",
+    "RTX_3090",
+    "RTX_4090",
+    "get_gpu",
+    "list_gpus",
+    "resolve_gpu",
+    "MemoryHierarchy",
+    "bank_conflict_degree",
+    "warp_transactions",
+    "conflict_multiplier",
+    "OccupancyResult",
+    "compute_occupancy",
+    "InstructionClass",
+    "IssueModel",
+    "issue_model_for",
+    "Roofline",
+    "BoundKind",
+]

@@ -1,0 +1,54 @@
+"""Functional (numerically exact) kernels.
+
+Four implementations of the same contract, in increasing structural
+fidelity to the paper's CUDA kernels:
+
+* :func:`nm_spmm_reference` — direct Eq. 1 evaluation (gold standard);
+* :func:`nm_spmm_functional` — vectorized per-window gather + GEMM;
+* :func:`nm_spmm_blocked` — hierarchical blocking of Listings 1/2;
+* :func:`nm_spmm_packed` — packed loads of Listing 3 (high sparsity).
+
+All four agree to float32 rounding with ``A @ decompress(B)``; the
+blocked and packed versions additionally record the memory/instruction
+events the performance model reasons about.
+"""
+
+from repro.kernels.reference import nm_spmm_reference
+from repro.kernels.dense import dense_gemm, gemm_flops
+from repro.kernels.functional import nm_spmm_functional
+from repro.kernels.blocked import nm_spmm_blocked, KernelTrace
+from repro.kernels.packed import nm_spmm_packed
+from repro.kernels.tiling import (
+    TileParams,
+    MatrixSizeClass,
+    TABLE_I,
+    classify_matrix,
+    params_for,
+    max_ks_eq5,
+    max_ks_listing1,
+    cmar,
+)
+from repro.kernels.thread_grid import ThreadGrid, thread_offsets
+from repro.kernels.autotune import autotune, AutotuneResult
+
+__all__ = [
+    "nm_spmm_reference",
+    "dense_gemm",
+    "gemm_flops",
+    "nm_spmm_functional",
+    "nm_spmm_blocked",
+    "nm_spmm_packed",
+    "KernelTrace",
+    "TileParams",
+    "MatrixSizeClass",
+    "TABLE_I",
+    "classify_matrix",
+    "params_for",
+    "max_ks_eq5",
+    "max_ks_listing1",
+    "cmar",
+    "ThreadGrid",
+    "thread_offsets",
+    "autotune",
+    "AutotuneResult",
+]

@@ -1,0 +1,143 @@
+"""Constraint-driven blocking-parameter search.
+
+Table I's recommendations are not arbitrary: they are the feasible
+configurations that maximise the inner-kernel CMAR (Eq. 6) subject to
+the register budget, bank-conflict-free block shapes, the Eq. 5 shared
+memory bound, and enough parallelism (occupancy / wave coverage) for
+the matrix at hand.  This module enumerates the space and scores each
+candidate with the performance model, reproducing Table I when asked
+for the Table II exemplar shapes (see ``benchmarks/bench_table1_*``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import THREAD_TILE_REGISTER_BUDGET, WARP_SIZE
+from repro.errors import AutotuneError, ConfigurationError
+from repro.kernels.tiling import TileParams
+from repro.sparsity.config import NMPattern
+
+__all__ = ["autotune", "AutotuneResult", "enumerate_candidates"]
+
+
+@dataclass(frozen=True)
+class AutotuneResult:
+    """Outcome of a parameter search."""
+
+    best: TileParams
+    predicted_seconds: float
+    candidates_evaluated: int
+    ranking: tuple[tuple[TileParams, float], ...]
+
+    def top(self, count: int = 5) -> list[tuple[TileParams, float]]:
+        """The ``count`` best (params, seconds) pairs."""
+        return list(self.ranking[:count])
+
+
+def enumerate_candidates(
+    max_block: int = 128,
+    *,
+    thread_tiles: tuple[int, ...] = (2, 4, 8, 16),
+) -> list[TileParams]:
+    """Enumerate all valid :class:`TileParams` with power-of-two
+    ``ms, ns`` (32/64/128...) up to ``max_block`` and 32-thread warp
+    grids.
+
+    Power-of-two block shapes keep global/shared addressing swizzles
+    cheap, which is why every configuration the paper ships (Table I)
+    uses them; validity otherwise is exactly the §III-B constraint set
+    (encoded in ``TileParams.__post_init__``).
+    """
+    blocks = []
+    b = WARP_SIZE
+    while b <= max_block:
+        blocks.append(b)
+        b *= 2
+    out: list[TileParams] = []
+    for ms in blocks:
+        for ns in blocks:
+            for mt in thread_tiles:
+                for nt in thread_tiles:
+                    if mt + nt + mt * nt > THREAD_TILE_REGISTER_BUDGET:
+                        continue
+                    # lane grid must multiply to a warp
+                    for lane_rows in (1, 2, 4, 8, 16, 32):
+                        lane_cols = WARP_SIZE // lane_rows
+                        mr = mt * lane_rows
+                        nr = nt * lane_cols
+                        if mr > ms or nr > ns:
+                            continue
+                        if ms % mr or ns % nr:
+                            continue
+                        try:
+                            cand = TileParams(
+                                ms=ms, ns=ns, mr=mr, nr=nr, mt=mt, nt=nt
+                            )
+                        except ConfigurationError:
+                            continue
+                        # CUDA hardware limit.
+                        if cand.threads_per_block > 1024:
+                            continue
+                        out.append(cand)
+    # Deduplicate (different lane splits can coincide).
+    unique = {p: None for p in out}
+    return list(unique)
+
+
+def autotune(
+    m: int,
+    n: int,
+    k: int,
+    pattern: NMPattern,
+    gpu: "str | object" = "A100",
+    *,
+    max_block: int = 128,
+    version: str = "V3",
+    top_k: int = 10,
+) -> AutotuneResult:
+    """Search for the fastest blocking parameters on a modelled GPU.
+
+    Every candidate gets its ``ks`` from Eq. 5 and is scored by the
+    full performance model (traffic + pipeline + occupancy); ties break
+    towards higher CMAR then fewer threads.
+    """
+    # Imported lazily: the model package depends on kernels.tiling.
+    from repro.gpu import resolve_gpu
+    from repro.model.engine import simulate_nm_spmm
+
+    spec = resolve_gpu(gpu)
+    scored: list[tuple[TileParams, float]] = []
+    candidates = enumerate_candidates(max_block=max_block)
+    for cand in candidates:
+        try:
+            params = cand.with_ks(pattern, spec.smem_bytes_per_sm, k)
+            report = simulate_nm_spmm(
+                m, n, k, pattern, spec, params=params, version=version
+            )
+        except Exception:
+            continue
+        scored.append((params, report.seconds))
+    if not scored:
+        raise AutotuneError(
+            f"no feasible blocking parameters for ({m}, {n}, {k}) "
+            f"with pattern {pattern.label()}"
+        )
+    # Ties (within model resolution) break toward lower register
+    # pressure — the occupancy-friendly choice §III-B2 argues for —
+    # then higher CMAR, then fewer threads.
+    scored.sort(
+        key=lambda item: (
+            item[1],
+            item[0].accumulator_registers,
+            -item[0].cmar(),
+            item[0].threads_per_block,
+        )
+    )
+    best, seconds = scored[0]
+    return AutotuneResult(
+        best=best,
+        predicted_seconds=seconds,
+        candidates_evaluated=len(scored),
+        ranking=tuple(scored[: max(top_k, 1)]),
+    )

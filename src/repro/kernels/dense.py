@@ -1,0 +1,35 @@
+"""Dense GEMM — the functional stand-in for cuBLAS.
+
+The paper uses cuBLAS SGEMM as the dense baseline; here the functional
+baseline is NumPy's BLAS-backed ``@``.  The performance baseline lives
+in :mod:`repro.model.baselines.cublas`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.arrays import as_f32
+from repro.utils.validation import check_matrix
+
+__all__ = ["dense_gemm", "gemm_flops"]
+
+
+def gemm_flops(m: int, n: int, k: int) -> int:
+    """Multiply-accumulate FLOP count of an ``m x k`` by ``k x n``
+    product: ``2*m*n*k`` (each MAC is two FLOPs, matching the paper's
+    ``2*ms*ns*ws`` block workload)."""
+    return 2 * m * n * k
+
+
+def dense_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``C = A @ B`` in float32 with the same validation the sparse
+    kernels apply."""
+    a = as_f32(check_matrix("a", a))
+    b = as_f32(check_matrix("b", b))
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(
+            f"inner dimensions disagree: A is {a.shape}, B is {b.shape}"
+        )
+    return a @ b

@@ -1,0 +1,63 @@
+"""Gold-standard reference kernel — a direct transcription of Eq. 1.
+
+    C'[i][j] = scale * sum_u A[i][ (u//N)*M + D[u][j//L] ] * B'[u][j]
+
+The loops are kept explicit (over compressed rows and column windows)
+so the implementation is auditable against the equation; every other
+kernel in the library is tested for bitwise-comparable agreement with
+this one.  ``scale`` is 1 by default; Eq. 1's literal ``M/N`` prefactor
+(a mean-preserving rescale some pruning recipes apply) is available via
+``rescale=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparsity.compress import NMCompressedMatrix
+from repro.utils.arrays import as_f32
+from repro.utils.validation import check_matrix
+
+__all__ = ["nm_spmm_reference"]
+
+
+def nm_spmm_reference(
+    a: np.ndarray,
+    compressed: NMCompressedMatrix,
+    *,
+    rescale: bool = False,
+) -> np.ndarray:
+    """Evaluate ``C = A (*) (B', D)`` straight from Eq. 1.
+
+    Accumulation is float64 per output column window, then rounded to
+    float32 once — the most accurate evaluation order, which the
+    faster kernels are compared against with float32 tolerances.
+    """
+    a = as_f32(check_matrix("a", a))
+    pattern = compressed.pattern
+    m_rows, k = a.shape
+    if k < compressed.k:
+        raise ShapeError(
+            f"A has k={k} columns but the compressed matrix expects "
+            f"k={compressed.k}"
+        )
+    w, n = compressed.w, compressed.n
+    ell = pattern.vector_length
+    d = compressed.indices
+    bp = compressed.values
+    out = np.zeros((m_rows, n), dtype=np.float64)
+    for u in range(w):
+        window = u // pattern.n
+        base_row = window * pattern.m
+        for jq in range(compressed.q):
+            row = base_row + int(d[u, jq])
+            j0 = jq * ell
+            j1 = j0 + ell
+            # outer-product accumulation of one retained vector
+            out[:, j0:j1] += np.multiply.outer(
+                a[:, row].astype(np.float64), bp[u, j0:j1].astype(np.float64)
+            )
+    if rescale:
+        out *= pattern.m / pattern.n
+    return out.astype(np.float32)

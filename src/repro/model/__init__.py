@@ -1,0 +1,35 @@
+"""Analytic GPU performance simulator.
+
+Implements the paper's top-down performance analysis as an executable
+model: per-block staged traffic (the Eq. 3 accounting), inner-kernel
+issue rates (Eq. 6 CMAR plus bank conflicts), occupancy-aware overlap,
+software-pipeline scheduling for the V1/V2/V3 step-wise optimizations,
+and cost models for the cuBLAS / nmSPARSE / Sputnik baselines.
+"""
+
+from repro.model.workload import ProblemShape, SparseProblem
+from repro.model.events import TrafficBreakdown, InstructionBudget
+from repro.model.timing import KernelReport, StageBreakdown
+from repro.model.engine import simulate_nm_spmm, KernelSimulator
+from repro.model.calibration import Calibration, calibration_for
+from repro.model.pipeline import (
+    PipelineStage,
+    SoftwarePipeline,
+    steady_state_cycles,
+)
+
+__all__ = [
+    "ProblemShape",
+    "SparseProblem",
+    "TrafficBreakdown",
+    "InstructionBudget",
+    "KernelReport",
+    "StageBreakdown",
+    "simulate_nm_spmm",
+    "KernelSimulator",
+    "Calibration",
+    "calibration_for",
+    "PipelineStage",
+    "SoftwarePipeline",
+    "steady_state_cycles",
+]

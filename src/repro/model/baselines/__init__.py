@@ -1,0 +1,15 @@
+"""Baseline cost models: cuBLAS, nmSPARSE, Sputnik, and the ideal
+sparse speedup (the four comparison series of Fig. 9)."""
+
+from repro.model.baselines.cublas import simulate_cublas
+from repro.model.baselines.nmsparse import simulate_nmsparse
+from repro.model.baselines.sputnik import simulate_sputnik
+from repro.model.baselines.ideal import ideal_speedup, ideal_seconds
+
+__all__ = [
+    "simulate_cublas",
+    "simulate_nmsparse",
+    "simulate_sputnik",
+    "ideal_speedup",
+    "ideal_seconds",
+]

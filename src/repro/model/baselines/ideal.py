@@ -1,0 +1,25 @@
+"""The ideal sparse speedup (the green dashed line of Fig. 9).
+
+With computation reduced to ``N/M`` of dense, the best possible
+speedup over an ideal dense kernel is ``M/N`` — e.g. 4x at 75%
+sparsity ("computation reduces to a quarter of the original, yielding
+an expected speedup of 4", §IV-D).
+"""
+
+from __future__ import annotations
+
+from repro.model.timing import KernelReport
+from repro.sparsity.config import NMPattern
+
+__all__ = ["ideal_speedup", "ideal_seconds"]
+
+
+def ideal_speedup(pattern: NMPattern) -> float:
+    """``M/N`` — the compute-reduction bound."""
+    return pattern.ideal_speedup
+
+
+def ideal_seconds(cublas_report: KernelReport, pattern: NMPattern) -> float:
+    """The wall-clock an ideal sparse kernel would take: the dense
+    baseline divided by the compute-reduction bound."""
+    return cublas_report.seconds / ideal_speedup(pattern)

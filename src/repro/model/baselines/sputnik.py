@@ -1,0 +1,104 @@
+"""Sputnik (Gale et al.) cost model.
+
+Sputnik treats the pruned weights as *unstructured* CSR: 1-wide
+vectors, row-wise load balancing, gathered A accesses.  The paper's
+Fig. 9 shows it well below cuBLAS at moderate sparsity ("poorer
+performance due to its direct handling of unstructured sparse
+patterns, leading to irregular memory access and imbalanced workload
+overhead") and only approaching break-even at 87.5%.
+
+Published Sputnik SpMM numbers sustain a roughly constant, low
+fraction of FP32 peak across DNN sparsities; we model it as a
+compute-rate cap (``sputnik_issue_efficiency`` of the locked peak)
+plus a sector-inflated gather-traffic term — whichever binds.
+"""
+
+from __future__ import annotations
+
+from repro.constants import FP32_BYTES
+from repro.gpu.catalog import resolve_gpu
+from repro.gpu.spec import GPUSpec
+from repro.model.calibration import Calibration, calibration_for
+from repro.model.events import TrafficBreakdown
+from repro.model.timing import KernelReport, StageBreakdown
+from repro.model.workload import ProblemShape, SparseProblem
+from repro.sparsity.config import NMPattern
+from repro.utils.intmath import ceil_div
+
+__all__ = ["simulate_sputnik"]
+
+
+def simulate_sputnik(
+    m: int,
+    n: int,
+    k: int,
+    pattern: NMPattern,
+    gpu: "str | GPUSpec" = "A100",
+    *,
+    calib: Calibration | None = None,
+) -> KernelReport:
+    """Model a Sputnik SpMM launch on the N:M-pruned weights (which it
+    sees as an unstructured sparse matrix)."""
+    spec = resolve_gpu(gpu)
+    calib = calib or calibration_for(spec)
+    problem = SparseProblem(ProblemShape(m, n, k), pattern)
+    useful = float(problem.useful_flops)
+
+    # Compute-rate bound: 1-wide vectors, no register blocking to
+    # speak of -> a low, flat fraction of FP32 peak, additionally
+    # capped by gather bandwidth (the kernels stream gathered operands,
+    # so the achievable FLOP rate is tied to DRAM bandwidth).
+    dram_bps = spec.dram_bytes_per_s * calib.dram_efficiency
+    flops_cap = min(
+        spec.locked_peak_flops * calib.sputnik_issue_efficiency,
+        dram_bps * calib.sputnik_ai_cap_flop_per_byte,
+    )
+    compute_s = useful / flops_cap
+
+    # Gather-traffic bound: every stored nonzero induces a gathered A
+    # access per output row tile; uncoalesced gathers waste sector
+    # bytes.
+    nnz = problem.w * n
+    gather_bytes = nnz * FP32_BYTES * calib.sputnik_gather_inflation
+    stream_bytes = (problem.w * n + m * n) * FP32_BYTES  # B values + C
+    a_rows_bytes = m * k * FP32_BYTES
+    dram_total = gather_bytes * m / max(1, 512) + stream_bytes + a_rows_bytes
+    memory_s = dram_total / dram_bps
+
+    clock = spec.effective_clock_hz
+    seconds = max(compute_s, memory_s) + calib.launch_overhead_s
+    traffic = TrafficBreakdown(
+        a_staged=gather_bytes,
+        b_staged=float(problem.w * n * FP32_BYTES),
+        d_staged=0.0,
+        colinfo_staged=0.0,
+        c_written=float(m * n * FP32_BYTES),
+        a_dram=gather_bytes,
+        b_dram=float(problem.w * n * FP32_BYTES),
+        d_dram=0.0,
+        colinfo_dram=0.0,
+    )
+    stages = StageBreakdown(
+        compute_s=compute_s,
+        dram_s=memory_s,
+        l2_s=0.0,
+        exposure_s=0.0,
+        fill_s=0.0,
+        launch_s=calib.launch_overhead_s,
+    )
+    return KernelReport(
+        kernel="Sputnik",
+        gpu=spec.name,
+        problem=problem.label(),
+        seconds=seconds,
+        useful_flops=useful,
+        traffic=traffic,
+        stages=stages,
+        occupancy=0.5,
+        blocks_per_sm=1,
+        total_blocks=ceil_div(m, 32) * ceil_div(n, 32),
+        iterations=1,
+        waves=1,
+        params_label="csr",
+        notes="analytic unstructured-CSR model",
+    )

@@ -1,0 +1,262 @@
+"""The kernel performance simulator.
+
+One engine serves every kernel family in the paper (NM-SpMM V1/V2/V3,
+cuBLAS, nmSPARSE); an :class:`ExecutionProfile` selects the schedule
+and load path.  The model composes:
+
+1. **Traffic** (:mod:`repro.model.traffic`) — per-block staged bytes,
+   DRAM vs L2 residency;
+2. **Inner kernel** (:mod:`repro.model.inner_kernel`) — warp FMA/LDS/
+   issue contention per iteration (Eq. 6 CMAR + bank conflicts);
+3. **Occupancy** (:mod:`repro.gpu.occupancy`) — resident blocks/SM
+   from registers and shared memory (Eq. 4 footprint);
+4. **Schedule** — steady state is ``max(compute, memory)`` because
+   de-synchronised blocks across SMs overlap naturally; the schedule
+   discipline determines the *serialized residue*: the per-iteration
+   barrier exposure of the synchronous Listing-1 path (V1/V2) or the
+   small residual of the Listing-4 double-buffered pipeline (V3);
+5. Wave quantization, pipeline fill, and launch overhead.
+
+Times are cycles at the locked clock, converted to seconds at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpu.catalog import resolve_gpu
+from repro.gpu.isa import issue_model_for
+from repro.gpu.occupancy import OccupancyResult, compute_occupancy
+from repro.gpu.spec import GPUSpec
+from repro.kernels.tiling import TileParams, params_for
+from repro.model.calibration import Calibration, calibration_for
+from repro.model.inner_kernel import evaluate_inner_kernel
+from repro.model.profiles import (
+    ExecutionProfile,
+    OverlapMode,
+    profile_for_version,
+)
+from repro.model.timing import KernelReport, StageBreakdown
+from repro.model.traffic import compute_traffic
+from repro.model.workload import ProblemShape, SparseProblem
+from repro.sparsity.config import NMPattern
+from repro.utils.intmath import ceil_div
+
+__all__ = ["KernelSimulator", "simulate_nm_spmm"]
+
+#: Registers per thread beyond the accumulator/fragment set: address
+#: arithmetic, loop counters, the idx[] prefetch buffer of Listing 4.
+ADDRESSING_REGISTERS = 28
+
+
+@dataclass(frozen=True)
+class KernelSimulator:
+    """Reusable simulator bound to one GPU (and calibration)."""
+
+    spec: GPUSpec
+    calib: Calibration
+
+    @classmethod
+    def for_gpu(cls, gpu: "str | GPUSpec") -> "KernelSimulator":
+        spec = resolve_gpu(gpu)
+        return cls(spec=spec, calib=calibration_for(spec))
+
+    # ------------------------------------------------------------------
+    # Core entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        problem: SparseProblem,
+        params: TileParams,
+        profile: ExecutionProfile,
+    ) -> KernelReport:
+        """Model one kernel launch and return its report."""
+        spec, calib = self.spec, self.calib
+        pattern = problem.pattern
+        shape = problem.shape
+        if params.ks <= 0:
+            raise SimulationError("TileParams.ks must be resolved before simulation")
+        ws = params.ws(pattern)
+        if ws <= 0:
+            raise SimulationError(f"ks={params.ks} yields ws=0 for {pattern.label()}")
+
+        traffic, geom = compute_traffic(problem, params, spec, calib, profile)
+        total_blocks = geom.total_blocks
+        active_sms = min(spec.num_sms, total_blocks)
+
+        # --- occupancy -------------------------------------------------
+        double_buffered = profile.overlap is OverlapMode.DOUBLE_BUFFER
+        from repro.gpu.memory import smem_footprint_bytes
+
+        smem_block = smem_footprint_bytes(
+            pattern,
+            params,
+            packed=profile.is_packed,
+            double_buffered=double_buffered,
+        )
+        smem_block = min(smem_block, spec.smem_bytes_per_block_limit)
+        regs = params.accumulator_registers + ADDRESSING_REGISTERS
+        occ = self._occupancy(params, regs, smem_block)
+
+        concurrent = occ.blocks_per_sm * active_sms
+        waves = max(1, ceil_div(total_blocks, concurrent))
+
+        # --- compute stage --------------------------------------------
+        issue = issue_model_for(spec)
+        inner = evaluate_inner_kernel(
+            params, ws, issue, profile.aux_instr_per_step
+        )
+        # Inflation >= 1 when LDS bandwidth or issue slots (not raw FMA
+        # throughput) bind the inner kernel.
+        inflation = inner.cycles / inner.fma_cycles if inner.fma_cycles else 1.0
+        useful_warp_fma = problem.useful_flops / 2.0 / 32.0
+        compute_cycles = (
+            useful_warp_fma
+            / issue.warp_fma_per_cycle
+            * inflation
+            / profile.issue_efficiency
+            / active_sms
+        )
+        # Tile quantization: partial edge tiles still run full tiles.
+        pad_factor = (
+            (geom.blocks_m * params.ms)
+            * (geom.blocks_n * params.ns)
+            / (shape.m * shape.n)
+        )
+        compute_cycles *= pad_factor
+        # Block-count quantization: the makespan follows the busiest
+        # SM, which runs ceil(blocks/active_sms) blocks while the
+        # average runs blocks/active_sms.  This is what makes an
+        # oversized tile lose on a small matrix (Fig. 8).
+        avg_blocks_per_sm = total_blocks / active_sms
+        compute_cycles *= ceil_div(total_blocks, active_sms) / avg_blocks_per_sm
+        # Latency hiding needs enough resident warps; below ~4 per SM
+        # the scheduler cannot cover LDS/FFMA latencies and the inner
+        # kernel stalls (§III-B2's occupancy argument).
+        starved_warps = max(0.0, 4.0 - occ.warps_per_sm)
+        compute_cycles *= 1.0 + 0.03 * starved_warps
+
+        # --- memory stage ----------------------------------------------
+        clock = spec.effective_clock_hz
+        dram_bpc = profile.load_bw_factor * min(
+            spec.dram_bytes_per_s * calib.dram_efficiency / clock,
+            active_sms * calib.per_sm_ldg_bytes_per_cycle,
+        )
+        l2_bpc = profile.load_bw_factor * min(
+            spec.dram_bytes_per_s * calib.l2_bw_multiple / clock,
+            active_sms * calib.per_sm_l2_bytes_per_cycle,
+        )
+        dram_cycles = traffic.dram_total / dram_bpc
+        l2_cycles = traffic.staged_total / l2_bpc
+        memory_cycles = max(dram_cycles, l2_cycles)
+
+        # --- schedule composition ---------------------------------------
+        steady = max(compute_cycles, memory_cycles)
+        if profile.overlap is OverlapMode.SYNC:
+            # Barrier + exposed LDG latency per iteration; co-resident
+            # blocks on the same SM hide a proportional share.  The
+            # packed path adds the col_info -> As load-load dependency
+            # (§III-C2) that only the V3 pipeline hides.
+            scale = profile.sync_exposure_scale
+            if profile.is_packed:
+                scale *= calib.packed_sync_exposure_scale
+            exposure = (
+                calib.sync_exposure_cycles
+                * scale
+                * geom.iterations
+                * waves
+                / occ.blocks_per_sm
+            )
+        else:
+            exposure = calib.v3_residual_exposure * min(
+                compute_cycles, memory_cycles
+            )
+        fill = calib.fill_latency_cycles * waves
+
+        total_cycles = steady + exposure + fill
+        seconds = total_cycles / clock + calib.launch_overhead_s
+
+        stages = StageBreakdown(
+            compute_s=compute_cycles / clock,
+            dram_s=dram_cycles / clock,
+            l2_s=l2_cycles / clock,
+            exposure_s=exposure / clock,
+            fill_s=fill / clock,
+            launch_s=calib.launch_overhead_s,
+        )
+        return KernelReport(
+            kernel=profile.name,
+            gpu=spec.name,
+            problem=problem.label(),
+            seconds=seconds,
+            useful_flops=float(problem.useful_flops),
+            traffic=traffic,
+            stages=stages,
+            occupancy=occ.occupancy,
+            blocks_per_sm=occ.blocks_per_sm,
+            total_blocks=total_blocks,
+            iterations=geom.iterations,
+            waves=waves,
+            params_label=params.label(),
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _occupancy(
+        self, params: TileParams, regs: int, smem_block: int
+    ) -> OccupancyResult:
+        threads = params.threads_per_block
+        if threads > self.spec.max_threads_per_block:
+            raise SimulationError(
+                f"block of {threads} threads exceeds the "
+                f"{self.spec.max_threads_per_block} hardware limit"
+            )
+        try:
+            return compute_occupancy(self.spec, threads, regs, smem_block)
+        except SimulationError:
+            # Register or thread overflows are genuine launch failures;
+            # only a footprint slightly above the SM budget (our Eq. 4
+            # accounting is conservative) degrades to one resident
+            # block instead of failing.
+            compute_occupancy(self.spec, threads, regs, 0)  # re-raises if not smem
+            return OccupancyResult(
+                blocks_per_sm=1,
+                warps_per_sm=threads // 32,
+                occupancy=threads / 32 / self.spec.max_warps_per_sm,
+                limiter="shared memory",
+                registers_per_thread=regs,
+                smem_bytes_per_block=smem_block,
+            )
+
+
+def simulate_nm_spmm(
+    m: int,
+    n: int,
+    k: int,
+    pattern: NMPattern,
+    gpu: "str | GPUSpec" = "A100",
+    *,
+    params: TileParams | None = None,
+    version: str = "V3",
+    calib: Calibration | None = None,
+) -> KernelReport:
+    """Model an NM-SpMM launch for ``C[m][n] = A[m][k] (*) (B', D)``.
+
+    Parameters mirror the CUDA kernel: blocking ``params`` default to
+    the Table I recommendation with ``ks`` from Eq. 5, and ``version``
+    selects the step-wise optimization level (V1/V2/V3, §IV-B).
+    """
+    sim = KernelSimulator.for_gpu(gpu)
+    if calib is not None:
+        sim = KernelSimulator(spec=sim.spec, calib=calib)
+    problem = SparseProblem(ProblemShape(m, n, k), pattern)
+    if params is None:
+        params = params_for(m, n, k, pattern, sim.spec.smem_bytes_per_sm)
+    elif params.ks <= 0:
+        params = params.with_ks(pattern, sim.spec.smem_bytes_per_sm, k)
+    profile = profile_for_version(
+        version, sim.calib, high_sparsity=pattern.is_high_sparsity
+    )
+    return sim.run(problem, params, profile)

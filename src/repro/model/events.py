@@ -1,0 +1,74 @@
+"""Aggregated event quantities the engine computes per kernel launch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficBreakdown", "InstructionBudget"]
+
+
+@dataclass(frozen=True)
+class TrafficBreakdown:
+    """Per-operand memory traffic for one launch (bytes).
+
+    ``*_staged`` is the global->shared staging volume summed over all
+    blocks and iterations — the Eq. 3 per-block accounting.  ``*_dram``
+    is the portion the model charges to DRAM after L2 residency (only
+    B'/D qualify for cross-block persistence; see
+    :mod:`repro.model.traffic`).
+    """
+
+    a_staged: float
+    b_staged: float
+    d_staged: float
+    colinfo_staged: float
+    c_written: float
+    a_dram: float
+    b_dram: float
+    d_dram: float
+    colinfo_dram: float
+
+    @property
+    def staged_total(self) -> float:
+        """All bytes that cross the L2->SM boundary (loads + C stores)."""
+        return (
+            self.a_staged
+            + self.b_staged
+            + self.d_staged
+            + self.colinfo_staged
+            + self.c_written
+        )
+
+    @property
+    def dram_total(self) -> float:
+        """Bytes charged against DRAM bandwidth."""
+        return (
+            self.a_dram
+            + self.b_dram
+            + self.d_dram
+            + self.colinfo_dram
+            + self.c_written
+        )
+
+    def arithmetic_intensity(self, flops: float) -> float:
+        """FLOPs per staged byte — comparable with Eq. 3 (x4, which
+        counts elements)."""
+        return flops / self.staged_total if self.staged_total else 0.0
+
+
+@dataclass(frozen=True)
+class InstructionBudget:
+    """Warp-level instruction counts per main-loop iteration of one
+    block (inner-kernel issue accounting, §III-B2)."""
+
+    warp_fma: float
+    warp_lds: float
+    warp_aux: float
+    lds_bytes: float
+    sts_bytes: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def warp_total(self) -> float:
+        """All warp instructions competing for issue slots."""
+        return self.warp_fma + self.warp_lds + self.warp_aux

@@ -1,0 +1,154 @@
+"""Inner-kernel issue model (paper §III-B2).
+
+Per main-loop iteration a block runs ``ws`` inner steps; in each step
+every warp issues
+
+* ``mt*nt`` warp-FMA instructions (one per accumulator element),
+* ``(mt + nt)/lds_width`` warp-LDS instructions for the At/Bt
+  fragments (the alpha of Eq. 6),
+* a few auxiliary instructions for index handling (fewer when V3
+  prefetches indices into registers, Listing 4 line 12).
+
+The step's cost on one SM is the max of three resources: FMA
+throughput, shared-memory bandwidth (inflated by measured bank
+conflicts), and instruction issue slots.  The FMA term dominating is
+what "close-to-theoretical peak" requires; on 128-core SMs (3090/4090)
+the issue term bites, reproducing the paper's §IV-B observation that
+those parts cannot fully hide the indirect-access overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import FP32_BYTES, WARP_SIZE
+from repro.gpu.banks import conflict_multiplier
+from repro.gpu.isa import IssueModel
+from repro.kernels.thread_grid import ThreadGrid
+from repro.kernels.tiling import TileParams
+from repro.model.events import InstructionBudget
+
+__all__ = ["InnerKernelModel", "build_instruction_budget"]
+
+
+def build_instruction_budget(
+    params: TileParams,
+    ws: int,
+    aux_instr_per_step: float,
+    *,
+    lds_width_floats: int = 4,
+) -> InstructionBudget:
+    """Instruction counts for one main-loop iteration of one block.
+
+    Fragment loads are issued in up-to-``lds_width_floats`` chunks
+    (LDS.128 by default), so a thread needs ``ceil(mt/4) + ceil(nt/4)``
+    LDS instructions per step — Eq. 6's alpha at instruction
+    granularity (a 2-float fragment still costs a whole instruction).
+    """
+    warps = params.warps_per_block
+    steps = ws
+    fma = warps * params.mt * params.nt * steps
+    lds_instr_per_step = (
+        -(-params.mt // lds_width_floats) + -(-params.nt // lds_width_floats)
+    )
+    # Each wide LDS occupies the shared-memory pipe for one beat per
+    # 128 served bytes: LDS.128 = 4 beats, LDS.64 = 2, LDS.32 = 1.
+    beats_m = -(-params.mt // lds_width_floats) * min(params.mt, lds_width_floats)
+    beats_n = -(-params.nt // lds_width_floats) * min(params.nt, lds_width_floats)
+    lds_beats_per_step = beats_m + beats_n
+    lds = warps * lds_instr_per_step * steps
+    aux = warps * aux_instr_per_step * steps
+    # Shared-memory bytes with broadcast de-duplication: per step each
+    # warp touches its mr distinct As words and nr distinct Bs words.
+    lds_bytes = warps * (params.mr + params.nr) * FP32_BYTES * steps
+    sts_bytes = 0.0  # staging stores are charged to the load stage
+    return InstructionBudget(
+        warp_fma=fma,
+        warp_lds=lds,
+        warp_aux=aux,
+        lds_bytes=lds_bytes,
+        sts_bytes=sts_bytes,
+        extras={"lds_beats": warps * lds_beats_per_step * steps},
+    )
+
+
+@dataclass(frozen=True)
+class InnerKernelModel:
+    """Per-iteration compute-stage cost for one block on one SM."""
+
+    fma_cycles: float
+    lds_cycles: float
+    issue_cycles: float
+    lsu_cycles: float
+    conflict_mult: float
+
+    @property
+    def cycles(self) -> float:
+        """The binding resource's cycle count."""
+        return max(
+            self.fma_cycles, self.lds_cycles, self.issue_cycles, self.lsu_cycles
+        )
+
+    @property
+    def limiter(self) -> str:
+        costs = {
+            "fma": self.fma_cycles,
+            "shared-memory": self.lds_cycles,
+            "issue": self.issue_cycles,
+            "lsu": self.lsu_cycles,
+        }
+        return max(costs, key=lambda key: costs[key])
+
+    @property
+    def issue_efficiency(self) -> float:
+        """FMA cycles over the bound — the fraction of peak math the
+        inner kernel can sustain."""
+        return self.fma_cycles / self.cycles if self.cycles else 1.0
+
+
+def evaluate_inner_kernel(
+    params: TileParams,
+    ws: int,
+    issue: IssueModel,
+    aux_instr_per_step: float,
+    *,
+    lds_width_floats: int = 4,
+    measure_conflicts: bool = True,
+) -> InnerKernelModel:
+    """Evaluate the inner-kernel cost of one iteration of one block
+    running alone on an SM (the engine scales for co-residency)."""
+    budget = build_instruction_budget(
+        params, ws, aux_instr_per_step, lds_width_floats=lds_width_floats
+    )
+    fma_cycles = budget.warp_fma / issue.warp_fma_per_cycle
+    conflict = 1.0
+    if measure_conflicts:
+        # With ms and ns multiples of 32, production kernels reach a
+        # conflict-free vectorized layout by splitting each thread's
+        # fragment into 4-float pieces that tile 128-byte rows (the
+        # §III-B1 rule).  Shapes violating the rule pay the naive
+        # pattern's measured conflict degree.
+        if params.ms % 32 == 0 and params.ns % 32 == 0:
+            conflict = 1.0
+        else:  # pragma: no cover - TileParams enforces the rule today
+            grid = ThreadGrid(params)
+            addrs = grid.warp_row_addresses(0)
+            mults = [
+                conflict_multiplier(a, words_per_thread=lds_width_floats)
+                for a in addrs
+            ]
+            conflict = max(mults) if mults else 1.0
+    lds_cycles = issue.lds_cycles(budget.lds_bytes, conflict)
+    issue_cycles = budget.warp_total / issue.issue_slots_per_cycle
+    # The shared-memory pipe serves one 128-byte beat per cycle; wide
+    # fragment loads occupy it for several beats, so fragment-heavy
+    # (low-CMAR) thread tiles saturate it before FMA throughput — the
+    # mechanism behind Eq. 6's preference for large mt x nt.
+    lsu_cycles = budget.extras.get("lds_beats", budget.warp_lds) * conflict
+    return InnerKernelModel(
+        fma_cycles=fma_cycles,
+        lds_cycles=lds_cycles,
+        issue_cycles=issue_cycles,
+        lsu_cycles=lsu_cycles,
+        conflict_mult=conflict,
+    )

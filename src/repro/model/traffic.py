@@ -1,0 +1,135 @@
+"""Memory-traffic model.
+
+The model charges each thread block the bytes it *stages* into shared
+memory — exactly the accounting of the paper's Eq. 3 — so blocked
+reuse (bigger ``ks``/``ns``) and the V2 packing show up as traffic
+reductions, precisely the effects §III identifies:
+
+* ``A`` staged per block and iteration: ``ms * ks`` words unpacked, or
+  the expected packed/gathered width (``expected_packed_fraction`` of
+  ``ks``) when only the needed columns are touched;
+* ``B'`` staged: ``ws * ns`` words; ``D``: ``ws * qs`` entries;
+* ``col_info``: ``ks`` words per iteration when packing (Listing 3);
+* ``C``: written once.
+
+DRAM vs L2: every operand's staging traffic crosses the L2->SM
+boundary; the DRAM side is reduced only when an operand's *whole*
+footprint fits in the usable L2 fraction and is therefore re-served
+from L2 after the first pass (typically B' + D at high sparsity, or A
+for small problems).  This conservative rule reproduces the paper's
+measured AI placement in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import FP32_BYTES
+from repro.errors import SimulationError
+from repro.gpu.spec import GPUSpec
+from repro.kernels.tiling import TileParams
+from repro.model.calibration import Calibration
+from repro.model.events import TrafficBreakdown
+from repro.model.profiles import ALoadMode, ExecutionProfile
+from repro.model.workload import SparseProblem
+from repro.sparsity.colinfo import expected_packed_fraction
+from repro.utils.intmath import ceil_div
+
+__all__ = ["GridGeometry", "grid_geometry", "compute_traffic"]
+
+
+@dataclass(frozen=True)
+class GridGeometry:
+    """Launch geometry for a blocked kernel."""
+
+    blocks_m: int
+    blocks_n: int
+    iterations: int
+
+    @property
+    def total_blocks(self) -> int:
+        return self.blocks_m * self.blocks_n
+
+
+def grid_geometry(problem: SparseProblem, params: TileParams) -> GridGeometry:
+    """Launch grid and main-loop trip count for a plan."""
+    shape = problem.shape
+    ws = params.ws(problem.pattern)
+    if ws <= 0:
+        raise SimulationError("plan has ws == 0; ks must be >= M")
+    return GridGeometry(
+        blocks_m=ceil_div(shape.m, params.ms),
+        blocks_n=ceil_div(shape.n, params.ns),
+        iterations=max(1, ceil_div(problem.w, ws)),
+    )
+
+
+def compute_traffic(
+    problem: SparseProblem,
+    params: TileParams,
+    spec: GPUSpec,
+    calib: Calibration,
+    profile: ExecutionProfile,
+    *,
+    index_bytes: int = 1,
+) -> tuple[TrafficBreakdown, GridGeometry]:
+    """Compute the launch's :class:`TrafficBreakdown` under a profile."""
+    pattern = problem.pattern
+    shape = problem.shape
+    geom = grid_geometry(problem, params)
+    ws = params.ws(pattern)
+    qs = params.qs(pattern)
+
+    # Per-block, per-iteration staged volumes (bytes).
+    if profile.a_load is ALoadMode.FULL:
+        a_frac = 1.0
+    else:  # PACKED or GATHERED: only the needed columns are touched
+        a_frac = expected_packed_fraction(pattern, qs)
+    a_iter = params.ms * params.ks * a_frac * FP32_BYTES
+    b_iter = ws * params.ns * FP32_BYTES
+    d_iter = ws * qs * index_bytes if profile.uses_index_matrix else 0.0
+    col_iter = params.ks * FP32_BYTES if profile.reads_colinfo else 0.0
+
+    launches = geom.total_blocks * geom.iterations
+    a_staged = a_iter * launches * profile.a_traffic_factor
+    b_staged = b_iter * launches
+    d_staged = d_iter * launches
+    col_staged = col_iter * launches
+    c_written = float(shape.m * shape.n * FP32_BYTES)
+
+    # L2 residency: operands whose whole footprint fits in the usable
+    # L2 fraction are read from DRAM once, then re-served from L2.
+    usable_l2 = spec.l2_bytes * calib.l2_usable_fraction
+    q = pattern.window_count_n(shape.n)
+    b_total = float(problem.w * shape.n * FP32_BYTES)
+    d_total = float(problem.w * q * index_bytes) if profile.uses_index_matrix else 0.0
+    a_total = float(shape.m * shape.k * FP32_BYTES)
+    col_total = col_staged / max(1, geom.iterations)  # one copy per (kb, jb)
+
+    def dram_portion(
+        criterion_bytes: float, own_bytes: float, staged: float
+    ) -> float:
+        """DRAM charge for one operand: when the residency set
+        (``criterion_bytes``, e.g. B' together with D) fits in usable
+        L2, DRAM supplies the operand once (``own_bytes``); otherwise
+        every staged byte misses to DRAM."""
+        if staged <= 0.0:
+            return 0.0
+        if criterion_bytes <= usable_l2:
+            return min(staged, own_bytes)
+        return staged
+
+    return (
+        TrafficBreakdown(
+            a_staged=a_staged,
+            b_staged=b_staged,
+            d_staged=d_staged,
+            colinfo_staged=col_staged,
+            c_written=c_written,
+            a_dram=dram_portion(a_total, a_total, a_staged),
+            b_dram=dram_portion(b_total + d_total, b_total, b_staged),
+            d_dram=dram_portion(b_total + d_total, d_total, d_staged),
+            colinfo_dram=dram_portion(col_total, col_total, col_staged),
+        ),
+        geom,
+    )

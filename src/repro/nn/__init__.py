@@ -1,0 +1,20 @@
+"""Minimal DNN-layer integration — the paper's motivating use case.
+
+N:M sparsity exists to serve pruned network inference (§I); this
+subpackage provides dense and N:M-sparse linear layers, a small MLP,
+and one-shot model pruning so the examples can demonstrate the
+accuracy/performance trade-off end to end without a deep-learning
+framework.
+"""
+
+from repro.nn.linear import Linear, NMSparseLinear
+from repro.nn.mlp import MLP
+from repro.nn.prune import prune_linear, sparsify_mlp
+
+__all__ = [
+    "Linear",
+    "NMSparseLinear",
+    "MLP",
+    "prune_linear",
+    "sparsify_mlp",
+]

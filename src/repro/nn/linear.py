@@ -1,0 +1,139 @@
+"""Dense and N:M-sparse linear layers (NumPy forward pass only).
+
+``NMSparseLinear`` holds its weights in the compressed ``(B', D)``
+representation and computes forward passes with the NM-SpMM kernels,
+so examples exercise the exact code path the paper accelerates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.api import NMSpMM, SparseHandle
+from repro.errors import ShapeError
+from repro.sparsity.config import NMPattern
+from repro.utils.arrays import as_f32, pad_to_multiple
+from repro.utils.validation import check_matrix
+
+__all__ = ["Linear", "NMSparseLinear"]
+
+
+class Linear:
+    """A dense linear layer ``y = x @ W + b`` with ``W[k][n]``."""
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray | None = None):
+        self.weight = as_f32(check_matrix("weight", weight))
+        if bias is not None:
+            bias = np.ascontiguousarray(bias, dtype=np.float32)
+            if bias.shape != (self.weight.shape[1],):
+                raise ShapeError(
+                    f"bias shape {bias.shape} != ({self.weight.shape[1]},)"
+                )
+        self.bias = bias
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_f32(check_matrix("x", x))
+        y = x @ self.weight
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    __call__ = forward
+
+    def parameter_count(self) -> int:
+        count = self.weight.size
+        if self.bias is not None:
+            count += self.bias.size
+        return count
+
+
+class NMSparseLinear:
+    """A linear layer with N:M-pruned, compressed weights.
+
+    Built from a dense layer via :meth:`from_dense` (the
+    prune->compress offline phase); forward passes run the NM-SpMM
+    kernel selected by the layer's plan.
+    """
+
+    def __init__(
+        self,
+        op: NMSpMM,
+        handle: SparseHandle,
+        bias: np.ndarray | None = None,
+        *,
+        original_k: int | None = None,
+        original_n: int | None = None,
+    ):
+        self.op = op
+        self.handle = handle
+        self.bias = bias
+        self.original_k = original_k if original_k is not None else handle.k
+        self.original_n = original_n if original_n is not None else handle.n
+
+    @classmethod
+    def from_dense(
+        cls,
+        layer: Linear,
+        pattern: NMPattern,
+        gpu: str = "A100",
+        version: str = "V3",
+    ) -> "NMSparseLinear":
+        """Prune and compress a dense layer's weights."""
+        op = NMSpMM(pattern, gpu=gpu, version=version)
+        handle = op.prepare(layer.weight)
+        return cls(
+            op,
+            handle,
+            layer.bias,
+            original_k=layer.in_features,
+            original_n=layer.out_features,
+        )
+
+    @property
+    def pattern(self) -> NMPattern:
+        return self.op.pattern
+
+    @property
+    def in_features(self) -> int:
+        return self.original_k
+
+    @property
+    def out_features(self) -> int:
+        return self.original_n
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_f32(check_matrix("x", x))
+        if x.shape[1] != self.original_k:
+            raise ShapeError(
+                f"input has {x.shape[1]} features, layer expects "
+                f"{self.original_k}"
+            )
+        # Pad activations to the compressed k (weights were padded at
+        # compression; padded weight rows are zero so results match).
+        if x.shape[1] < self.handle.k:
+            x = pad_to_multiple(x, 1, self.pattern.m)[:, : self.handle.k]
+        y = self.op.execute(x, self.handle)
+        y = y[:, : self.out_features]
+        if self.bias is not None:
+            y = y + self.bias
+        return y
+
+    __call__ = forward
+
+    def parameter_count(self) -> int:
+        """Stored parameters after compression (values only)."""
+        count = self.handle.compressed.nnz
+        if self.bias is not None:
+            count += self.bias.size
+        return count
+
+    def compression_ratio(self) -> float:
+        return self.handle.compressed.compression_ratio()

@@ -1,0 +1,78 @@
+"""A small MLP whose hidden layers can be swapped for N:M-sparse ones.
+
+Used by the accuracy-trade-off example: train nothing, just compare a
+dense forward pass against the pruned forward pass at several
+sparsity levels (one-shot magnitude pruning, the paper's §II-B
+baseline pipeline without fine-tuning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.linear import Linear, NMSparseLinear
+from repro.utils.arrays import as_f32
+from repro.utils.validation import check_matrix
+
+__all__ = ["MLP", "relu"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+class MLP:
+    """A feed-forward network: Linear -> ReLU -> ... -> Linear."""
+
+    def __init__(self, layers: "list[Linear | NMSparseLinear]"):
+        if not layers:
+            raise ShapeError("MLP needs at least one layer")
+        for prev, nxt in zip(layers, layers[1:]):
+            if prev.out_features != nxt.in_features:
+                raise ShapeError(
+                    f"layer mismatch: {prev.out_features} -> {nxt.in_features}"
+                )
+        self.layers = list(layers)
+
+    @classmethod
+    def random(
+        cls,
+        sizes: "list[int]",
+        seed: int = 0,
+        *,
+        scale: float | None = None,
+    ) -> "MLP":
+        """A randomly initialised dense MLP with He-style scaling."""
+        if len(sizes) < 2:
+            raise ShapeError("sizes needs at least input and output dims")
+        rng = np.random.default_rng(seed)
+        layers: list[Linear] = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            std = scale if scale is not None else (2.0 / fan_in) ** 0.5
+            w = (rng.standard_normal((fan_in, fan_out)) * std).astype(np.float32)
+            b = np.zeros(fan_out, dtype=np.float32)
+            layers.append(Linear(w, b))
+        return cls(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = as_f32(check_matrix("x", x))
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                x = relu(x)
+        return x
+
+    __call__ = forward
+
+    @property
+    def in_features(self) -> int:
+        return self.layers[0].in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.layers[-1].out_features
+
+    def parameter_count(self) -> int:
+        return sum(layer.parameter_count() for layer in self.layers)

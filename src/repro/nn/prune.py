@@ -1,0 +1,48 @@
+"""One-shot model pruning: swap dense layers for N:M-sparse ones.
+
+This is the offline half of the standard pipeline the paper cites
+(pre-training -> pruning -> fine-tuning, §II-B); fine-tuning is out of
+scope for a kernels paper, so the examples measure the raw one-shot
+accuracy drop instead.
+"""
+
+from __future__ import annotations
+
+from repro.nn.linear import Linear, NMSparseLinear
+from repro.nn.mlp import MLP
+from repro.sparsity.config import NMPattern
+
+__all__ = ["prune_linear", "sparsify_mlp"]
+
+
+def prune_linear(
+    layer: Linear,
+    pattern: NMPattern,
+    gpu: str = "A100",
+    version: str = "V3",
+) -> NMSparseLinear:
+    """Prune one dense layer to N:M sparsity (magnitude criterion)."""
+    return NMSparseLinear.from_dense(layer, pattern, gpu=gpu, version=version)
+
+
+def sparsify_mlp(
+    mlp: MLP,
+    pattern: NMPattern,
+    *,
+    gpu: str = "A100",
+    version: str = "V3",
+    skip_last: bool = True,
+) -> MLP:
+    """Replace dense layers with N:M-sparse layers.
+
+    ``skip_last`` keeps the output head dense, the usual practice
+    (heads are small and accuracy-critical).
+    """
+    new_layers: list = []
+    for i, layer in enumerate(mlp.layers):
+        is_last = i == len(mlp.layers) - 1
+        if isinstance(layer, Linear) and not (skip_last and is_last):
+            new_layers.append(prune_linear(layer, pattern, gpu=gpu, version=version))
+        else:
+            new_layers.append(layer)
+    return MLP(new_layers)

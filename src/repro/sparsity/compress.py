@@ -1,0 +1,214 @@
+"""Compression of a pruned matrix B into the paper's ``(B', D)`` pair.
+
+Fig. 1 of the paper: the N retained vectors of every pruning window are
+stored contiguously in a compressed matrix ``B'[w][n]`` (``w = k*N/M``)
+and the index matrix ``D[w][q]`` (``q = n/L``) records, for each
+compressed row ``u`` and column window ``j``, which of the M slots the
+vector came from.  The original row of compressed entry ``(u, j)`` is::
+
+    row = (u // N) * M + D[u][j]
+
+which is the ``u*M/N + D[u][j/L]`` indexing of Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import FP32_BYTES
+from repro.errors import CompressionError, ShapeError
+from repro.sparsity.config import NMPattern
+from repro.sparsity.index_matrix import index_dtype_for, validate_index_matrix
+from repro.sparsity.masks import (
+    vector_mask_to_element_mask,
+    window_indices_from_mask,
+)
+from repro.sparsity.pruning import magnitude_prune
+from repro.utils.arrays import as_f32, pad_to_multiple
+from repro.utils.validation import check_matrix
+
+__all__ = ["NMCompressedMatrix", "compress", "decompress"]
+
+
+@dataclass(frozen=True)
+class NMCompressedMatrix:
+    """A vector-wise N:M compressed weight matrix (``B'`` + ``D``).
+
+    Attributes
+    ----------
+    pattern:
+        The :class:`NMPattern` used for compression.
+    values:
+        ``B'`` of shape ``(w, n)`` float32 — retained vectors, window
+        order preserved.
+    indices:
+        ``D`` of shape ``(w, q)`` in the narrowest unsigned dtype that
+        holds values in ``[0, M)``.
+    k:
+        Row count of the original (padded) dense matrix.
+    """
+
+    pattern: NMPattern
+    values: np.ndarray
+    indices: np.ndarray
+    k: int
+    _cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_matrix("values", self.values, dtype=np.float32)
+        w, n = self.values.shape
+        expected_w = self.pattern.compressed_rows(self.k)
+        if w != expected_w:
+            raise CompressionError(
+                f"values has {w} rows but pattern expects w={expected_w} for k={self.k}"
+            )
+        q = self.pattern.window_count_n(n)
+        if self.indices.shape != (w, q):
+            raise CompressionError(
+                f"indices shape {self.indices.shape} != expected (w={w}, q={q})"
+            )
+        validate_index_matrix(self.pattern, self.indices)
+
+    # ------------------------------------------------------------------
+    # Shape properties
+    # ------------------------------------------------------------------
+    @property
+    def w(self) -> int:
+        """Compressed row count ``k*N/M``."""
+        return self.values.shape[0]
+
+    @property
+    def n(self) -> int:
+        """Column count (shared with the dense original)."""
+        return self.values.shape[1]
+
+    @property
+    def q(self) -> int:
+        """Pruning windows per row, ``n/L``."""
+        return self.indices.shape[1]
+
+    @property
+    def num_windows_k(self) -> int:
+        """Pruning windows along the reduction dimension, ``k/M``."""
+        return self.k // self.pattern.m
+
+    @property
+    def nnz(self) -> int:
+        """Stored (retained) element count, ``w * n``."""
+        return self.values.size
+
+    # ------------------------------------------------------------------
+    # Memory accounting (used by the traffic model and by Fig. 10's AI)
+    # ------------------------------------------------------------------
+    def values_bytes(self) -> int:
+        """Bytes of B' (FP32)."""
+        return self.nnz * FP32_BYTES
+
+    def indices_bytes(self, packed: bool = False) -> int:
+        """Bytes of D.  ``packed=True`` accounts at the theoretical
+        ``ceil(log2 M)``-bit width of §III-B1 instead of the stored
+        dtype width."""
+        if packed:
+            return -(-self.indices.size * self.pattern.index_bits // 8)
+        return self.indices.size * self.indices.dtype.itemsize
+
+    def total_bytes(self) -> int:
+        """Total storage of the compressed representation."""
+        return self.values_bytes() + self.indices_bytes()
+
+    def compression_ratio(self) -> float:
+        """Dense bytes divided by compressed bytes (> 1 is smaller)."""
+        dense = self.k * self.n * FP32_BYTES
+        return dense / self.total_bytes()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def window_indices(self) -> np.ndarray:
+        """Indices reshaped to ``(g, N, q)``."""
+        return self.indices.reshape(self.num_windows_k, self.pattern.n, self.q)
+
+    def vector_mask(self) -> np.ndarray:
+        """Recover the ``(g, M, q)`` vector mask."""
+        if "vector_mask" not in self._cache:
+            from repro.sparsity.masks import mask_from_indices
+
+            self._cache["vector_mask"] = mask_from_indices(
+                self.pattern, self.window_indices().astype(np.int64)
+            )
+        return self._cache["vector_mask"]
+
+    def element_mask(self) -> np.ndarray:
+        """Recover the ``(k, n)`` element mask."""
+        return vector_mask_to_element_mask(self.pattern, self.vector_mask())
+
+    def absolute_rows(self) -> np.ndarray:
+        """``(w, q)`` original-row index of every compressed entry:
+        ``(u // N) * M + D[u][j]`` (the gather rows of Eq. 1)."""
+        if "absolute_rows" not in self._cache:
+            u = np.arange(self.w, dtype=np.int64)[:, None]
+            base = (u // self.pattern.n) * self.pattern.m
+            self._cache["absolute_rows"] = base + self.indices.astype(np.int64)
+        return self._cache["absolute_rows"]
+
+    def to_dense(self) -> np.ndarray:
+        """Decompress back to the pruned dense ``(k, n)`` matrix."""
+        return decompress(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"NMCompressedMatrix(pattern={self.pattern.label()}, "
+            f"w={self.w}, n={self.n}, k={self.k})"
+        )
+
+
+def compress(
+    pattern: NMPattern,
+    b: np.ndarray,
+    vector_mask: np.ndarray | None = None,
+    *,
+    pad: bool = True,
+) -> NMCompressedMatrix:
+    """Compress a dense matrix ``b`` under ``pattern``.
+
+    When ``vector_mask`` is None the mask is derived by vector-wise
+    magnitude pruning (:func:`repro.sparsity.pruning.magnitude_prune`).
+    Vectors *not* selected by the mask are discarded regardless of their
+    values, so callers should prune (or accept pruning) first.
+    """
+    b = as_f32(check_matrix("b", b))
+    if pad:
+        b = pad_to_multiple(b, pattern.m, pattern.vector_length)
+    k, n = b.shape
+    if k % pattern.m != 0 or n % pattern.vector_length != 0:
+        raise ShapeError(
+            f"b shape {b.shape} not divisible by (M={pattern.m}, "
+            f"L={pattern.vector_length}); pass pad=True"
+        )
+    if vector_mask is None:
+        vector_mask = magnitude_prune(pattern, b)
+    indices = window_indices_from_mask(pattern, vector_mask)  # (g, N, q)
+    g, _, q = indices.shape
+    windows = b.reshape(g, pattern.m, q, pattern.vector_length)
+    gathered = np.take_along_axis(windows, indices[:, :, :, None], axis=1)
+    values = np.ascontiguousarray(
+        gathered.reshape(g * pattern.n, q * pattern.vector_length), dtype=np.float32
+    )
+    d = indices.reshape(g * pattern.n, q).astype(index_dtype_for(pattern.m))
+    return NMCompressedMatrix(pattern=pattern, values=values, indices=d, k=k)
+
+
+def decompress(compressed: NMCompressedMatrix) -> np.ndarray:
+    """Expand ``(B', D)`` back to the pruned dense ``(k, n)`` matrix —
+    the exact inverse of :func:`compress` on pruned input."""
+    pattern = compressed.pattern
+    g, q = compressed.num_windows_k, compressed.q
+    values = compressed.values.reshape(g, pattern.n, q, pattern.vector_length)
+    indices = compressed.window_indices().astype(np.int64)
+    out = np.zeros(
+        (g, pattern.m, q, pattern.vector_length), dtype=compressed.values.dtype
+    )
+    np.put_along_axis(out, indices[:, :, :, None], values, axis=1)
+    return out.reshape(compressed.k, compressed.n)

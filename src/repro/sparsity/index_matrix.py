@@ -1,0 +1,115 @@
+"""Index-matrix (D) handling: dtype sizing, validation, layouts.
+
+§III-B1: "the index matrix D only needs to provide the position of
+each retained vector within the pruning window, each element requires
+only ``log2 M`` bits".  We store D in the narrowest NumPy unsigned
+dtype that fits and account the theoretical bit-packed size separately
+for the memory model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError
+from repro.sparsity.config import NMPattern
+from repro.utils.intmath import bits_required
+
+__all__ = [
+    "index_dtype_for",
+    "index_bits",
+    "validate_index_matrix",
+    "absolute_rows",
+    "interleave_layout",
+    "deinterleave_layout",
+]
+
+
+def index_bits(m: int) -> int:
+    """Theoretical bits per D entry for window size ``m``."""
+    return bits_required(m)
+
+
+def index_dtype_for(m: int) -> np.dtype:
+    """Narrowest unsigned dtype holding indices in ``[0, m)``.
+
+    >>> index_dtype_for(32)
+    dtype('uint8')
+    """
+    bits = index_bits(m)
+    if bits <= 8:
+        return np.dtype(np.uint8)
+    if bits <= 16:
+        return np.dtype(np.uint16)
+    return np.dtype(np.uint32)
+
+
+def validate_index_matrix(pattern: NMPattern, d: np.ndarray) -> None:
+    """Validate shape-independent invariants of an index matrix D:
+
+    * entries lie in ``[0, M)``;
+    * within each window (each group of N consecutive rows), the
+      indices of every column window are strictly increasing — the
+      canonical order produced by compression, which the packed kernel
+      relies on for monotone gathers.
+    """
+    if d.ndim != 2:
+        raise CompressionError(f"D must be 2-D, got shape {d.shape}")
+    w = d.shape[0]
+    if w % pattern.n != 0:
+        raise CompressionError(
+            f"D has {w} rows which is not a multiple of N={pattern.n}"
+        )
+    if d.size == 0:
+        return
+    if int(d.min()) < 0 or int(d.max()) >= pattern.m:
+        raise CompressionError(
+            f"D entries must lie in [0, M={pattern.m}), got range "
+            f"[{int(d.min())}, {int(d.max())}]"
+        )
+    if pattern.n > 1:
+        grouped = d.reshape(w // pattern.n, pattern.n, d.shape[1]).astype(np.int64)
+        if not np.all(np.diff(grouped, axis=1) > 0):
+            raise CompressionError(
+                "D window indices must be strictly increasing within each window"
+            )
+
+
+def absolute_rows(pattern: NMPattern, d: np.ndarray) -> np.ndarray:
+    """``(w, q)`` original-row indices: ``(u // N) * M + D[u][j]``."""
+    u = np.arange(d.shape[0], dtype=np.int64)[:, None]
+    return (u // pattern.n) * pattern.m + d.astype(np.int64)
+
+
+def interleave_layout(pattern: NMPattern, d: np.ndarray, group: int = 4) -> np.ndarray:
+    """Layout transform of §III-C1 / Fig. 4 ("transform the data layout
+    of matrix D to reduce the number of global memory transactions").
+
+    Rows of D are re-ordered so that the ``group`` rows a warp fetches
+    together become contiguous: rows are taken in round-robin order
+    across ``group`` interleaved strips.  The transform is a pure
+    permutation; :func:`deinterleave_layout` inverts it.
+    """
+    w = d.shape[0]
+    if group <= 1 or w % group != 0:
+        return d.copy()
+    perm = interleave_permutation(w, group)
+    return d[perm]
+
+
+def deinterleave_layout(pattern: NMPattern, d: np.ndarray, group: int = 4) -> np.ndarray:
+    """Inverse of :func:`interleave_layout`."""
+    w = d.shape[0]
+    if group <= 1 or w % group != 0:
+        return d.copy()
+    perm = interleave_permutation(w, group)
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(w)
+    return d[inverse]
+
+
+def interleave_permutation(w: int, group: int) -> np.ndarray:
+    """Row permutation used by :func:`interleave_layout`: element ``i``
+    of the result names the source row placed at position ``i``."""
+    strip = w // group
+    return (np.arange(w) % group) * strip + (np.arange(w) // group)

@@ -1,0 +1,149 @@
+"""Vector-wise N:M mask construction and validation.
+
+Masks come in two granularities:
+
+* **vector masks** of shape ``(g, M, q)`` — one boolean per vector slot,
+  where ``g = k/M`` windows along the reduction dimension and
+  ``q = n/L`` pruning windows along the row direction;
+* **element masks** of shape ``(k, n)`` — the expansion to B's layout.
+
+``window_indices`` of shape ``(g, N, q)`` hold, per window, the sorted
+positions (in ``[0, M)``) of the retained vectors; stacking them along
+``g`` yields exactly the paper's index matrix ``D[w][q]`` with
+``w = g*N`` (Fig. 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PatternError, ShapeError
+from repro.sparsity.config import NMPattern
+from repro.utils.validation import check_matrix
+
+__all__ = [
+    "random_nm_mask",
+    "mask_from_indices",
+    "vector_mask_to_element_mask",
+    "is_valid_nm_mask",
+    "window_indices_from_mask",
+]
+
+
+def _window_geometry(pattern: NMPattern, k: int, n: int) -> tuple[int, int]:
+    """Return ``(g, q)`` window counts, requiring exact divisibility."""
+    if k % pattern.m != 0:
+        raise ShapeError(f"k={k} must be a multiple of M={pattern.m} (pad first)")
+    if n % pattern.vector_length != 0:
+        raise ShapeError(
+            f"n={n} must be a multiple of L={pattern.vector_length} (pad first)"
+        )
+    return k // pattern.m, n // pattern.vector_length
+
+
+def random_nm_mask(
+    pattern: NMPattern,
+    k: int,
+    n: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Draw a uniformly random valid vector mask of shape ``(g, M, q)``.
+
+    Each window independently keeps a uniformly random subset of N of
+    its M vector slots — the distribution the paper's benchmarks use
+    for synthetic weights.
+    """
+    g, q = _window_geometry(pattern, k, n)
+    rng = rng if rng is not None else np.random.default_rng()
+    # Argsort of random keys picks N distinct slots per (window, column
+    # window) pair without a Python loop.
+    keys = rng.random((g, pattern.m, q))
+    order = np.argsort(keys, axis=1)
+    ranks = np.argsort(order, axis=1)
+    return ranks < pattern.n
+
+
+def mask_from_indices(pattern: NMPattern, indices: np.ndarray) -> np.ndarray:
+    """Build a ``(g, M, q)`` vector mask from ``(g, N, q)`` window
+    indices (inverse of :func:`window_indices_from_mask`)."""
+    indices = np.asarray(indices)
+    if indices.ndim != 3 or indices.shape[1] != pattern.n:
+        raise ShapeError(
+            f"indices must have shape (g, N={pattern.n}, q), got {indices.shape}"
+        )
+    if indices.size and (indices.min() < 0 or indices.max() >= pattern.m):
+        raise PatternError(
+            f"window indices must lie in [0, M={pattern.m}), "
+            f"got range [{indices.min()}, {indices.max()}]"
+        )
+    g, _, q = indices.shape
+    mask = np.zeros((g, pattern.m, q), dtype=bool)
+    gi = np.arange(g)[:, None, None]
+    qi = np.arange(q)[None, None, :]
+    mask[gi, indices, qi] = True
+    # Duplicate indices within a window would silently drop a vector.
+    if mask.sum() != indices.size:
+        raise PatternError("window indices contain duplicates within a window")
+    return mask
+
+
+def vector_mask_to_element_mask(pattern: NMPattern, vector_mask: np.ndarray) -> np.ndarray:
+    """Expand a ``(g, M, q)`` vector mask to a ``(k, n)`` element mask."""
+    vector_mask = np.asarray(vector_mask, dtype=bool)
+    if vector_mask.ndim != 3 or vector_mask.shape[1] != pattern.m:
+        raise ShapeError(
+            f"vector_mask must have shape (g, M={pattern.m}, q), got {vector_mask.shape}"
+        )
+    g, _, q = vector_mask.shape
+    k, n = g * pattern.m, q * pattern.vector_length
+    # (g, M, q) -> (g*M, q) -> repeat each column-window L times -> (k, n)
+    flat = vector_mask.reshape(k, q)
+    return np.repeat(flat, pattern.vector_length, axis=1).reshape(k, n)
+
+
+def window_indices_from_mask(pattern: NMPattern, vector_mask: np.ndarray) -> np.ndarray:
+    """Extract sorted ``(g, N, q)`` window indices from a vector mask.
+
+    Raises :class:`PatternError` if any window does not keep exactly N
+    vectors.
+    """
+    vector_mask = np.asarray(vector_mask, dtype=bool)
+    if vector_mask.ndim != 3 or vector_mask.shape[1] != pattern.m:
+        raise ShapeError(
+            f"vector_mask must have shape (g, M={pattern.m}, q), got {vector_mask.shape}"
+        )
+    counts = vector_mask.sum(axis=1)
+    if not np.all(counts == pattern.n):
+        bad = np.argwhere(counts != pattern.n)
+        gi, qi = bad[0]
+        raise PatternError(
+            f"window (g={gi}, q={qi}) keeps {counts[gi, qi]} vectors, "
+            f"expected N={pattern.n}"
+        )
+    g, m, q = vector_mask.shape
+    # argsort(~mask) is stable, so kept slots (False keys) come first in
+    # ascending position order.
+    order = np.argsort(~vector_mask, axis=1, kind="stable")
+    return order[:, : pattern.n, :].astype(np.int64)
+
+
+def is_valid_nm_mask(pattern: NMPattern, element_mask: np.ndarray) -> bool:
+    """Check whether a ``(k, n)`` element mask obeys the vector-wise
+    N:M constraint of ``pattern``.
+
+    Validity requires (a) each L-wide vector is kept or dropped as a
+    unit and (b) every (M-vector, L-column) window keeps exactly N.
+    """
+    element_mask = check_matrix("element_mask", np.asarray(element_mask, dtype=bool))
+    k, n = element_mask.shape
+    if k % pattern.m != 0 or n % pattern.vector_length != 0:
+        return False
+    g = k // pattern.m
+    q = n // pattern.vector_length
+    windows = element_mask.reshape(g, pattern.m, q, pattern.vector_length)
+    # (a) constant within each vector
+    if not np.all(windows.all(axis=3) == windows.any(axis=3)):
+        return False
+    # (b) exactly N kept per window
+    vector_mask = windows.any(axis=3)
+    return bool(np.all(vector_mask.sum(axis=1) == pattern.n))

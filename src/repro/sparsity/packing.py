@@ -1,0 +1,54 @@
+"""Online packing of A tiles (the high-sparsity load path).
+
+Listing 3 ``LoadTileByColInfo``: instead of staging the full
+``ms x ks`` slice of A into shared memory, the packed kernel gathers
+only the columns named by ``col_info``, shrinking the footprint toward
+``ms x ws`` and eliminating redundant global reads of A (§III-C1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsity.colinfo import expected_packed_fraction
+from repro.sparsity.config import NMPattern
+from repro.utils.validation import check_matrix
+
+__all__ = ["pack_a_tile", "packed_footprint_columns", "packed_tile_bytes"]
+
+
+def pack_a_tile(a_tile: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Gather the ``cols`` columns of an A tile.
+
+    ``a_tile`` is the ``(ms, ks)`` slice of A for the current block and
+    ``cols`` the sorted tile-relative column list from
+    :func:`repro.sparsity.colinfo.query_col_info`.
+    """
+    check_matrix("a_tile", a_tile)
+    cols = np.asarray(cols)
+    if cols.ndim != 1:
+        raise ValueError(f"cols must be 1-D, got shape {cols.shape}")
+    if cols.size and (cols.min() < 0 or cols.max() >= a_tile.shape[1]):
+        raise ValueError(
+            f"cols out of range [0, {a_tile.shape[1]}): "
+            f"[{cols.min()}, {cols.max()}]"
+        )
+    return np.ascontiguousarray(a_tile[:, cols])
+
+
+def packed_footprint_columns(pattern: NMPattern, ks: int, qs: int) -> int:
+    """Expected packed column count for a ``(ks, qs)`` tile under
+    random window patterns — the performance model's estimate of the
+    packed A footprint (measured widths come from
+    :class:`~repro.sparsity.colinfo.ColumnInfo`)."""
+    if ks % pattern.m != 0:
+        raise ValueError(f"ks={ks} must be a multiple of M={pattern.m}")
+    frac = expected_packed_fraction(pattern, qs)
+    return max(1, round(ks * frac))
+
+
+def packed_tile_bytes(
+    pattern: NMPattern, ms: int, ks: int, qs: int, *, dtype_bytes: int = 4
+) -> int:
+    """Expected bytes of a packed A tile in shared memory."""
+    return ms * packed_footprint_columns(pattern, ks, qs) * dtype_bytes

@@ -1,0 +1,69 @@
+"""Vector-wise magnitude pruning.
+
+Given a dense weight matrix ``B[k][n]`` and an :class:`NMPattern`, keep
+in every pruning window the N vectors with the largest importance and
+zero the rest.  This is the standard one-shot magnitude criterion the
+N:M literature uses (Mishra et al. 2021; paper §II-B) lifted to the
+vector granularity of Fig. 1: a vector's importance is the sum of the
+squared magnitudes of its L elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsity.config import NMPattern
+from repro.sparsity.masks import vector_mask_to_element_mask
+from repro.utils.arrays import as_f32, pad_to_multiple
+from repro.utils.validation import check_matrix
+
+__all__ = ["magnitude_prune", "prune_dense", "vector_importance"]
+
+
+def vector_importance(pattern: NMPattern, b: np.ndarray) -> np.ndarray:
+    """Per-vector importance scores of shape ``(g, M, q)``.
+
+    Importance is the L2 energy of each L-element vector; ties are
+    broken towards the lower slot index (stable top-N), matching a
+    deterministic pruning pass.
+    """
+    b = check_matrix("b", b)
+    k, n = b.shape
+    g = k // pattern.m
+    q = n // pattern.vector_length
+    if g * pattern.m != k or q * pattern.vector_length != n:
+        raise ValueError(
+            f"b shape {b.shape} not divisible by (M={pattern.m}, L={pattern.vector_length})"
+        )
+    windows = b.reshape(g, pattern.m, q, pattern.vector_length)
+    return np.square(windows.astype(np.float64)).sum(axis=3)
+
+
+def magnitude_prune(pattern: NMPattern, b: np.ndarray) -> np.ndarray:
+    """Return the ``(g, M, q)`` vector mask keeping the N highest-energy
+    vectors in every pruning window of ``b``."""
+    scores = vector_importance(pattern, b)
+    if pattern.n == pattern.m:
+        return np.ones_like(scores, dtype=bool)
+    # Stable selection: sort by (-score, slot) so equal scores keep the
+    # earliest slots, then mark the first N of each window.
+    order = np.argsort(-scores, axis=1, kind="stable")
+    ranks = np.argsort(order, axis=1, kind="stable")
+    return ranks < pattern.n
+
+
+def prune_dense(
+    pattern: NMPattern, b: np.ndarray, *, pad: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-shot magnitude pruning of a dense matrix.
+
+    Returns ``(pruned, vector_mask)`` where ``pruned`` is ``b`` (padded
+    to window multiples when ``pad=True``) with dropped vectors zeroed,
+    and ``vector_mask`` is the ``(g, M, q)`` boolean mask.
+    """
+    b = as_f32(check_matrix("b", b))
+    if pad:
+        b = pad_to_multiple(b, pattern.m, pattern.vector_length)
+    mask = magnitude_prune(pattern, b)
+    element_mask = vector_mask_to_element_mask(pattern, mask)
+    return b * element_mask.astype(b.dtype), mask

@@ -1,0 +1,69 @@
+"""Pruning quality metrics (paper Eq. 2 and standard companions).
+
+Eq. 2 defines the *confusion matrix* ``W[i][j] = |C'[i][j] - C[i][j]|
+/ (m*n)`` measuring how far the sparse product drifts from the dense
+one.  The library also reports the standard relative-error and
+energy-retention summaries used when choosing ``L`` (the paper notes
+smaller ``L`` improves N:M network accuracy, §III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparsity.config import NMPattern
+from repro.sparsity.masks import vector_mask_to_element_mask
+from repro.utils.validation import check_matrix
+
+__all__ = [
+    "confusion_matrix",
+    "mean_abs_error",
+    "relative_frobenius_error",
+    "pruning_energy_kept",
+]
+
+
+def confusion_matrix(c_sparse: np.ndarray, c_dense: np.ndarray) -> np.ndarray:
+    """Eq. 2: elementwise ``|C' - C| / (m*n)``."""
+    check_matrix("c_sparse", c_sparse)
+    check_matrix("c_dense", c_dense)
+    if c_sparse.shape != c_dense.shape:
+        raise ValueError(
+            f"shape mismatch: {c_sparse.shape} vs {c_dense.shape}"
+        )
+    m, n = c_dense.shape
+    return np.abs(c_sparse.astype(np.float64) - c_dense.astype(np.float64)) / (m * n)
+
+
+def mean_abs_error(c_sparse: np.ndarray, c_dense: np.ndarray) -> float:
+    """Mean absolute deviation between sparse and dense products."""
+    check_matrix("c_sparse", c_sparse)
+    return float(
+        np.abs(c_sparse.astype(np.float64) - c_dense.astype(np.float64)).mean()
+    )
+
+
+def relative_frobenius_error(c_sparse: np.ndarray, c_dense: np.ndarray) -> float:
+    """``||C' - C||_F / ||C||_F`` (0 when the products agree)."""
+    num = np.linalg.norm(
+        c_sparse.astype(np.float64) - c_dense.astype(np.float64)
+    )
+    den = np.linalg.norm(c_dense.astype(np.float64))
+    if den == 0.0:
+        return 0.0 if num == 0.0 else float("inf")
+    return float(num / den)
+
+
+def pruning_energy_kept(
+    pattern: NMPattern, b: np.ndarray, vector_mask: np.ndarray
+) -> float:
+    """Fraction of ``||B||_F^2`` retained by a vector mask — the
+    quantity magnitude pruning maximises per window."""
+    check_matrix("b", b)
+    element_mask = vector_mask_to_element_mask(pattern, vector_mask)
+    b64 = b.astype(np.float64)
+    total = float(np.square(b64).sum())
+    if total == 0.0:
+        return 1.0
+    kept = float(np.square(b64 * element_mask).sum())
+    return kept / total

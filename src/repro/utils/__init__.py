@@ -1,0 +1,55 @@
+"""Small dependency-free helpers shared across the library."""
+
+from repro.utils.intmath import (
+    ceil_div,
+    round_up,
+    round_down,
+    is_power_of_two,
+    ilog2_ceil,
+    bits_required,
+    geomean,
+    clamp,
+)
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_in_range,
+    check_multiple_of,
+    check_divides,
+    check_matrix,
+    check_fraction,
+)
+from repro.utils.arrays import (
+    pad_to_multiple,
+    iter_tiles,
+    tile_count,
+    split_into_windows,
+    as_f32,
+)
+from repro.utils.tables import TextTable, format_float, format_si
+
+__all__ = [
+    "ceil_div",
+    "round_up",
+    "round_down",
+    "is_power_of_two",
+    "ilog2_ceil",
+    "bits_required",
+    "geomean",
+    "clamp",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_range",
+    "check_multiple_of",
+    "check_divides",
+    "check_matrix",
+    "check_fraction",
+    "pad_to_multiple",
+    "iter_tiles",
+    "tile_count",
+    "split_into_windows",
+    "as_f32",
+    "TextTable",
+    "format_float",
+    "format_si",
+]

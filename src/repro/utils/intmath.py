@@ -1,0 +1,126 @@
+"""Integer and scalar math helpers used throughout the library.
+
+These are the small building blocks of the paper's formulae: ceiling
+divisions for tile counts (``w = ceil(k*N/M)``, ``q = ceil(n/L)``),
+power-of-two checks for blocking parameters, and bit-width sizing for
+the index matrix D (``log2 M`` bits per entry, §III-B1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+__all__ = [
+    "ceil_div",
+    "round_up",
+    "round_down",
+    "is_power_of_two",
+    "ilog2_ceil",
+    "bits_required",
+    "geomean",
+    "clamp",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``ceil(a / b)`` for non-negative ``a`` and positive ``b``.
+
+    >>> ceil_div(7, 4)
+    2
+    >>> ceil_div(8, 4)
+    2
+    """
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``.
+
+    >>> round_up(5, 4)
+    8
+    """
+    return ceil_div(value, multiple) * multiple
+
+
+def round_down(value: int, multiple: int) -> int:
+    """Round ``value`` down to the nearest multiple of ``multiple``.
+
+    >>> round_down(5, 4)
+    4
+    """
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return (value // multiple) * multiple
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff ``value`` is a positive power of two.
+
+    >>> is_power_of_two(32)
+    True
+    >>> is_power_of_two(0)
+    False
+    """
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2_ceil(value: int) -> int:
+    """Return ``ceil(log2(value))`` for a positive integer.
+
+    >>> ilog2_ceil(32)
+    5
+    >>> ilog2_ceil(33)
+    6
+    """
+    if value <= 0:
+        raise ValueError(f"ilog2_ceil requires a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def bits_required(num_values: int) -> int:
+    """Bits needed to encode ``num_values`` distinct values (at least 1).
+
+    The index matrix D stores positions within an M-slot pruning window,
+    so each entry needs ``bits_required(M)`` bits (paper §III-B1).
+
+    >>> bits_required(4)
+    2
+    >>> bits_required(1)
+    1
+    """
+    if num_values <= 0:
+        raise ValueError(f"num_values must be positive, got {num_values}")
+    return max(1, ilog2_ceil(num_values))
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; the paper's summary speedups
+    across the 100-point dataset are geometric means.
+
+    >>> round(geomean([1.0, 4.0]), 6)
+    2.0
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geomean of an empty sequence is undefined")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to the closed interval [low, high].
+
+    >>> clamp(5.0, 0.0, 1.0)
+    1.0
+    """
+    if low > high:
+        raise ValueError(f"clamp bounds inverted: [{low}, {high}]")
+    return max(low, min(high, value))

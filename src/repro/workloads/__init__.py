@@ -1,0 +1,35 @@
+"""Evaluation workloads: the paper's datasets and generators."""
+
+from repro.workloads.llama import (
+    LlamaModel,
+    LLAMA_MODELS,
+    llama_layer_shapes,
+    build_paper_dataset,
+    DataPoint,
+)
+from repro.workloads.cases import (
+    TABLE_II_CASES,
+    PAPER_SPARSITY_PATTERNS,
+    paper_patterns,
+    table_ii_case,
+)
+from repro.workloads.synthetic import (
+    random_dense,
+    random_sparse_problem,
+    make_problem_suite,
+)
+
+__all__ = [
+    "LlamaModel",
+    "LLAMA_MODELS",
+    "llama_layer_shapes",
+    "build_paper_dataset",
+    "DataPoint",
+    "TABLE_II_CASES",
+    "PAPER_SPARSITY_PATTERNS",
+    "paper_patterns",
+    "table_ii_case",
+    "random_dense",
+    "random_sparse_problem",
+    "make_problem_suite",
+]

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsity.config import NMPattern
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def pattern_2_4() -> NMPattern:
+    """The canonical Fig. 1 pattern: 2:4 with L=4."""
+    return NMPattern(2, 4, vector_length=4)
+
+
+@pytest.fixture
+def pattern_4_32() -> NMPattern:
+    """The paper's 87.5%-sparsity benchmark pattern."""
+    return NMPattern(4, 32, vector_length=32)
+
+
+@pytest.fixture
+def pattern_16_32() -> NMPattern:
+    """The paper's 50%-sparsity benchmark pattern."""
+    return NMPattern(16, 32, vector_length=32)
+
+
+def make_dense(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    return rng.standard_normal((rows, cols)).astype(np.float32)

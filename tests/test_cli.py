@@ -1,0 +1,58 @@
+"""Unit tests for the CLI entry points."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig7_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.experiment == "fig7"
+        assert args.gpus == ["A100", "3090", "4090"]
+
+    def test_fig9_options(self):
+        args = build_parser().parse_args(
+            ["fig9", "--gpu", "3090", "--limit", "5", "--per-point"]
+        )
+        assert args.gpu == "3090"
+        assert args.limit == 5
+        assert args.per_point
+
+    def test_version(self):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+
+class TestMain:
+    def test_fig7_single_gpu(self, capsys):
+        assert main(["fig7", "--gpus", "A100"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "A100" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "Fig. 8" in capsys.readouterr().out
+
+    def test_fig9_limited(self, capsys):
+        assert main(["fig9", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "geomean speedup" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "roofline" in capsys.readouterr().out.lower()
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

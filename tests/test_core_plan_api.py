@@ -1,0 +1,194 @@
+"""Unit tests for plan building and the NMSpMM facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import NMSpMM, SparseHandle, nm_spmm
+from repro.core.pipeline_design import design_pipeline
+from repro.core.plan import build_plan
+from repro.core.strategy import LoadStrategy
+from repro.errors import PlanError, ShapeError
+from repro.kernels.blocked import KernelTrace
+from repro.sparsity.config import NMPattern
+from repro.workloads.synthetic import random_dense
+
+
+class TestBuildPlan:
+    def test_default_plan(self):
+        plan = build_plan(4096, 4096, 4096, NMPattern(4, 32, 32), "A100")
+        assert plan.uses_packing
+        assert plan.params.ks > 0
+        assert plan.version.value == "V3"
+
+    def test_moderate_no_packing(self):
+        plan = build_plan(4096, 4096, 4096, NMPattern(16, 32, 32), "A100")
+        assert plan.strategy is LoadStrategy.NON_PACKING
+
+    def test_v1_never_packs(self):
+        plan = build_plan(
+            4096, 4096, 4096, NMPattern(4, 32, 32), "A100", version="V1"
+        )
+        assert plan.strategy is LoadStrategy.NON_PACKING
+
+    def test_simulate_and_analyze(self):
+        plan = build_plan(1024, 1024, 1024, NMPattern(8, 32, 32), "A100")
+        rep = plan.simulate()
+        assert rep.seconds > 0
+        res = plan.analyze()
+        assert res.ai_elements > 0
+
+    def test_describe(self):
+        plan = build_plan(512, 512, 512, NMPattern(8, 32, 32), "A100")
+        assert "V3" in plan.describe()
+
+    def test_ws_qs(self):
+        plan = build_plan(512, 512, 512, NMPattern(8, 32, 32), "A100")
+        assert plan.ws == plan.params.ws(plan.pattern)
+        assert plan.qs == plan.params.qs(plan.pattern)
+
+
+class TestPipelineDesign:
+    def test_moderate_compute_covers(self):
+        d = design_pipeline(
+            LoadStrategy.NON_PACKING, lg2s_cycles=10, compute_cycles=50
+        )
+        assert d.covering_stage == "compute covers load"
+        assert d.iteration_cycles() == 50
+
+    def test_high_load_covers(self):
+        d = design_pipeline(
+            LoadStrategy.PACKING,
+            lg2s_cycles=60,
+            compute_cycles=20,
+            colinfo_cycles=10,
+        )
+        assert d.covering_stage == "load covers compute"
+        assert d.iteration_cycles() == 70
+
+    def test_serial_adds(self):
+        d = design_pipeline(
+            LoadStrategy.NON_PACKING,
+            lg2s_cycles=10,
+            compute_cycles=50,
+            double_buffered=False,
+        )
+        assert d.iteration_cycles() == 60
+
+    def test_colinfo_requires_packing(self):
+        with pytest.raises(PlanError):
+            design_pipeline(
+                LoadStrategy.NON_PACKING,
+                lg2s_cycles=1,
+                compute_cycles=1,
+                colinfo_cycles=5,
+            )
+
+    def test_negative_rejected(self):
+        with pytest.raises(PlanError):
+            design_pipeline(
+                LoadStrategy.NON_PACKING, lg2s_cycles=-1, compute_cycles=1
+            )
+
+
+class TestNMSpMMFacade:
+    @pytest.fixture
+    def op_and_data(self, rng):
+        pattern = NMPattern(2, 8, vector_length=4)
+        op = NMSpMM(pattern)
+        b = random_dense(64, 48, rng)
+        a = random_dense(16, 64, rng)
+        return op, a, b
+
+    def test_prepare_execute(self, op_and_data):
+        op, a, b = op_and_data
+        handle = op.prepare(b)
+        out = op.execute(a, handle)
+        # result equals dense product on the pruned weights
+        np.testing.assert_allclose(
+            out, a @ handle.dense(), rtol=2e-5, atol=2e-5
+        )
+
+    def test_handle_properties(self, op_and_data):
+        op, a, b = op_and_data
+        handle = op.prepare(b)
+        assert handle.k == 64
+        assert handle.n == 48
+        assert handle.pattern == op.pattern
+
+    def test_colinfo_cached(self, op_and_data):
+        op, a, b = op_and_data
+        handle = op.prepare(b)
+        c1 = handle.col_info(8, 16)
+        c2 = handle.col_info(8, 16)
+        assert c1 is c2
+
+    def test_already_pruned(self, op_and_data, rng):
+        op, a, b = op_and_data
+        from repro.sparsity.pruning import prune_dense
+
+        pruned, _ = prune_dense(op.pattern, b)
+        handle = op.prepare(pruned, already_pruned=True)
+        out = op.execute(a, handle)
+        np.testing.assert_allclose(out, a @ pruned, rtol=2e-5, atol=2e-5)
+
+    def test_short_a_rejected(self, op_and_data):
+        op, a, b = op_and_data
+        handle = op.prepare(b)
+        with pytest.raises(ShapeError):
+            op.execute(a[:, :32], handle)
+
+    def test_trace_populated(self, op_and_data):
+        op, a, b = op_and_data
+        handle = op.prepare(b)
+        trace = KernelTrace()
+        op.execute(a, handle, trace=trace)
+        assert trace.blocks > 0
+        assert trace.fma_ops > 0
+
+    def test_predict_with_handle(self, op_and_data):
+        op, a, b = op_and_data
+        handle = op.prepare(b)
+        rep = op.predict(512, handle=handle)
+        assert rep.seconds > 0
+
+    def test_predict_explicit_dims(self):
+        op = NMSpMM(NMPattern(8, 32, 32))
+        rep = op.predict(1024, 2048, 2048, gpu="3090")
+        assert rep.gpu == "RTX 3090"
+
+    def test_predict_requires_dims(self):
+        op = NMSpMM(NMPattern(8, 32, 32))
+        with pytest.raises(PlanError):
+            op.predict(1024)
+
+    def test_moderate_sparsity_uses_blocked_path(self, rng):
+        """At 50% the facade must not run the packed kernel."""
+        pattern = NMPattern(4, 8, vector_length=4)  # 50%
+        op = NMSpMM(pattern)
+        handle = op.prepare(random_dense(32, 32, rng))
+        plan = op.plan_for(16, handle)
+        assert not plan.uses_packing
+
+    def test_one_shot_helper(self, rng):
+        pattern = NMPattern(2, 8, vector_length=4)
+        a = random_dense(16, 32, rng)
+        b = random_dense(32, 16, rng)
+        out = nm_spmm(a, b, pattern)
+        from repro.sparsity.pruning import prune_dense
+
+        pruned, _ = prune_dense(pattern, b)
+        np.testing.assert_allclose(out, a @ pruned, rtol=2e-5, atol=2e-5)
+
+    def test_high_sparsity_packed_path_matches(self, rng):
+        """At 87.5% the facade runs the packed kernel; results match."""
+        pattern = NMPattern(4, 32, vector_length=8)
+        op = NMSpMM(pattern)
+        b = random_dense(128, 64, rng)
+        a = random_dense(16, 128, rng)
+        handle = op.prepare(b)
+        plan = op.plan_for(16, handle)
+        assert plan.uses_packing
+        out = op.execute(a, handle)
+        np.testing.assert_allclose(
+            out, a @ handle.dense(), rtol=2e-5, atol=2e-5
+        )

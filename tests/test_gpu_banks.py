@@ -1,0 +1,84 @@
+"""Unit and property tests for the bank-conflict simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.banks import bank_conflict_degree, conflict_multiplier, warp_transactions
+
+
+class TestConflictDegree:
+    def test_unit_stride_free(self):
+        assert bank_conflict_degree(np.arange(32)) == 1
+
+    def test_stride_2(self):
+        assert bank_conflict_degree(np.arange(32) * 2) == 2
+
+    def test_stride_32_worst(self):
+        assert bank_conflict_degree(np.arange(32) * 32) == 32
+
+    def test_broadcast_free(self):
+        assert bank_conflict_degree(np.zeros(32, dtype=int)) == 1
+
+    def test_partial_broadcast(self):
+        # 16 lanes on word 0, 16 on word 32 (same bank, 2 words)
+        addrs = np.array([0] * 16 + [32] * 16)
+        assert bank_conflict_degree(addrs) == 2
+
+    def test_empty(self):
+        assert bank_conflict_degree(np.array([], dtype=int)) == 1
+
+    @given(st.integers(1, 64))
+    def test_stride_formula(self, stride):
+        """A stride-s warp access has conflict degree gcd(s, 32):
+        gcd lanes land in each touched bank, each with a distinct word.
+        Odd strides are conflict-free; powers of two are the worst."""
+        import math
+
+        degree = bank_conflict_degree(np.arange(32) * stride)
+        assert degree == math.gcd(stride, 32)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=32))
+    def test_degree_bounds(self, addrs):
+        d = bank_conflict_degree(np.array(addrs))
+        assert 1 <= d <= 32
+
+
+class TestWarpTransactions:
+    def test_coalesced_single(self):
+        assert warp_transactions(np.arange(32)) == 1
+
+    def test_lds128_coalesced(self):
+        # 32 lanes x 4 words contiguous = 128 words = 4 transactions
+        addrs = np.arange(32) * 4
+        assert warp_transactions(addrs, words_per_thread=4) == 4
+
+    def test_worst_case(self):
+        addrs = np.arange(32) * 32
+        assert warp_transactions(addrs) == 32
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(st.integers(0, 4096), min_size=32, max_size=32),
+        st.sampled_from([1, 2, 4]),
+    )
+    def test_transactions_at_least_ideal(self, addrs, width):
+        t = warp_transactions(np.array(addrs), words_per_thread=width)
+        ideal = max(1, 32 * width // 32)
+        assert t >= width  # at least one phase per word column
+        assert t <= 32 * width
+
+
+class TestMultiplier:
+    def test_free_access(self):
+        assert conflict_multiplier(np.arange(32)) == pytest.approx(1.0)
+
+    def test_worst_access(self):
+        assert conflict_multiplier(np.arange(32) * 32) == pytest.approx(32.0)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 4096), min_size=32, max_size=32))
+    def test_multiplier_at_least_one(self, addrs):
+        assert conflict_multiplier(np.array(addrs)) >= 1.0

@@ -1,0 +1,82 @@
+"""Unit tests for the blocking-parameter autotuner."""
+
+import pytest
+
+from repro.errors import AutotuneError
+from repro.kernels.autotune import AutotuneResult, autotune, enumerate_candidates
+from repro.kernels.tiling import TileParams
+from repro.sparsity.config import NMPattern
+
+
+class TestEnumeration:
+    def test_candidates_valid(self):
+        cands = enumerate_candidates()
+        assert len(cands) > 50
+        for c in cands:
+            assert c.ms % 32 == 0 and c.ns % 32 == 0
+            assert c.threads_per_block <= 1024
+            rows, cols = c.threads_per_warp_grid
+            assert rows * cols == 32
+
+    def test_power_of_two_blocks_only(self):
+        for c in enumerate_candidates():
+            assert c.ms in (32, 64, 128)
+            assert c.ns in (32, 64, 128)
+
+    def test_no_duplicates(self):
+        cands = enumerate_candidates()
+        assert len(cands) == len(set(cands))
+
+    def test_max_block_respected(self):
+        for c in enumerate_candidates(max_block=64):
+            assert c.ms <= 64 and c.ns <= 64
+
+    def test_table_i_configs_in_space(self):
+        """Every Table I row must be enumerable."""
+        from repro.kernels.tiling import TABLE_I
+
+        cands = set(enumerate_candidates())
+        for params in TABLE_I.values():
+            assert params in cands
+
+
+class TestAutotune:
+    @pytest.fixture(scope="class")
+    def result(self) -> AutotuneResult:
+        return autotune(512, 512, 512, NMPattern(16, 32, 32), "A100")
+
+    def test_returns_resolved_ks(self, result):
+        assert result.best.ks > 0
+
+    def test_ranking_sorted(self, result):
+        times = [s for _, s in result.ranking]
+        assert times == sorted(times)
+
+    def test_best_is_first(self, result):
+        assert result.ranking[0][0] == result.best
+        assert result.ranking[0][1] == result.predicted_seconds
+
+    def test_top_limits(self, result):
+        assert len(result.top(3)) == 3
+
+    def test_candidates_evaluated(self, result):
+        assert result.candidates_evaluated > 50
+
+    def test_small_problem_picks_table_i_small_block(self, result):
+        """The small exemplar must land on Table I's 32x32 block."""
+        assert (result.best.ms, result.best.ns) == (32, 32)
+
+    def test_large_problem_picks_table_i_large_block(self):
+        res = autotune(4096, 4096, 4096, NMPattern(16, 32, 32), "A100")
+        assert (res.best.ms, res.best.ns) == (64, 128)
+
+    def test_best_beats_naive(self, result):
+        """The winner must be at least as fast as an arbitrary valid
+        configuration."""
+        from repro.model.engine import simulate_nm_spmm
+
+        naive = TileParams(ms=128, ns=128, mr=32, nr=64, mt=8, nt=8)
+        rep = simulate_nm_spmm(
+            512, 512, 512, NMPattern(16, 32, 32), "A100", params=naive
+        )
+        assert result.predicted_seconds <= rep.seconds

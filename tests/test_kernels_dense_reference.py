@@ -1,0 +1,69 @@
+"""Unit tests for the dense kernel and the Eq. 1 reference details."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.kernels.dense import dense_gemm, gemm_flops
+from repro.kernels.reference import nm_spmm_reference
+from repro.sparsity.compress import compress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.pruning import prune_dense
+from repro.workloads.synthetic import random_dense
+
+
+class TestDenseGemm:
+    def test_matches_numpy(self, rng):
+        a = random_dense(8, 16, rng)
+        b = random_dense(16, 4, rng)
+        np.testing.assert_allclose(dense_gemm(a, b), a @ b)
+
+    def test_casts_to_f32(self, rng):
+        a = rng.standard_normal((4, 4))
+        b = rng.standard_normal((4, 4))
+        out = dense_gemm(a, b)
+        assert out.dtype == np.float32
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            dense_gemm(random_dense(4, 5, rng), random_dense(4, 4, rng))
+
+    def test_flops(self):
+        assert gemm_flops(2, 3, 4) == 48
+
+
+class TestReferenceDetails:
+    def test_a_wider_than_k_allowed(self, rng):
+        """A may carry extra columns beyond the compressed k."""
+        pattern = NMPattern(2, 4, vector_length=4)
+        b = random_dense(8, 8, rng)
+        pruned, mask = prune_dense(pattern, b)
+        comp = compress(pattern, pruned, mask)
+        a = random_dense(4, 12, rng)  # k=12 > 8
+        out = nm_spmm_reference(a, comp)
+        np.testing.assert_allclose(
+            out, a[:, :8] @ pruned, rtol=2e-5, atol=2e-5
+        )
+
+    def test_a_narrower_than_k_rejected(self, rng):
+        pattern = NMPattern(2, 4, vector_length=4)
+        b = random_dense(8, 8, rng)
+        comp = compress(pattern, *prune_dense(pattern, b))
+        with pytest.raises(ShapeError):
+            nm_spmm_reference(random_dense(4, 4, rng), comp)
+
+    def test_zero_a_gives_zero(self, rng):
+        pattern = NMPattern(2, 4, vector_length=4)
+        b = random_dense(8, 8, rng)
+        comp = compress(pattern, *prune_dense(pattern, b))
+        out = nm_spmm_reference(np.zeros((4, 8), dtype=np.float32), comp)
+        assert np.all(out == 0)
+
+    def test_identity_a_reads_rows(self, rng):
+        """With A = I the product is exactly the pruned matrix."""
+        pattern = NMPattern(2, 4, vector_length=4)
+        b = random_dense(8, 8, rng)
+        pruned, mask = prune_dense(pattern, b)
+        comp = compress(pattern, pruned, mask)
+        out = nm_spmm_reference(np.eye(8, dtype=np.float32), comp)
+        np.testing.assert_allclose(out, pruned, rtol=1e-6, atol=1e-6)

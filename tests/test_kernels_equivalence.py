@@ -1,0 +1,152 @@
+"""Cross-kernel numerical equivalence — the central functional claim.
+
+All four kernels (reference, functional, blocked, packed) must compute
+the same product as ``A @ decompress(B', D)`` up to float32 rounding,
+for every pattern, shape and tiling the library supports.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.blocked import nm_spmm_blocked
+from repro.kernels.functional import nm_spmm_functional
+from repro.kernels.packed import nm_spmm_packed
+from repro.kernels.reference import nm_spmm_reference
+from repro.kernels.tiling import TileParams
+from repro.sparsity.compress import compress, decompress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.pruning import prune_dense
+from repro.workloads.synthetic import make_problem_suite, random_dense
+
+RTOL = 2e-5
+ATOL = 2e-5
+
+
+def _setup(pattern, m, n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    a = random_dense(m, pattern.padded_k(k), rng)
+    b = random_dense(pattern.padded_k(k), pattern.padded_n(n), rng)
+    pruned, mask = prune_dense(pattern, b)
+    comp = compress(pattern, pruned, mask)
+    gold = a @ pruned
+    return a, comp, gold
+
+
+PATTERNS = [
+    NMPattern(2, 4, vector_length=4),
+    NMPattern(1, 4, vector_length=2),
+    NMPattern(3, 8, vector_length=4),
+    NMPattern(4, 8, vector_length=8),
+    NMPattern(8, 32, vector_length=32),
+    NMPattern(4, 32, vector_length=16),
+    NMPattern(4, 4, vector_length=4),  # dense degenerate
+]
+
+
+@pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.label())
+class TestAllKernelsAgree:
+    def test_reference_vs_dense(self, pattern):
+        a, comp, gold = _setup(pattern, 24, 2 * pattern.padded_n(8), 2 * pattern.m)
+        np.testing.assert_allclose(
+            nm_spmm_reference(a, comp), gold, rtol=RTOL, atol=ATOL
+        )
+
+    def test_functional_vs_dense(self, pattern):
+        a, comp, gold = _setup(pattern, 24, 2 * pattern.padded_n(8), 2 * pattern.m)
+        np.testing.assert_allclose(
+            nm_spmm_functional(a, comp), gold, rtol=RTOL, atol=ATOL
+        )
+
+    def test_blocked_vs_dense(self, pattern):
+        a, comp, gold = _setup(pattern, 40, 2 * pattern.padded_n(40), 3 * pattern.m)
+        params = TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=pattern.m)
+        np.testing.assert_allclose(
+            nm_spmm_blocked(a, comp, params), gold, rtol=RTOL, atol=ATOL
+        )
+
+    def test_packed_vs_dense(self, pattern):
+        a, comp, gold = _setup(pattern, 40, 2 * pattern.padded_n(40), 3 * pattern.m)
+        params = TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=pattern.m)
+        np.testing.assert_allclose(
+            nm_spmm_packed(a, comp, params), gold, rtol=RTOL, atol=ATOL
+        )
+
+
+class TestShapeSuite:
+    @pytest.mark.parametrize("pattern", [NMPattern(2, 8, vector_length=4)])
+    def test_suite_shapes(self, pattern):
+        for label, a, b in make_problem_suite(pattern, seed=3):
+            pruned, mask = prune_dense(pattern, b)
+            comp = compress(pattern, pruned, mask)
+            gold = a @ pruned
+            fun = nm_spmm_functional(a, comp)
+            np.testing.assert_allclose(
+                fun, gold, rtol=RTOL, atol=ATOL, err_msg=label
+            )
+            params = TileParams(
+                ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=pattern.m
+            )
+            blk = nm_spmm_blocked(a, comp, params)
+            np.testing.assert_allclose(
+                blk, gold, rtol=RTOL, atol=ATOL, err_msg=label
+            )
+
+
+class TestRescale:
+    def test_rescale_applies_m_over_n(self, pattern_2_4):
+        a, comp, gold = _setup(pattern_2_4, 8, 8, 8)
+        plain = nm_spmm_functional(a, comp)
+        scaled = nm_spmm_functional(a, comp, rescale=True)
+        np.testing.assert_allclose(scaled, plain * 2.0, rtol=1e-6)
+
+    def test_reference_rescale(self, pattern_2_4):
+        a, comp, _ = _setup(pattern_2_4, 8, 8, 8)
+        plain = nm_spmm_reference(a, comp)
+        scaled = nm_spmm_reference(a, comp, rescale=True)
+        np.testing.assert_allclose(scaled, plain * 2.0, rtol=1e-5, atol=1e-5)
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from([(2, 4, 4), (3, 8, 4), (4, 32, 8)]),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(1, 40),
+        st.integers(0, 999),
+    )
+    def test_functional_blocked_packed_agree(self, nml, gk, gn, m_rows, seed):
+        n_, m_, ell = nml
+        pattern = NMPattern(n_, m_, vector_length=ell)
+        k = gk * m_
+        n = gn * ell
+        rng = np.random.default_rng(seed)
+        a = random_dense(m_rows, k, rng)
+        b = random_dense(k, n, rng)
+        pruned, mask = prune_dense(pattern, b)
+        comp = compress(pattern, pruned, mask)
+        gold = a @ pruned
+        params = TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=m_)
+        for kernel in (
+            nm_spmm_functional(a, comp),
+            nm_spmm_blocked(a, comp, params),
+            nm_spmm_packed(a, comp, params),
+        ):
+            np.testing.assert_allclose(kernel, gold, rtol=RTOL, atol=ATOL)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 999))
+    def test_decompress_composes_with_gemm(self, seed):
+        """A @ decompress(compress(B)) == every sparse kernel output."""
+        pattern = NMPattern(2, 8, vector_length=4)
+        rng = np.random.default_rng(seed)
+        a = random_dense(8, 16, rng)
+        b = random_dense(16, 8, rng)
+        pruned, mask = prune_dense(pattern, b)
+        comp = compress(pattern, pruned, mask)
+        assert np.array_equal(decompress(comp), pruned)
+        np.testing.assert_allclose(
+            nm_spmm_functional(a, comp), a @ pruned, rtol=RTOL, atol=ATOL
+        )

@@ -1,0 +1,110 @@
+"""Unit tests for the baseline cost models."""
+
+import pytest
+
+from repro.gpu.catalog import A100_80G, list_gpus
+from repro.model.baselines.cublas import cublas_tile_params, simulate_cublas
+from repro.model.baselines.ideal import ideal_seconds, ideal_speedup
+from repro.model.baselines.nmsparse import simulate_nmsparse
+from repro.model.baselines.sputnik import simulate_sputnik
+from repro.model.engine import simulate_nm_spmm
+from repro.sparsity.config import NMPattern
+
+
+class TestCuBLAS:
+    def test_high_efficiency_large_square(self):
+        rep = simulate_cublas(4096, 4096, 4096, "A100")
+        assert rep.efficiency_vs(A100_80G) > 0.85
+
+    def test_lower_efficiency_small(self):
+        small = simulate_cublas(256, 512, 512, "A100")
+        large = simulate_cublas(4096, 4096, 4096, "A100")
+        assert small.efficiency_vs(A100_80G) < large.efficiency_vs(A100_80G)
+
+    def test_tile_selection_adapts_to_shape(self):
+        """The menu winner shrinks for small shapes and grows for
+        large ones (vendor-heuristic behaviour)."""
+        small = cublas_tile_params(512, 512, 512)
+        large = cublas_tile_params(4096, 4096, 4096)
+        assert small.ms * small.ns < large.ms * large.ns
+        skinny = cublas_tile_params(256, 4096, 4096)
+        assert skinny.ms * skinny.ns <= large.ms * large.ns
+
+    def test_kernel_name(self):
+        assert simulate_cublas(512, 512, 512, "A100").kernel == "cuBLAS"
+
+    def test_runs_on_all_gpus(self):
+        for g in list_gpus():
+            rep = simulate_cublas(1024, 1024, 1024, g)
+            assert rep.seconds > 0
+
+
+class TestNmSparse:
+    def test_slower_than_nm_spmm(self):
+        """The headline claim: NM-SpMM beats nmSPARSE everywhere."""
+        for n in (16, 12, 8, 4):
+            pattern = NMPattern(n, 32, 32)
+            ours = simulate_nm_spmm(4096, 4096, 4096, pattern, "A100")
+            theirs = simulate_nmsparse(4096, 4096, 4096, pattern, "A100")
+            assert ours.seconds < theirs.seconds
+
+    def test_still_beats_cublas_at_sparsity(self):
+        pattern = NMPattern(8, 32, 32)
+        theirs = simulate_nmsparse(4096, 4096, 4096, pattern, "A100")
+        cub = simulate_cublas(4096, 4096, 4096, "A100")
+        assert theirs.seconds < cub.seconds
+
+    def test_kernel_name(self):
+        rep = simulate_nmsparse(512, 512, 512, NMPattern(8, 32, 32), "A100")
+        assert rep.kernel == "nmSPARSE"
+
+    def test_shallow_ks(self):
+        rep = simulate_nmsparse(4096, 4096, 4096, NMPattern(8, 32, 32), "A100")
+        assert "ks128" in rep.params_label
+
+
+class TestSputnik:
+    def test_below_cublas_at_moderate_sparsity(self):
+        """Fig. 9: Sputnik is below the cuBLAS line at 50%."""
+        pattern = NMPattern(16, 32, 32)
+        sp = simulate_sputnik(4096, 4096, 4096, pattern, "A100")
+        cub = simulate_cublas(4096, 4096, 4096, "A100")
+        assert sp.seconds > cub.seconds
+
+    def test_beats_cublas_at_875(self):
+        """Fig. 9: Sputnik crosses break-even around 87.5%."""
+        pattern = NMPattern(4, 32, 32)
+        sp = simulate_sputnik(4096, 4096, 4096, pattern, "A100")
+        cub = simulate_cublas(4096, 4096, 4096, "A100")
+        assert sp.seconds < cub.seconds
+
+    def test_always_slowest_sparse(self):
+        for n in (16, 12, 8, 4):
+            pattern = NMPattern(n, 32, 32)
+            sp = simulate_sputnik(4096, 4096, 4096, pattern, "A100")
+            nm = simulate_nm_spmm(4096, 4096, 4096, pattern, "A100")
+            ns = simulate_nmsparse(4096, 4096, 4096, pattern, "A100")
+            assert sp.seconds > nm.seconds
+            assert sp.seconds > ns.seconds
+
+    def test_notes_mark_analytic(self):
+        rep = simulate_sputnik(512, 512, 512, NMPattern(8, 32, 32), "A100")
+        assert "analytic" in rep.notes
+
+
+class TestIdeal:
+    def test_speedup_is_m_over_n(self):
+        assert ideal_speedup(NMPattern(8, 32)) == 4.0
+
+    def test_ideal_seconds(self):
+        cub = simulate_cublas(4096, 4096, 4096, "A100")
+        ideal = ideal_seconds(cub, NMPattern(8, 32))
+        assert ideal == pytest.approx(cub.seconds / 4)
+
+    def test_nm_spmm_never_beats_ideal(self):
+        """Nothing can exceed the compute-reduction bound."""
+        cub = simulate_cublas(4096, 4096, 4096, "A100")
+        for n in (16, 12, 8, 4):
+            pattern = NMPattern(n, 32, 32)
+            nm = simulate_nm_spmm(4096, 4096, 4096, pattern, "A100")
+            assert cub.seconds / nm.seconds <= pattern.ideal_speedup + 1e-9

@@ -1,0 +1,97 @@
+"""Unit tests for calibration constants and execution profiles."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.gpu.catalog import A100_80G, RTX_3090
+from repro.model.calibration import Calibration, calibration_for
+from repro.model.profiles import (
+    ALoadMode,
+    ExecutionProfile,
+    OverlapMode,
+    profile_for_version,
+)
+
+
+class TestCalibration:
+    def test_defaults_valid(self):
+        Calibration()  # must not raise
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CalibrationError):
+            Calibration(dram_efficiency=0.1)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(CalibrationError):
+            Calibration(sync_exposure_cycles=-1)
+
+    def test_bad_sync_bw_rejected(self):
+        with pytest.raises(CalibrationError):
+            Calibration(sync_load_bw_factor=0.1)
+
+    def test_with_overrides(self):
+        c = Calibration().with_overrides(dram_efficiency=0.9)
+        assert c.dram_efficiency == 0.9
+        assert c.l2_bw_multiple == Calibration().l2_bw_multiple
+
+    def test_per_gpu_lookup(self):
+        a = calibration_for(A100_80G)
+        b = calibration_for(RTX_3090)
+        assert a.dram_efficiency >= b.dram_efficiency
+
+
+class TestProfiles:
+    def test_v1_full_sync(self):
+        calib = Calibration()
+        p = profile_for_version("V1", calib, high_sparsity=True)
+        assert p.overlap is OverlapMode.SYNC
+        assert p.a_load is ALoadMode.FULL
+        assert not p.is_packed
+
+    def test_v2_packs_only_high_sparsity(self):
+        calib = Calibration()
+        hi = profile_for_version("V2", calib, high_sparsity=True)
+        lo = profile_for_version("V2", calib, high_sparsity=False)
+        assert hi.a_load is ALoadMode.PACKED
+        assert lo.a_load is ALoadMode.FULL
+
+    def test_v3_double_buffer(self):
+        calib = Calibration()
+        p = profile_for_version("V3", calib, high_sparsity=True)
+        assert p.overlap is OverlapMode.DOUBLE_BUFFER
+        assert p.aux_instr_per_step < profile_for_version(
+            "V1", calib, high_sparsity=True
+        ).aux_instr_per_step
+
+    def test_case_insensitive(self):
+        calib = Calibration()
+        assert profile_for_version("v3", calib, high_sparsity=False).name.endswith("V3")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            profile_for_version("V4", Calibration(), high_sparsity=False)
+
+    def test_colinfo_only_when_packed(self):
+        calib = Calibration()
+        assert profile_for_version("V3", calib, high_sparsity=True).reads_colinfo
+        assert not profile_for_version(
+            "V3", calib, high_sparsity=False
+        ).reads_colinfo
+
+    def test_sync_profiles_lower_bandwidth(self):
+        calib = Calibration()
+        v1 = profile_for_version("V1", calib, high_sparsity=False)
+        v3 = profile_for_version("V3", calib, high_sparsity=False)
+        assert v1.load_bw_factor < v3.load_bw_factor
+
+    def test_custom_profile_fields(self):
+        p = ExecutionProfile(
+            name="x",
+            overlap=OverlapMode.SYNC,
+            a_load=ALoadMode.GATHERED,
+            aux_instr_per_step=1.0,
+            issue_efficiency=0.5,
+            uses_index_matrix=False,
+        )
+        assert not p.reads_colinfo
+        assert not p.is_packed

@@ -1,0 +1,119 @@
+"""Unit and property tests for the software-pipeline scheduler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.model.pipeline import SoftwarePipeline, steady_state_cycles
+
+costs = st.floats(0.0, 1000.0)
+
+
+class TestClosedForm:
+    def test_serial(self):
+        total = steady_state_cycles(10, 20, iterations=5, overlap=0.0)
+        assert total == pytest.approx(150.0)
+
+    def test_full_overlap(self):
+        total = steady_state_cycles(10, 20, iterations=5, overlap=1.0)
+        # max(10,20)*5 + fill of the shorter stage
+        assert total == pytest.approx(110.0)
+
+    def test_overlap_never_slower(self):
+        serial = steady_state_cycles(10, 20, 5, 0.0)
+        pipelined = steady_state_cycles(10, 20, 5, 1.0)
+        assert pipelined <= serial
+
+    def test_fill_drain_added(self):
+        a = steady_state_cycles(10, 20, 5, 1.0, fill_cycles=7, drain_cycles=3)
+        b = steady_state_cycles(10, 20, 5, 1.0)
+        assert a == pytest.approx(b + 10)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(SimulationError):
+            steady_state_cycles(1, 1, 0, 1.0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(SimulationError):
+            steady_state_cycles(-1, 1, 1, 1.0)
+
+    @settings(max_examples=50)
+    @given(costs, costs, st.integers(1, 50), st.floats(0, 1))
+    def test_monotone_in_overlap(self, load, comp, iters, ov):
+        t1 = steady_state_cycles(load, comp, iters, ov)
+        t2 = steady_state_cycles(load, comp, iters, min(1.0, ov + 0.1))
+        assert t2 <= t1 + 1e-6
+
+
+class TestDiscreteScheduler:
+    def test_serial_single_buffer(self):
+        pipe = SoftwarePipeline(buffers=1)
+        assert pipe.uniform_total(10, 20, 5) == pytest.approx(150.0)
+
+    def test_double_buffer_steady_state(self):
+        pipe = SoftwarePipeline(buffers=2)
+        # load 10, compute 20: comp binds; total = 10 + 5*20
+        assert pipe.uniform_total(10, 20, 5) == pytest.approx(110.0)
+
+    def test_load_bound_steady_state(self):
+        pipe = SoftwarePipeline(buffers=2)
+        # load 20, compute 10: loads bind; total = 5*20 + 10
+        assert pipe.uniform_total(20, 10, 5) == pytest.approx(110.0)
+
+    def test_matches_closed_form_uniform(self):
+        pipe = SoftwarePipeline(buffers=2)
+        for load, comp in [(5, 13), (13, 5), (8, 8)]:
+            discrete = pipe.uniform_total(load, comp, 12)
+            closed = steady_state_cycles(load, comp, 12, overlap=1.0)
+            assert discrete == pytest.approx(closed)
+
+    @settings(max_examples=40)
+    @given(costs, costs, st.integers(1, 30))
+    def test_closed_form_equals_schedule(self, load, comp, iters):
+        """The engine's closed form is exactly the 2-buffer schedule
+        makespan for uniform stage costs."""
+        discrete = SoftwarePipeline(buffers=2).uniform_total(load, comp, iters)
+        closed = steady_state_cycles(load, comp, iters, overlap=1.0)
+        assert discrete == pytest.approx(closed, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(costs, min_size=1, max_size=20),
+        st.integers(1, 4),
+    )
+    def test_more_buffers_never_slower(self, loads, extra):
+        comps = list(reversed(loads))
+        t1 = SoftwarePipeline(buffers=1).total_cycles(loads, comps)
+        t2 = SoftwarePipeline(buffers=1 + extra).total_cycles(loads, comps)
+        assert t2 <= t1 + 1e-9
+
+    @settings(max_examples=40)
+    @given(st.lists(costs, min_size=1, max_size=20))
+    def test_makespan_lower_bound(self, loads):
+        """Makespan >= each unit's total work (resource bound)."""
+        comps = loads[::-1]
+        t = SoftwarePipeline(buffers=2).total_cycles(loads, comps)
+        assert t >= sum(loads) - 1e-6
+        assert t >= sum(comps) - 1e-6
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            SoftwarePipeline().total_cycles([1.0], [1.0, 2.0])
+
+    def test_zero_buffers_rejected(self):
+        with pytest.raises(SimulationError):
+            SoftwarePipeline(buffers=0)
+
+    def test_schedule_stage_structure(self):
+        stages = SoftwarePipeline(buffers=2).schedule([5, 5], [7, 7])
+        names = [(s.name, s.iteration) for s in stages]
+        assert names == [("load", 0), ("compute", 0), ("load", 1), ("compute", 1)]
+        # loads never overlap each other on the single load unit
+        loads = [s for s in stages if s.name == "load"]
+        assert loads[1].start >= loads[0].end
+
+    def test_compute_waits_for_load(self):
+        stages = SoftwarePipeline(buffers=2).schedule([10], [5])
+        load, comp = stages
+        assert comp.start >= load.end

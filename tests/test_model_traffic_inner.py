@@ -1,0 +1,228 @@
+"""Unit tests for the traffic model and the inner-kernel issue model."""
+
+import pytest
+
+from repro.gpu.catalog import A100_80G
+from repro.gpu.isa import issue_model_for
+from repro.kernels.blocked import KernelTrace, nm_spmm_blocked
+from repro.kernels.packed import nm_spmm_packed
+from repro.kernels.tiling import TABLE_I, MatrixSizeClass, TileParams
+from repro.model.calibration import calibration_for
+from repro.model.inner_kernel import build_instruction_budget, evaluate_inner_kernel
+from repro.model.profiles import ALoadMode, ExecutionProfile, OverlapMode
+from repro.model.traffic import compute_traffic, grid_geometry
+from repro.model.workload import ProblemShape, SparseProblem
+from repro.sparsity.config import NMPattern
+
+
+def _profile(a_load=ALoadMode.FULL, **kw):
+    return ExecutionProfile(
+        name="test",
+        overlap=OverlapMode.DOUBLE_BUFFER,
+        a_load=a_load,
+        aux_instr_per_step=1.0,
+        issue_efficiency=0.95,
+        **kw,
+    )
+
+
+def _problem(m=4096, n=4096, k=4096, pattern=None):
+    pattern = pattern or NMPattern(4, 32, vector_length=32)
+    return SparseProblem(ProblemShape(m, n, k), pattern)
+
+
+def _params(problem):
+    return TABLE_I[MatrixSizeClass.LARGE].with_ks(
+        problem.pattern, A100_80G.smem_bytes_per_sm, problem.shape.k
+    )
+
+
+class TestGridGeometry:
+    def test_counts(self):
+        problem = _problem()
+        params = _params(problem)
+        geom = grid_geometry(problem, params)
+        assert geom.blocks_m == 64
+        assert geom.blocks_n == 32
+        assert geom.total_blocks == 2048
+        assert geom.iterations == -(-problem.w // params.ws(problem.pattern))
+
+
+class TestTrafficModel:
+    def test_packing_reduces_a(self):
+        problem = _problem()
+        params = _params(problem)
+        calib = calibration_for(A100_80G)
+        full, _ = compute_traffic(
+            problem, params, A100_80G, calib, _profile(ALoadMode.FULL)
+        )
+        packed, _ = compute_traffic(
+            problem, params, A100_80G, calib, _profile(ALoadMode.PACKED)
+        )
+        assert packed.a_staged < full.a_staged
+        assert packed.colinfo_staged > 0
+        assert full.colinfo_staged == 0
+
+    def test_b_l2_resident_at_high_sparsity(self):
+        """B' (8.4 MB at 87.5%) fits A100's usable L2 -> DRAM reads it
+        once."""
+        problem = _problem()
+        params = _params(problem)
+        calib = calibration_for(A100_80G)
+        traffic, _ = compute_traffic(
+            problem, params, A100_80G, calib, _profile()
+        )
+        b_total = problem.w * problem.shape.n * 4
+        assert traffic.b_dram == pytest.approx(b_total)
+        assert traffic.b_staged > traffic.b_dram
+
+    def test_b_not_resident_at_low_sparsity(self):
+        problem = _problem(pattern=NMPattern(16, 32, vector_length=32))
+        params = _params(problem)
+        calib = calibration_for(A100_80G)
+        traffic, _ = compute_traffic(problem, params, A100_80G, calib, _profile())
+        assert traffic.b_dram == pytest.approx(traffic.b_staged)
+
+    def test_c_written_once(self):
+        problem = _problem()
+        params = _params(problem)
+        traffic, _ = compute_traffic(
+            problem, params, A100_80G, calibration_for(A100_80G), _profile()
+        )
+        assert traffic.c_written == 4096 * 4096 * 4
+
+    def test_traffic_factor_scales_a(self):
+        problem = _problem()
+        params = _params(problem)
+        calib = calibration_for(A100_80G)
+        base, _ = compute_traffic(problem, params, A100_80G, calib, _profile())
+        scaled, _ = compute_traffic(
+            problem, params, A100_80G, calib, _profile(a_traffic_factor=2.0)
+        )
+        assert scaled.a_staged == pytest.approx(2 * base.a_staged)
+
+    def test_staged_totals(self):
+        problem = _problem()
+        params = _params(problem)
+        traffic, _ = compute_traffic(
+            problem, params, A100_80G, calibration_for(A100_80G), _profile()
+        )
+        assert traffic.staged_total == pytest.approx(
+            traffic.a_staged
+            + traffic.b_staged
+            + traffic.d_staged
+            + traffic.colinfo_staged
+            + traffic.c_written
+        )
+        assert traffic.dram_total <= traffic.staged_total + 1e-9
+
+    def test_traffic_matches_executable_trace(self):
+        """The analytic per-block staged traffic must equal what the
+        blocked executor actually stages (same accounting)."""
+        import numpy as np
+
+        from repro.sparsity.compress import compress
+        from repro.sparsity.pruning import prune_dense
+        from repro.workloads.synthetic import random_dense
+
+        pattern = NMPattern(2, 8, vector_length=4)
+        m, n, k = 64, 64, 64
+        problem = SparseProblem(ProblemShape(m, n, k), pattern)
+        params = TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=16)
+        calib = calibration_for(A100_80G)
+        traffic, geom = compute_traffic(
+            problem, params, A100_80G, calib, _profile(), index_bytes=1
+        )
+        rng = np.random.default_rng(0)
+        a = random_dense(m, k, rng)
+        b = random_dense(k, n, rng)
+        comp = compress(pattern, *prune_dense(pattern, b))
+        trace = KernelTrace()
+        nm_spmm_blocked(a, comp, params, trace=trace)
+        assert trace.ldg_a_bytes == pytest.approx(traffic.a_staged)
+        assert trace.ldg_b_bytes == pytest.approx(traffic.b_staged)
+        assert trace.blocks == geom.total_blocks
+
+    def test_packed_traffic_vs_trace(self):
+        """Expected packed traffic must sit between the executable
+        trace's measured packing and the unpacked volume."""
+        import numpy as np
+
+        from repro.sparsity.compress import compress
+        from repro.sparsity.pruning import prune_dense
+        from repro.workloads.synthetic import random_dense
+
+        pattern = NMPattern(2, 8, vector_length=4)
+        m, n, k = 64, 64, 64
+        problem = SparseProblem(ProblemShape(m, n, k), pattern)
+        params = TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=16)
+        calib = calibration_for(A100_80G)
+        packed, _ = compute_traffic(
+            problem, params, A100_80G, calib, _profile(ALoadMode.PACKED)
+        )
+        rng = np.random.default_rng(1)
+        a = random_dense(m, k, rng)
+        comp = compress(
+            pattern, *prune_dense(pattern, random_dense(k, n, rng))
+        )
+        trace = KernelTrace()
+        nm_spmm_packed(a, comp, params, trace=trace)
+        # expected-value model within 30% of one random realisation
+        assert packed.a_staged == pytest.approx(trace.ldg_a_bytes, rel=0.30)
+
+
+class TestInnerKernel:
+    def test_budget_counts(self):
+        params = TABLE_I[MatrixSizeClass.LARGE]
+        budget = build_instruction_budget(params, ws=36, aux_instr_per_step=1.0)
+        warps = params.warps_per_block
+        assert budget.warp_fma == warps * 64 * 36
+        assert budget.warp_lds == warps * 4 * 36
+        assert budget.warp_aux == warps * 36
+
+    def test_a100_fma_bound(self):
+        """On the A100 the large tile's inner kernel is FMA bound."""
+        params = TABLE_I[MatrixSizeClass.LARGE].with_ks(
+            NMPattern(4, 32, 32), A100_80G.smem_bytes_per_sm, 4096
+        )
+        model = evaluate_inner_kernel(
+            params, 36, issue_model_for(A100_80G), aux_instr_per_step=0.75
+        )
+        assert model.limiter == "fma"
+        assert model.issue_efficiency == 1.0
+
+    def test_consumer_issue_pressure(self):
+        """On 128-core SMs, issue slots constrain the same kernel —
+        the §IV-B indirect-access observation."""
+        from repro.gpu.catalog import RTX_4090
+
+        params = TABLE_I[MatrixSizeClass.LARGE].with_ks(
+            NMPattern(4, 32, 32), RTX_4090.smem_bytes_per_sm, 4096
+        )
+        model = evaluate_inner_kernel(
+            params, 24, issue_model_for(RTX_4090), aux_instr_per_step=2.0
+        )
+        assert model.issue_cycles > model.fma_cycles
+        assert model.issue_efficiency < 1.0
+
+    def test_small_tiles_lower_cmar_effect(self):
+        """4x4 thread tiles stress shared memory more than 8x8."""
+        from repro.gpu.catalog import RTX_4090
+
+        issue = issue_model_for(RTX_4090)
+        small = evaluate_inner_kernel(
+            TABLE_I[MatrixSizeClass.SMALL], 32, issue, 1.0
+        )
+        large = evaluate_inner_kernel(
+            TABLE_I[MatrixSizeClass.LARGE], 32, issue, 1.0
+        )
+        assert (small.lds_cycles / small.fma_cycles) > (
+            large.lds_cycles / large.fma_cycles
+        )
+
+    def test_aux_instructions_increase_issue(self):
+        params = TABLE_I[MatrixSizeClass.LARGE]
+        issue = issue_model_for(A100_80G)
+        lo = evaluate_inner_kernel(params, 32, issue, aux_instr_per_step=0.0)
+        hi = evaluate_inner_kernel(params, 32, issue, aux_instr_per_step=4.0)
+        assert hi.issue_cycles > lo.issue_cycles

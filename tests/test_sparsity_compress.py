@@ -1,0 +1,167 @@
+"""Unit and property tests for repro.sparsity.compress."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompressionError, ShapeError
+from repro.sparsity.compress import NMCompressedMatrix, compress, decompress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.masks import random_nm_mask
+from repro.sparsity.pruning import prune_dense
+
+
+def _compressed(pattern, k, n, seed=0):
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((k, n)).astype(np.float32)
+    pruned, mask = prune_dense(pattern, b)
+    return pruned, compress(pattern, pruned, mask)
+
+
+class TestCompressBasics:
+    def test_shapes(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        assert comp.w == 8
+        assert comp.n == 12
+        assert comp.q == 3
+        assert comp.k == 16
+        assert comp.values.shape == (8, 12)
+        assert comp.indices.shape == (8, 3)
+
+    def test_index_dtype_narrow(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        assert comp.indices.dtype == np.uint8
+
+    def test_padding(self, pattern_2_4, rng):
+        b = rng.standard_normal((15, 11)).astype(np.float32)
+        comp = compress(pattern_2_4, b)
+        assert comp.k == 16
+        assert comp.n == 12
+
+    def test_no_pad_rejects(self, pattern_2_4, rng):
+        b = rng.standard_normal((15, 11)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            compress(pattern_2_4, b, pad=False)
+
+    def test_auto_mask_from_magnitude(self, pattern_2_4, rng):
+        b = rng.standard_normal((16, 12)).astype(np.float32)
+        pruned, mask = prune_dense(pattern_2_4, b)
+        auto = compress(pattern_2_4, b)  # derives the same mask
+        explicit = compress(pattern_2_4, pruned, mask)
+        assert np.array_equal(auto.indices, explicit.indices)
+        assert np.array_equal(auto.values, explicit.values)
+
+
+class TestRoundTrip:
+    def test_exact(self, pattern_2_4):
+        pruned, comp = _compressed(pattern_2_4, 16, 12)
+        assert np.array_equal(decompress(comp), pruned)
+
+    def test_to_dense_alias(self, pattern_2_4):
+        pruned, comp = _compressed(pattern_2_4, 16, 12)
+        assert np.array_equal(comp.to_dense(), pruned)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sampled_from([(1, 4, 2), (2, 4, 4), (3, 8, 4), (4, 8, 2), (8, 8, 4)]),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(0, 99),
+    )
+    def test_round_trip_property(self, nml, gk, gn, seed):
+        n_, m_, ell = nml
+        pattern = NMPattern(n_, m_, vector_length=ell)
+        rng = np.random.default_rng(seed)
+        k = gk * m_
+        n = gn * ell
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        mask = random_nm_mask(pattern, k, n, rng)
+        from repro.sparsity.masks import vector_mask_to_element_mask
+
+        pruned = b * vector_mask_to_element_mask(pattern, mask)
+        comp = compress(pattern, pruned, mask)
+        assert np.array_equal(decompress(comp), pruned)
+
+    def test_values_preserve_window_order(self, pattern_2_4):
+        # Construct a matrix whose values encode their row index.
+        k, n = 8, 4
+        b = np.tile(
+            np.arange(k, dtype=np.float32)[:, None], (1, n)
+        )
+        mask = random_nm_mask(pattern_2_4, k, n, np.random.default_rng(3))
+        from repro.sparsity.masks import vector_mask_to_element_mask
+
+        pruned = b * vector_mask_to_element_mask(pattern_2_4, mask)
+        comp = compress(pattern_2_4, pruned, mask)
+        # Row u of B' must equal original row (u//N)*M + D[u].
+        abs_rows = comp.absolute_rows()
+        for u in range(comp.w):
+            for jq in range(comp.q):
+                col = jq * pattern_2_4.vector_length
+                expected = pruned[abs_rows[u, jq], col]
+                assert comp.values[u, col] == expected
+
+
+class TestAccounting:
+    def test_nnz(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        assert comp.nnz == 8 * 12
+
+    def test_bytes(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        assert comp.values_bytes() == 8 * 12 * 4
+        assert comp.indices_bytes() == 8 * 3
+        # packed accounting: 2 bits per entry for M=4
+        assert comp.indices_bytes(packed=True) == -(-8 * 3 * 2 // 8)
+
+    def test_compression_ratio_gt_one(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        assert comp.compression_ratio() > 1.0
+
+    def test_compression_ratio_approaches_m_over_n(self):
+        p = NMPattern(4, 32, vector_length=32)
+        _, comp = _compressed(p, 256, 256)
+        # ratio should be close to M/N = 8 (minus index overhead)
+        assert 6.0 < comp.compression_ratio() <= 8.0
+
+
+class TestValidation:
+    def test_wrong_w_rejected(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        with pytest.raises(CompressionError):
+            NMCompressedMatrix(
+                pattern=pattern_2_4,
+                values=comp.values[:-1],
+                indices=comp.indices[:-1],
+                k=16,
+            )
+
+    def test_wrong_indices_shape_rejected(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        with pytest.raises(CompressionError):
+            NMCompressedMatrix(
+                pattern=pattern_2_4,
+                values=comp.values,
+                indices=comp.indices[:, :-1],
+                k=16,
+            )
+
+    def test_element_mask_recovery(self, pattern_2_4):
+        pruned, comp = _compressed(pattern_2_4, 16, 12)
+        element = comp.element_mask()
+        # every nonzero of pruned is inside the mask
+        assert np.all((pruned != 0) <= element)
+
+    def test_absolute_rows_in_range(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        abs_rows = comp.absolute_rows()
+        assert abs_rows.min() >= 0
+        assert abs_rows.max() < 16
+        # monotone within each window group
+        grouped = abs_rows.reshape(4, 2, 3)
+        assert np.all(np.diff(grouped, axis=1) > 0)
+
+    def test_repr(self, pattern_2_4):
+        _, comp = _compressed(pattern_2_4, 16, 12)
+        assert "2:4" in repr(comp)

@@ -1,0 +1,163 @@
+"""Tests for the §II-B extension features: channel permutation and
+transposable masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError, ShapeError
+from repro.sparsity.config import NMPattern
+from repro.sparsity.permutation import (
+    apply_permutation,
+    greedy_channel_permutation,
+    retained_energy,
+)
+from repro.sparsity.pruning import prune_dense
+from repro.sparsity.transposable import (
+    is_transposable_mask,
+    transposable_mask,
+)
+from repro.workloads.synthetic import random_dense
+
+
+class TestRetainedEnergy:
+    def test_matches_pruned_energy(self, rng):
+        pattern = NMPattern(2, 8, vector_length=4)
+        b = random_dense(32, 16, rng)
+        pruned, _ = prune_dense(pattern, b)
+        direct = float(np.square(pruned.astype(np.float64)).sum())
+        assert retained_energy(pattern, b) == pytest.approx(direct, rel=1e-5)
+
+    def test_dense_pattern_keeps_all(self, rng):
+        pattern = NMPattern(8, 8, vector_length=4)
+        b = random_dense(32, 16, rng)
+        total = float(np.square(b.astype(np.float64)).sum())
+        assert retained_energy(pattern, b) == pytest.approx(total, rel=1e-5)
+
+
+class TestChannelPermutation:
+    def test_permutation_is_valid(self, rng):
+        pattern = NMPattern(1, 4, vector_length=4)
+        b = random_dense(16, 8, rng)
+        result = greedy_channel_permutation(pattern, b, max_rounds=2)
+        assert sorted(result.permutation.tolist()) == list(range(16))
+
+    def test_never_decreases_energy(self, rng):
+        pattern = NMPattern(1, 4, vector_length=4)
+        for seed in range(5):
+            b = random_dense(16, 8, np.random.default_rng(seed))
+            result = greedy_channel_permutation(pattern, b, max_rounds=2)
+            assert result.energy_after >= result.energy_before - 1e-9
+
+    def test_improves_adversarial_layout(self):
+        """All strong channels packed into one window: permutation must
+        rescue them."""
+        pattern = NMPattern(1, 4, vector_length=4)
+        b = np.ones((8, 4), dtype=np.float32) * 0.01
+        b[0:4] = 10.0  # 4 strong channels, all in window 0 (N=1 kept)
+        result = greedy_channel_permutation(pattern, b)
+        assert result.improvement > 0.5
+        assert result.swaps >= 1
+
+    def test_energy_after_matches_permuted_matrix(self, rng):
+        pattern = NMPattern(2, 8, vector_length=4)
+        b = random_dense(32, 16, rng)
+        result = greedy_channel_permutation(pattern, b, max_rounds=1)
+        _, b_p = apply_permutation(None, b, result.permutation)
+        assert retained_energy(pattern, b_p) == pytest.approx(
+            result.energy_after, rel=1e-6
+        )
+
+    def test_product_preserved(self, rng):
+        """A[:, perm] @ B[perm, :] == A @ B exactly."""
+        pattern = NMPattern(2, 8, vector_length=4)
+        b = random_dense(32, 16, rng)
+        a = random_dense(8, 32, rng)
+        result = greedy_channel_permutation(pattern, b, max_rounds=1)
+        a_p, b_p = apply_permutation(a, b, result.permutation)
+        np.testing.assert_allclose(a_p @ b_p, a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_bad_permutation_rejected(self, rng):
+        b = random_dense(8, 4, rng)
+        with pytest.raises(ShapeError):
+            apply_permutation(None, b, np.zeros(8, dtype=int))
+
+    def test_unaligned_k_rejected(self, rng):
+        pattern = NMPattern(2, 8, vector_length=4)
+        with pytest.raises(ShapeError):
+            greedy_channel_permutation(pattern, random_dense(30, 8, rng))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 50))
+    def test_permuted_pruning_quality_property(self, seed):
+        """End-to-end: pruning the permuted weights keeps at least as
+        much energy as pruning the raw weights."""
+        pattern = NMPattern(1, 4, vector_length=2)
+        rng = np.random.default_rng(seed)
+        b = random_dense(16, 8, rng) * rng.uniform(0.1, 10, size=(16, 1)).astype(
+            np.float32
+        )
+        result = greedy_channel_permutation(pattern, b, max_rounds=2, seed=seed)
+        _, b_p = apply_permutation(None, b, result.permutation)
+        assert retained_energy(pattern, b_p) >= retained_energy(pattern, b) - 1e-6
+
+
+class TestTransposableMasks:
+    def test_valid_mask_produced(self, rng):
+        pattern = NMPattern(2, 4, vector_length=1)
+        b = random_dense(16, 16, rng)
+        mask = transposable_mask(pattern, b)
+        assert is_transposable_mask(pattern, mask)
+
+    def test_density_exact(self, rng):
+        pattern = NMPattern(2, 4, vector_length=1)
+        b = random_dense(16, 16, rng)
+        mask = transposable_mask(pattern, b)
+        assert mask.mean() == pytest.approx(0.5)
+
+    def test_transpose_also_valid(self, rng):
+        """The defining property: the transposed mask is valid too."""
+        pattern = NMPattern(2, 4, vector_length=1)
+        b = random_dense(16, 16, rng)
+        mask = transposable_mask(pattern, b)
+        assert is_transposable_mask(pattern, mask.T)
+
+    def test_prefers_large_magnitudes(self):
+        pattern = NMPattern(1, 4, vector_length=1)
+        tile = np.diag([10.0, 9.0, 8.0, 7.0]).astype(np.float32)
+        mask = transposable_mask(pattern, tile)
+        # the diagonal is the unique optimum (1 per row and column)
+        assert np.array_equal(mask, np.eye(4, dtype=bool))
+
+    def test_requires_element_granularity(self, rng):
+        pattern = NMPattern(2, 4, vector_length=4)
+        with pytest.raises(PatternError):
+            transposable_mask(pattern, random_dense(16, 16, rng))
+
+    def test_requires_tileable_shape(self, rng):
+        pattern = NMPattern(2, 4, vector_length=1)
+        with pytest.raises(ShapeError):
+            transposable_mask(pattern, random_dense(15, 16, rng))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.sampled_from([(1, 4), (2, 4), (2, 8), (4, 8)]),
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(0, 99),
+    )
+    def test_always_valid_property(self, nm, tiles_r, tiles_c, seed):
+        n, m = nm
+        pattern = NMPattern(n, m, vector_length=1)
+        rng = np.random.default_rng(seed)
+        b = random_dense(tiles_r * m, tiles_c * m, rng)
+        mask = transposable_mask(pattern, b)
+        assert is_transposable_mask(pattern, mask)
+        assert is_transposable_mask(pattern, mask.T)
+
+    def test_is_transposable_rejects_row_only(self):
+        pattern = NMPattern(2, 4, vector_length=1)
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[:, :2] = True  # 2 per row, but columns are 4/4/0/0
+        assert not is_transposable_mask(pattern, mask)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.sparsity.index_matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.sparsity.compress import compress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.index_matrix import (
+    absolute_rows,
+    deinterleave_layout,
+    index_bits,
+    index_dtype_for,
+    interleave_layout,
+    interleave_permutation,
+    validate_index_matrix,
+)
+from repro.sparsity.pruning import prune_dense
+
+
+class TestDtypeSizing:
+    def test_small_window(self):
+        assert index_dtype_for(4) == np.uint8
+
+    def test_m32(self):
+        assert index_dtype_for(32) == np.uint8
+
+    def test_m512(self):
+        assert index_dtype_for(512) == np.uint16
+
+    def test_huge(self):
+        assert index_dtype_for(2**20) == np.uint32
+
+    def test_bits(self):
+        assert index_bits(32) == 5
+        assert index_bits(4) == 2
+
+
+class TestValidation:
+    def _d(self, pattern, k=16, n=12, seed=0):
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        pruned, mask = prune_dense(pattern, b)
+        return compress(pattern, pruned, mask).indices
+
+    def test_valid_passes(self, pattern_2_4):
+        validate_index_matrix(pattern_2_4, self._d(pattern_2_4))
+
+    def test_out_of_range_rejected(self, pattern_2_4):
+        d = self._d(pattern_2_4).copy()
+        d[0, 0] = 4
+        with pytest.raises(CompressionError):
+            validate_index_matrix(pattern_2_4, d)
+
+    def test_non_monotone_rejected(self, pattern_2_4):
+        d = self._d(pattern_2_4).copy()
+        d[0, 0], d[1, 0] = d[1, 0], d[0, 0]  # swap within window
+        with pytest.raises(CompressionError, match="increasing"):
+            validate_index_matrix(pattern_2_4, d)
+
+    def test_wrong_row_multiple_rejected(self, pattern_2_4):
+        d = self._d(pattern_2_4)[:-1]
+        with pytest.raises(CompressionError, match="multiple"):
+            validate_index_matrix(pattern_2_4, d)
+
+    def test_1d_rejected(self, pattern_2_4):
+        with pytest.raises(CompressionError):
+            validate_index_matrix(pattern_2_4, np.zeros(4, dtype=np.uint8))
+
+
+class TestAbsoluteRows:
+    def test_formula(self, pattern_2_4):
+        d = np.array([[1], [3], [0], [2]], dtype=np.uint8)  # 2 windows
+        rows = absolute_rows(pattern_2_4, d)
+        # window 0: base 0 -> rows 1, 3; window 1: base 4 -> rows 4, 6
+        assert rows[:, 0].tolist() == [1, 3, 4, 6]
+
+
+class TestLayoutTransforms:
+    def test_permutation_is_permutation(self):
+        perm = interleave_permutation(16, 4)
+        assert sorted(perm.tolist()) == list(range(16))
+
+    def test_interleave_round_trip(self, pattern_2_4):
+        d = np.arange(16, dtype=np.uint8).reshape(16, 1) % 4
+        out = interleave_layout(pattern_2_4, d, group=4)
+        back = deinterleave_layout(pattern_2_4, out, group=4)
+        assert np.array_equal(back, d)
+
+    def test_interleave_changes_order(self, pattern_2_4):
+        d = np.arange(16, dtype=np.uint8).reshape(16, 1) % 4
+        out = interleave_layout(pattern_2_4, d, group=4)
+        assert not np.array_equal(out, d)
+
+    def test_indivisible_group_noop(self, pattern_2_4):
+        d = np.zeros((6, 1), dtype=np.uint8)
+        out = interleave_layout(pattern_2_4, d, group=4)
+        assert np.array_equal(out, d)
+
+    def test_group_one_noop(self, pattern_2_4):
+        d = np.zeros((8, 1), dtype=np.uint8)
+        assert np.array_equal(interleave_layout(pattern_2_4, d, group=1), d)

@@ -1,0 +1,139 @@
+"""Unit and property tests for repro.sparsity.masks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatternError, ShapeError
+from repro.sparsity.config import NMPattern
+from repro.sparsity.masks import (
+    is_valid_nm_mask,
+    mask_from_indices,
+    random_nm_mask,
+    vector_mask_to_element_mask,
+    window_indices_from_mask,
+)
+
+patterns = st.builds(
+    lambda m, n_frac, ell: NMPattern(
+        max(1, int(m * n_frac)), m, vector_length=ell
+    ),
+    st.sampled_from([2, 4, 8, 16, 32]),
+    st.floats(0.1, 1.0),
+    st.sampled_from([1, 2, 4, 8]),
+)
+
+
+class TestRandomMask:
+    def test_shape(self, pattern_2_4, rng):
+        mask = random_nm_mask(pattern_2_4, 16, 12, rng)
+        assert mask.shape == (4, 4, 3)
+
+    def test_exactly_n_per_window(self, pattern_2_4, rng):
+        mask = random_nm_mask(pattern_2_4, 16, 12, rng)
+        assert np.all(mask.sum(axis=1) == 2)
+
+    def test_requires_divisible_k(self, pattern_2_4, rng):
+        with pytest.raises(ShapeError):
+            random_nm_mask(pattern_2_4, 15, 12, rng)
+
+    def test_requires_divisible_n(self, pattern_2_4, rng):
+        with pytest.raises(ShapeError):
+            random_nm_mask(pattern_2_4, 16, 13, rng)
+
+    def test_deterministic_with_seed(self, pattern_2_4):
+        m1 = random_nm_mask(pattern_2_4, 16, 12, np.random.default_rng(7))
+        m2 = random_nm_mask(pattern_2_4, 16, 12, np.random.default_rng(7))
+        assert np.array_equal(m1, m2)
+
+    @settings(max_examples=25, deadline=None)
+    @given(patterns, st.integers(1, 4), st.integers(1, 4), st.integers(0, 99))
+    def test_always_valid(self, pattern, gk, gn, seed):
+        k = gk * pattern.m
+        n = gn * pattern.vector_length
+        mask = random_nm_mask(pattern, k, n, np.random.default_rng(seed))
+        element = vector_mask_to_element_mask(pattern, mask)
+        assert is_valid_nm_mask(pattern, element)
+
+
+class TestIndicesRoundTrip:
+    def test_indices_sorted(self, pattern_2_4, rng):
+        mask = random_nm_mask(pattern_2_4, 16, 12, rng)
+        idx = window_indices_from_mask(pattern_2_4, mask)
+        assert np.all(np.diff(idx, axis=1) > 0)
+
+    def test_round_trip(self, pattern_2_4, rng):
+        mask = random_nm_mask(pattern_2_4, 16, 12, rng)
+        idx = window_indices_from_mask(pattern_2_4, mask)
+        back = mask_from_indices(pattern_2_4, idx)
+        assert np.array_equal(mask, back)
+
+    @settings(max_examples=25, deadline=None)
+    @given(patterns, st.integers(1, 3), st.integers(1, 3), st.integers(0, 99))
+    def test_round_trip_property(self, pattern, gk, gn, seed):
+        k = gk * pattern.m
+        n = gn * pattern.vector_length
+        mask = random_nm_mask(pattern, k, n, np.random.default_rng(seed))
+        idx = window_indices_from_mask(pattern, mask)
+        assert np.array_equal(mask_from_indices(pattern, idx), mask)
+
+    def test_wrong_count_rejected(self, pattern_2_4):
+        mask = np.zeros((1, 4, 1), dtype=bool)
+        mask[0, 0, 0] = True  # only 1 kept, N=2
+        with pytest.raises(PatternError, match="keeps 1"):
+            window_indices_from_mask(pattern_2_4, mask)
+
+    def test_duplicate_indices_rejected(self, pattern_2_4):
+        idx = np.array([[[0], [0]]])  # duplicate slot 0
+        with pytest.raises(PatternError, match="duplicate"):
+            mask_from_indices(pattern_2_4, idx)
+
+    def test_out_of_range_rejected(self, pattern_2_4):
+        idx = np.array([[[0], [4]]])  # slot 4 >= M=4
+        with pytest.raises(PatternError):
+            mask_from_indices(pattern_2_4, idx)
+
+
+class TestElementMask:
+    def test_expansion_shape(self, pattern_2_4, rng):
+        mask = random_nm_mask(pattern_2_4, 16, 12, rng)
+        element = vector_mask_to_element_mask(pattern_2_4, mask)
+        assert element.shape == (16, 12)
+
+    def test_vector_granularity(self, pattern_2_4, rng):
+        element = vector_mask_to_element_mask(
+            pattern_2_4, random_nm_mask(pattern_2_4, 16, 12, rng)
+        )
+        # each L-wide vector is all-kept or all-dropped
+        vecs = element.reshape(16, 3, 4)
+        assert np.all(vecs.all(axis=2) == vecs.any(axis=2))
+
+    def test_density(self, pattern_2_4, rng):
+        element = vector_mask_to_element_mask(
+            pattern_2_4, random_nm_mask(pattern_2_4, 16, 12, rng)
+        )
+        assert element.mean() == pytest.approx(pattern_2_4.density)
+
+
+class TestIsValid:
+    def test_valid(self, pattern_2_4, rng):
+        element = vector_mask_to_element_mask(
+            pattern_2_4, random_nm_mask(pattern_2_4, 16, 12, rng)
+        )
+        assert is_valid_nm_mask(pattern_2_4, element)
+
+    def test_invalid_wrong_count(self, pattern_2_4):
+        element = np.ones((16, 12), dtype=bool)  # keeps 4 of 4
+        assert not is_valid_nm_mask(pattern_2_4, element)
+
+    def test_invalid_partial_vector(self, pattern_2_4, rng):
+        element = vector_mask_to_element_mask(
+            pattern_2_4, random_nm_mask(pattern_2_4, 16, 12, rng)
+        )
+        kept = np.argwhere(element)
+        element[kept[0][0], kept[0][1]] = False  # break one vector
+        assert not is_valid_nm_mask(pattern_2_4, element)
+
+    def test_invalid_shape(self, pattern_2_4):
+        assert not is_valid_nm_mask(pattern_2_4, np.ones((15, 12), dtype=bool))

@@ -1,0 +1,65 @@
+"""Unit tests for repro.sparsity.packing (online A-tile packing)."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.config import NMPattern
+from repro.sparsity.packing import (
+    pack_a_tile,
+    packed_footprint_columns,
+    packed_tile_bytes,
+)
+
+
+class TestPackATile:
+    def test_gathers_columns(self, rng):
+        tile = rng.standard_normal((4, 8)).astype(np.float32)
+        cols = np.array([1, 3, 6])
+        out = pack_a_tile(tile, cols)
+        assert out.shape == (4, 3)
+        assert np.array_equal(out, tile[:, [1, 3, 6]])
+
+    def test_contiguous_output(self, rng):
+        tile = rng.standard_normal((4, 8)).astype(np.float32)
+        out = pack_a_tile(tile, np.array([0, 2]))
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_out_of_range_rejected(self, rng):
+        tile = rng.standard_normal((4, 8)).astype(np.float32)
+        with pytest.raises(ValueError):
+            pack_a_tile(tile, np.array([8]))
+
+    def test_negative_rejected(self, rng):
+        tile = rng.standard_normal((4, 8)).astype(np.float32)
+        with pytest.raises(ValueError):
+            pack_a_tile(tile, np.array([-1]))
+
+    def test_2d_cols_rejected(self, rng):
+        tile = rng.standard_normal((4, 8)).astype(np.float32)
+        with pytest.raises(ValueError):
+            pack_a_tile(tile, np.array([[0]]))
+
+    def test_empty_cols(self, rng):
+        tile = rng.standard_normal((4, 8)).astype(np.float32)
+        out = pack_a_tile(tile, np.array([], dtype=np.int64))
+        assert out.shape == (4, 0)
+
+
+class TestFootprint:
+    def test_expected_columns(self):
+        p = NMPattern(4, 32)
+        cols = packed_footprint_columns(p, 64, 1)
+        assert cols == round(64 * 0.125)
+
+    def test_rejects_unaligned_ks(self):
+        with pytest.raises(ValueError):
+            packed_footprint_columns(NMPattern(4, 32), 63, 1)
+
+    def test_bytes(self):
+        p = NMPattern(4, 32)
+        b = packed_tile_bytes(p, ms=64, ks=64, qs=1)
+        assert b == 64 * 8 * 4
+
+    def test_at_least_one(self):
+        p = NMPattern(1, 32)
+        assert packed_footprint_columns(p, 32, 1) >= 1

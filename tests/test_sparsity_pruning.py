@@ -1,0 +1,92 @@
+"""Unit tests for repro.sparsity.pruning (magnitude pruning)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparsity.config import NMPattern
+from repro.sparsity.masks import is_valid_nm_mask, vector_mask_to_element_mask
+from repro.sparsity.pruning import magnitude_prune, prune_dense, vector_importance
+
+
+class TestVectorImportance:
+    def test_shape(self, pattern_2_4, rng):
+        b = rng.standard_normal((16, 12)).astype(np.float32)
+        scores = vector_importance(pattern_2_4, b)
+        assert scores.shape == (4, 4, 3)
+
+    def test_energy(self, pattern_2_4):
+        b = np.zeros((4, 4), dtype=np.float32)
+        b[1, :] = 2.0  # one vector with energy 4*4=16
+        scores = vector_importance(pattern_2_4, b)
+        assert scores[0, 1, 0] == pytest.approx(16.0)
+        assert scores[0, 0, 0] == 0.0
+
+    def test_rejects_indivisible(self, pattern_2_4):
+        with pytest.raises(ValueError):
+            vector_importance(pattern_2_4, np.zeros((15, 12), dtype=np.float32))
+
+
+class TestMagnitudePrune:
+    def test_keeps_largest(self, pattern_2_4):
+        b = np.zeros((4, 4), dtype=np.float32)
+        b[1, :] = 3.0
+        b[3, :] = 2.0
+        b[0, :] = 1.0
+        mask = magnitude_prune(pattern_2_4, b)
+        assert mask[0, 1, 0] and mask[0, 3, 0]
+        assert not mask[0, 0, 0] and not mask[0, 2, 0]
+
+    def test_tie_break_stable(self, pattern_2_4):
+        b = np.ones((4, 4), dtype=np.float32)  # all equal
+        mask = magnitude_prune(pattern_2_4, b)
+        # stable selection keeps the earliest slots
+        assert mask[0, 0, 0] and mask[0, 1, 0]
+        assert not mask[0, 2, 0] and not mask[0, 3, 0]
+
+    def test_dense_pattern_keeps_all(self):
+        p = NMPattern(4, 4, vector_length=4)
+        b = np.random.default_rng(0).standard_normal((8, 8)).astype(np.float32)
+        assert magnitude_prune(p, b).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 99))
+    def test_mask_always_valid(self, seed):
+        p = NMPattern(3, 8, vector_length=4)
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal((16, 16)).astype(np.float32)
+        mask = magnitude_prune(p, b)
+        assert is_valid_nm_mask(p, vector_mask_to_element_mask(p, mask))
+
+
+class TestPruneDense:
+    def test_zeroes_dropped_vectors(self, pattern_2_4, rng):
+        b = rng.standard_normal((16, 12)).astype(np.float32)
+        pruned, mask = prune_dense(pattern_2_4, b)
+        element = vector_mask_to_element_mask(pattern_2_4, mask)
+        assert np.array_equal(pruned != 0, (b != 0) & element)
+
+    def test_pads(self, pattern_2_4, rng):
+        b = rng.standard_normal((15, 11)).astype(np.float32)
+        pruned, mask = prune_dense(pattern_2_4, b)
+        assert pruned.shape == (16, 12)
+
+    def test_no_pad_rejects(self, pattern_2_4, rng):
+        b = rng.standard_normal((15, 11)).astype(np.float32)
+        with pytest.raises(Exception):
+            prune_dense(pattern_2_4, b, pad=False)
+
+    def test_energy_optimality_per_window(self, pattern_2_4, rng):
+        """Magnitude pruning keeps the max-energy subset per window."""
+        b = rng.standard_normal((16, 12)).astype(np.float32)
+        pruned, _ = prune_dense(pattern_2_4, b)
+        windows = b.reshape(4, 4, 3, 4)
+        pruned_w = pruned.reshape(4, 4, 3, 4)
+        for g in range(4):
+            for q in range(3):
+                energies = np.square(windows[g, :, q, :]).sum(axis=1)
+                kept = np.square(pruned_w[g, :, q, :]).sum(axis=1) > 0
+                # kept energy == top-N energy
+                top = np.sort(energies)[-2:].sum()
+                assert energies[kept].sum() == pytest.approx(top, rel=1e-5)

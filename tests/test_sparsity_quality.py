@@ -1,0 +1,95 @@
+"""Unit tests for repro.sparsity.quality (Eq. 2 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.sparsity.compress import compress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.masks import random_nm_mask
+from repro.sparsity.pruning import prune_dense
+from repro.sparsity.quality import (
+    confusion_matrix,
+    mean_abs_error,
+    pruning_energy_kept,
+    relative_frobenius_error,
+)
+
+
+class TestConfusionMatrix:
+    def test_zero_when_equal(self, rng):
+        c = rng.standard_normal((4, 5)).astype(np.float32)
+        w = confusion_matrix(c, c)
+        assert np.all(w == 0)
+
+    def test_eq2_normalisation(self):
+        c1 = np.ones((2, 5), dtype=np.float32)
+        c0 = np.zeros((2, 5), dtype=np.float32)
+        w = confusion_matrix(c1, c0)
+        # |C' - C| / (m*n) = 1/10 everywhere
+        assert np.allclose(w, 0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestErrors:
+    def test_mean_abs(self):
+        a = np.full((2, 2), 2.0, dtype=np.float32)
+        b = np.zeros((2, 2), dtype=np.float32)
+        assert mean_abs_error(a, b) == pytest.approx(2.0)
+
+    def test_relative_frobenius_zero(self, rng):
+        c = rng.standard_normal((3, 3)).astype(np.float32)
+        assert relative_frobenius_error(c, c) == 0.0
+
+    def test_relative_frobenius_zero_denominator(self):
+        z = np.zeros((2, 2), dtype=np.float32)
+        assert relative_frobenius_error(z, z) == 0.0
+        assert relative_frobenius_error(np.ones((2, 2), dtype=np.float32), z) == float(
+            "inf"
+        )
+
+    def test_error_decreases_with_density(self, rng):
+        """More retained vectors -> closer product (on average)."""
+        k, n, m_rows = 64, 32, 16
+        a = rng.standard_normal((m_rows, k)).astype(np.float32)
+        b = rng.standard_normal((k, n)).astype(np.float32)
+        dense = a @ b
+        errors = []
+        for nn, mm in [(1, 8), (2, 8), (4, 8), (8, 8)]:
+            p = NMPattern(nn, mm, vector_length=4)
+            pruned, _ = prune_dense(p, b)
+            errors.append(relative_frobenius_error(a @ pruned, dense))
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] == 0.0  # dense pattern keeps everything
+
+
+class TestEnergyKept:
+    def test_magnitude_beats_random(self, rng):
+        p = NMPattern(2, 8, vector_length=4)
+        b = rng.standard_normal((32, 16)).astype(np.float32)
+        _, mag_mask = prune_dense(p, b)
+        rand_mask = random_nm_mask(p, 32, 16, rng)
+        assert pruning_energy_kept(p, b, mag_mask) >= pruning_energy_kept(
+            p, b, rand_mask
+        )
+
+    def test_dense_keeps_all(self, rng):
+        p = NMPattern(8, 8, vector_length=4)
+        b = rng.standard_normal((16, 8)).astype(np.float32)
+        _, mask = prune_dense(p, b)
+        assert pruning_energy_kept(p, b, mask) == pytest.approx(1.0)
+
+    def test_zero_matrix(self):
+        p = NMPattern(2, 4, vector_length=4)
+        b = np.zeros((8, 8), dtype=np.float32)
+        _, mask = prune_dense(p, b)
+        assert pruning_energy_kept(p, b, mask) == 1.0
+
+    def test_fraction_range(self, rng):
+        p = NMPattern(2, 8, vector_length=4)
+        b = rng.standard_normal((32, 16)).astype(np.float32)
+        _, mask = prune_dense(p, b)
+        kept = pruning_energy_kept(p, b, mask)
+        assert p.density <= kept <= 1.0

@@ -1,0 +1,149 @@
+"""Unit tests for repro.utils.intmath."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.intmath import (
+    bits_required,
+    ceil_div,
+    clamp,
+    geomean,
+    ilog2_ceil,
+    is_power_of_two,
+    round_down,
+    round_up,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 4) == 1
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 4)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b) or ceil_div(a, b) == -(-a // b)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_bounds(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+
+class TestRounding:
+    def test_round_up_exact(self):
+        assert round_up(8, 4) == 8
+
+    def test_round_up(self):
+        assert round_up(9, 4) == 12
+
+    def test_round_down(self):
+        assert round_down(9, 4) == 8
+
+    def test_round_down_exact(self):
+        assert round_down(8, 4) == 8
+
+    def test_round_down_rejects_zero_multiple(self):
+        with pytest.raises(ValueError):
+            round_down(8, 0)
+
+    @given(st.integers(0, 10**6), st.integers(1, 10**4))
+    def test_round_trip_ordering(self, value, multiple):
+        lo = round_down(value, multiple)
+        hi = round_up(value, multiple)
+        assert lo <= value <= hi
+        assert lo % multiple == 0
+        assert hi % multiple == 0
+        assert hi - lo in (0, multiple)
+
+
+class TestPowersAndLogs:
+    @pytest.mark.parametrize("value", [1, 2, 4, 32, 1024, 2**20])
+    def test_powers_of_two(self, value):
+        assert is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 100])
+    def test_non_powers(self, value):
+        assert not is_power_of_two(value)
+
+    def test_ilog2_exact(self):
+        assert ilog2_ceil(32) == 5
+
+    def test_ilog2_rounds_up(self):
+        assert ilog2_ceil(33) == 6
+
+    def test_ilog2_one(self):
+        assert ilog2_ceil(1) == 0
+
+    def test_ilog2_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ilog2_ceil(0)
+
+    def test_bits_required_window_32(self):
+        # The paper's observation: M=32 windows need 5-bit indices.
+        assert bits_required(32) == 5
+
+    def test_bits_required_minimum_one(self):
+        assert bits_required(1) == 1
+
+    @given(st.integers(2, 2**20))
+    def test_bits_required_covers(self, n):
+        bits = bits_required(n)
+        assert 2**bits >= n
+        assert 2 ** (bits - 1) < n or bits == 1
+
+
+class TestGeomean:
+    def test_pair(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_identity(self):
+        assert geomean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestClamp:
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(5.0, 0.0, 1.0) == 1.0
+
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)

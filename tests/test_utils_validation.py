@@ -1,0 +1,112 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.utils.validation import (
+    check_divides,
+    check_fraction,
+    check_in_range,
+    check_matrix,
+    check_multiple_of,
+    check_non_negative_int,
+    check_positive_int,
+)
+
+
+class TestPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int("x", 3) == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int("x", np.int64(3)) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive_int("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("x", -1)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("x", 3.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_positive_int("x", True)
+
+
+class TestNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int("x", -1)
+
+
+class TestRanges:
+    def test_in_range(self):
+        assert check_in_range("x", 0.5, 0.0, 1.0) == 0.5
+
+    def test_boundaries_inclusive(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+    def test_fraction(self):
+        assert check_fraction("f", 0.7) == 0.7
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", 1.7)
+
+
+class TestMultiples:
+    def test_multiple_ok(self):
+        assert check_multiple_of("x", 64, 32) == 64
+
+    def test_multiple_bad(self):
+        with pytest.raises(ConfigurationError):
+            check_multiple_of("x", 48, 32)
+
+    def test_divides_ok(self):
+        check_divides("a", 4, "b", 12)
+
+    def test_divides_bad(self):
+        with pytest.raises(ConfigurationError):
+            check_divides("a", 5, "b", 12)
+
+    def test_divides_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            check_divides("a", 0, "b", 12)
+
+
+class TestMatrix:
+    def test_accepts_2d(self):
+        arr = np.zeros((2, 3), dtype=np.float32)
+        assert check_matrix("m", arr) is arr
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_matrix("m", np.zeros(3))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            check_matrix("m", np.zeros((2, 2, 2)))
+
+    def test_rejects_list(self):
+        with pytest.raises(ShapeError):
+            check_matrix("m", [[1, 2]])
+
+    def test_dtype_enforced(self):
+        with pytest.raises(ShapeError):
+            check_matrix("m", np.zeros((2, 2), dtype=np.float64), dtype=np.float32)
+
+    def test_dtype_match(self):
+        arr = np.zeros((2, 2), dtype=np.float32)
+        assert check_matrix("m", arr, dtype=np.float32) is arr

@@ -1,0 +1,137 @@
+"""Serving-runtime benchmark: latency/throughput under synthetic load.
+
+Runs the canned Llama-shaped scenarios (Poisson and bursty arrivals,
+single- and multi-model registries) through the dynamic-batching
+simulator and writes ``BENCH_serving.json`` at the repo root so the
+serving perf trajectory accrues across PRs.
+
+Schema (``nm-spmm/serving-bench/v1``)::
+
+    {
+      "schema": "nm-spmm/serving-bench/v1",
+      "configs": [
+        {
+          "name": "<scenario>",
+          "scenario": "<describe() string>",
+          "metrics": {
+            "latency": {"p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"},
+            "queue_wait": {...same keys...},
+            "achieved_qps", "completed_requests", "batches",
+            "mean_batch_requests", "mean_batch_rows",
+            "batch_requests_histogram", "padded_rows_histogram",
+            "padding_overhead", "modeled_gpu_busy_s",
+            "modeled_gpu_utilization", "plan_cache", "policy", ...
+          }
+        }, ...
+      ]
+    }
+
+Run standalone (``python benchmarks/bench_serving.py``) or under
+pytest-benchmark (``pytest benchmarks/bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.serve.batcher import BatchingPolicy
+from repro.serve.scenarios import LlamaServingScenario
+from repro.utils.tables import TextTable
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+OUTPUT_PATH = REPO_ROOT / "BENCH_serving.json"
+SCHEMA = "nm-spmm/serving-bench/v1"
+
+#: The tracked scenario grid.  Numerics are disabled: the benchmark
+#: tracks scheduler/model behavior, and modeled time is what drives the
+#: simulated clock either way.
+SCENARIOS: dict[str, LlamaServingScenario] = {
+    "poisson-7b": LlamaServingScenario(
+        models=("llama-7b",),
+        qps=200.0,
+        duration_s=2.0,
+        arrival="poisson",
+        execute_numerics=False,
+    ),
+    "bursty-7b": LlamaServingScenario(
+        models=("llama-7b",),
+        qps=200.0,
+        duration_s=2.0,
+        arrival="bursty",
+        execute_numerics=False,
+    ),
+    "poisson-multi": LlamaServingScenario(
+        models=("llama-7b", "llama-13b"),
+        qps=400.0,
+        duration_s=2.0,
+        arrival="poisson",
+        execute_numerics=False,
+        policy=BatchingPolicy(max_wait_s=1e-3),
+    ),
+}
+
+
+def run_serving_bench() -> dict:
+    """Run every scenario and return the schema-shaped result."""
+    configs = []
+    for name, scenario in SCENARIOS.items():
+        report = scenario.run()
+        configs.append(
+            {
+                "name": name,
+                "scenario": scenario.describe(),
+                "metrics": report.summary(),
+            }
+        )
+    return {"schema": SCHEMA, "configs": configs}
+
+
+def write_results(result: dict) -> pathlib.Path:
+    OUTPUT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return OUTPUT_PATH
+
+
+def render_results(result: dict) -> str:
+    table = TextTable(
+        ["scenario", "p50 ms", "p95 ms", "p99 ms", "QPS", "batch req",
+         "cache hit%"],
+        title="serving benchmark",
+    )
+    for config in result["configs"]:
+        metrics = config["metrics"]
+        table.add_row(
+            [
+                config["name"],
+                f"{metrics['latency']['p50_ms']:.3f}",
+                f"{metrics['latency']['p95_ms']:.3f}",
+                f"{metrics['latency']['p99_ms']:.3f}",
+                f"{metrics['achieved_qps']:.1f}",
+                f"{metrics['mean_batch_requests']:.2f}",
+                f"{metrics['plan_cache']['hit_rate'] * 100:.1f}",
+            ]
+        )
+    return table.render()
+
+
+def test_bench_serving(benchmark, emit):
+    result = benchmark.pedantic(run_serving_bench, rounds=1, iterations=1)
+    path = write_results(result)
+    emit("serving", render_results(result) + f"\n\nwrote {path}")
+
+    assert result["schema"] == SCHEMA
+    assert len(result["configs"]) == len(SCENARIOS)
+    for config in result["configs"]:
+        metrics = config["metrics"]
+        lat = metrics["latency"]
+        assert 0 < lat["p50_ms"] <= lat["p95_ms"] <= lat["p99_ms"]
+        assert metrics["achieved_qps"] > 0
+        assert metrics["completed_requests"] > 0
+        # Row bucketing must make the plan cache converge under load.
+        assert metrics["plan_cache"]["hit_rate"] > 0.5
+
+
+if __name__ == "__main__":  # pragma: no cover
+    bench_result = run_serving_bench()
+    print(render_results(bench_result))
+    print(f"\nwrote {write_results(bench_result)}")

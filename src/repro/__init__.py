@@ -2,7 +2,7 @@
 GPGPU performance model.
 
 Reproduces "NM-SpMM: Accelerating Matrix Multiplication Using N:M
-Sparsity with GPGPU" (IPDPS 2025).  The package has two layers:
+Sparsity with GPGPU" (IPDPS 2025).  The package has three layers:
 
 * **functional** — numerically exact NumPy implementations of the
   vector-wise N:M format and the blocked/packed kernels of the paper's
@@ -10,7 +10,11 @@ Sparsity with GPGPU" (IPDPS 2025).  The package has two layers:
 * **performance** — an analytic GPU model (Table III hardware catalog,
   traffic/occupancy/pipeline simulation) that regenerates every figure
   and table of the evaluation (:mod:`repro.gpu`, :mod:`repro.model`,
-  :mod:`repro.bench`).
+  :mod:`repro.bench`);
+* **serving** — a single-process serving runtime (request queue,
+  dynamic batching, plan-cached execution, seeded load generation)
+  that models the heavy-traffic scenario the offline/online split
+  exists for (:mod:`repro.serve`).
 
 Quickstart::
 
@@ -35,6 +39,7 @@ from repro.core.analysis import PerformanceAnalysis, analyze
 from repro.gpu import GPUSpec, get_gpu, list_gpus
 from repro.kernels import nm_spmm_functional, nm_spmm_reference, dense_gemm
 from repro.model import KernelReport, simulate_nm_spmm
+from repro.serve import BatchingPolicy, InferenceServer
 
 __all__ = [
     "__version__",
@@ -57,4 +62,6 @@ __all__ = [
     "dense_gemm",
     "KernelReport",
     "simulate_nm_spmm",
+    "BatchingPolicy",
+    "InferenceServer",
 ]

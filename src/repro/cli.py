@@ -8,6 +8,7 @@ the same rows/series the paper reports::
     python -m repro fig9 --gpu 3090 # comparison on the 100-point set
     python -m repro fig10           # roofline analysis
     python -m repro table1          # autotuner vs Table I
+    python -m repro serve-sim       # dynamic-batching serving simulation
     python -m repro all             # everything
 """
 
@@ -17,6 +18,7 @@ import argparse
 import sys
 
 from repro._version import __version__
+from repro.workloads.llama import LLAMA_LAYER_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -62,6 +64,36 @@ def build_parser() -> argparse.ArgumentParser:
     pv.add_argument("--n-ratio", type=int, default=2, help="pattern N")
     pv.add_argument("--m-ratio", type=int, default=8, help="pattern M")
     pv.add_argument("--vector-length", type=int, default=4)
+
+    pss = sub.add_parser(
+        "serve-sim",
+        help="dynamic-batching serving simulation over Llama-shaped load",
+    )
+    pss.add_argument("--models", nargs="+", default=["llama-7b"],
+                     help="Llama checkpoints to serve (e.g. llama-7b llama-13b)")
+    pss.add_argument("--layer", default="attn-qkvo",
+                     choices=LLAMA_LAYER_KINDS)
+    pss.add_argument("--scale", type=int, default=16,
+                     help="shrink every dimension by this factor (1 = true shapes)")
+    pss.add_argument("--pattern", default="2:8", help="N:M sparsity, e.g. 2:8")
+    pss.add_argument("--vector-length", type=int, default=8)
+    pss.add_argument("--gpu", default="A100")
+    pss.add_argument("--opt-version", default="V3", help="optimization level")
+    pss.add_argument("--qps", type=float, default=200.0)
+    pss.add_argument("--duration", type=float, default=5.0,
+                     help="simulated seconds of arrivals")
+    pss.add_argument("--arrival", choices=["poisson", "bursty"],
+                     default="poisson")
+    pss.add_argument("--seed", type=int, default=0)
+    pss.add_argument("--max-batch-requests", type=int, default=16)
+    pss.add_argument("--max-batch-rows", type=int, default=256)
+    pss.add_argument("--max-wait-ms", type=float, default=2.0)
+    pss.add_argument("--cache-size", type=int, default=64,
+                     help="plan-cache capacity (entries)")
+    pss.add_argument("--no-numerics", action="store_true",
+                     help="modeled timing only; skip the NumPy kernels")
+    pss.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the summary as JSON")
 
     pall = sub.add_parser("all", help="run every experiment")
     pall.add_argument("--gpu", default="A100")
@@ -125,6 +157,41 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"\nmax relative error (exact quantities): {worst * 100:.3f}%")
         if worst > 1e-6:
             return 1
+    elif args.experiment == "serve-sim":
+        import json as json_module
+
+        from repro.errors import ReproError
+        from repro.serve.batcher import BatchingPolicy
+        from repro.serve.scenarios import LlamaServingScenario, parse_pattern
+
+        try:
+            scenario = LlamaServingScenario(
+                models=tuple(args.models),
+                layer=args.layer,
+                scale=args.scale,
+                pattern=parse_pattern(args.pattern, args.vector_length),
+                gpu=args.gpu,
+                version=args.opt_version,
+                qps=args.qps,
+                duration_s=args.duration,
+                arrival=args.arrival,
+                seed=args.seed,
+                policy=BatchingPolicy(
+                    max_batch_requests=args.max_batch_requests,
+                    max_batch_rows=args.max_batch_rows,
+                    max_wait_s=args.max_wait_ms * 1e-3,
+                ),
+                plan_cache_capacity=args.cache_size,
+                execute_numerics=not args.no_numerics,
+            )
+            report = scenario.run()
+        except ReproError as exc:
+            raise SystemExit(f"serve-sim: {exc}")
+        print(report.render(title=f"serve-sim: {scenario.describe()}"))
+        if args.json:
+            with open(args.json, "w") as fh:
+                json_module.dump(report.summary(), fh, indent=2, sort_keys=True)
+            print(f"\nwrote {args.json}")
     elif args.experiment == "all":
         print(render_fig7(run_fig7()))
         print()

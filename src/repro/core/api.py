@@ -27,18 +27,59 @@ from repro.sparsity.compress import NMCompressedMatrix, compress
 from repro.sparsity.config import NMPattern
 from repro.sparsity.pruning import prune_dense
 from repro.utils.arrays import as_f32
+from repro.utils.cache import LRUCache
 from repro.utils.validation import check_matrix
 
 __all__ = ["SparseHandle", "NMSpMM", "nm_spmm"]
 
 
+#: Key under which a plan is cached on a handle:
+#: ``(m, gpu_name, version, explicit_params)``.
+PlanKey = tuple[int, str, str, "TileParams | None"]
+
+#: Bound on per-handle cached plans; beyond this the least recently
+#: used entry is dropped so a long-lived handle served with
+#: ever-varying batch sizes cannot grow without limit (serving-scale
+#: reuse should go through :class:`repro.serve.cache.PlanCache` plus
+#: row bucketing).
+PLAN_CACHE_CAPACITY = 128
+
+
 @dataclass
 class SparseHandle:
     """Prepared weights: the compressed matrix plus cached offline
-    pre-processing results (one :class:`ColumnInfo` per block shape)."""
+    pre-processing results (one :class:`ColumnInfo` per block shape and
+    one :class:`ExecutionPlan` per launch geometry).
+
+    ``logical_k``/``logical_n`` are the dense weights' dimensions
+    *before* compression padded them to pattern multiples; they default
+    to the padded values when unknown (e.g. a handle built directly
+    from a compressed matrix).
+    """
 
     compressed: NMCompressedMatrix
+    logical_k: "int | None" = None
+    logical_n: "int | None" = None
     _colinfo_cache: dict[tuple[int, int], ColumnInfo] = field(default_factory=dict)
+    _plan_cache: LRUCache = field(
+        default_factory=lambda: LRUCache(PLAN_CACHE_CAPACITY)
+    )
+
+    def __post_init__(self) -> None:
+        if self.logical_k is not None and not (
+            1 <= self.logical_k <= self.compressed.k
+        ):
+            raise ShapeError(
+                f"logical_k={self.logical_k} must be in [1, "
+                f"{self.compressed.k}] (the compressed k)"
+            )
+        if self.logical_n is not None and not (
+            1 <= self.logical_n <= self.compressed.n
+        ):
+            raise ShapeError(
+                f"logical_n={self.logical_n} must be in [1, "
+                f"{self.compressed.n}] (the compressed n)"
+            )
 
     @property
     def pattern(self) -> NMPattern:
@@ -46,11 +87,23 @@ class SparseHandle:
 
     @property
     def k(self) -> int:
+        """Padded reduction dimension (what the kernels consume)."""
         return self.compressed.k
 
     @property
     def n(self) -> int:
+        """Padded output dimension (what the kernels produce)."""
         return self.compressed.n
+
+    @property
+    def k_logical(self) -> int:
+        """The original weights' k (activations naturally have this)."""
+        return self.logical_k if self.logical_k is not None else self.k
+
+    @property
+    def n_logical(self) -> int:
+        """The original weights' n (outputs are trimmed to this)."""
+        return self.logical_n if self.logical_n is not None else self.n
 
     def col_info(self, ws: int, ns: int) -> ColumnInfo:
         """The offline pre-processing output for a block shape, cached
@@ -59,6 +112,23 @@ class SparseHandle:
         if key not in self._colinfo_cache:
             self._colinfo_cache[key] = preprocess_offline(self.compressed, ws, ns)
         return self._colinfo_cache[key]
+
+    def cached_plan(self, key: PlanKey) -> "ExecutionPlan | None":
+        """A previously stored plan for this launch geometry, if any."""
+        return self._plan_cache.get(key)  # type: ignore[return-value]
+
+    def store_plan(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        """Remember a plan so repeat launches skip plan construction
+        (bounded LRU: the least recently used entry falls out past
+        :data:`PLAN_CACHE_CAPACITY`)."""
+        self._plan_cache.put(key, plan)
+
+    @property
+    def plan_cache_size(self) -> int:
+        return len(self._plan_cache)
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
 
     def dense(self) -> np.ndarray:
         """The pruned dense weights (for verification)."""
@@ -113,21 +183,39 @@ class NMSpMM:
         :meth:`execute` calls — the paper's offline phase.
         """
         b = as_f32(check_matrix("b", b))
+        logical_k, logical_n = b.shape
         if already_pruned:
             compressed = compress(self.pattern, b)
         else:
             pruned, mask = prune_dense(self.pattern, b)
             compressed = compress(self.pattern, pruned, mask)
-        return SparseHandle(compressed=compressed)
+        return SparseHandle(
+            compressed=compressed, logical_k=logical_k, logical_n=logical_n
+        )
 
     # ------------------------------------------------------------------
     # Online
     # ------------------------------------------------------------------
     def plan_for(
-        self, m: int, handle: SparseHandle, params: TileParams | None = None
+        self,
+        m: int,
+        handle: SparseHandle,
+        params: TileParams | None = None,
+        *,
+        use_cache: bool = False,
     ) -> ExecutionPlan:
-        """The launch plan for batch size ``m`` against these weights."""
-        return build_plan(
+        """The launch plan for batch size ``m`` against these weights.
+
+        With ``use_cache`` the plan is memoized on the handle keyed by
+        ``(m, gpu, version, params)`` — the serving runtime's fast path,
+        where the same launch geometry recurs for every batch.
+        """
+        key: PlanKey = (m, self.gpu.name, self.version.value, params)
+        if use_cache:
+            cached = handle.cached_plan(key)
+            if cached is not None:
+                return cached
+        plan = build_plan(
             m,
             handle.n,
             handle.k,
@@ -136,6 +224,9 @@ class NMSpMM:
             version=self.version,
             params=params,
         )
+        if use_cache:
+            handle.store_plan(key, plan)
+        return plan
 
     def execute(
         self,
@@ -144,23 +235,69 @@ class NMSpMM:
         *,
         params: TileParams | None = None,
         trace: KernelTrace | None = None,
+        plan: ExecutionPlan | None = None,
+        use_plan_cache: bool = False,
     ) -> np.ndarray:
         """Compute ``C = A (*) (B', D)`` with the strategy the plan
-        selects (packed kernel at high sparsity, blocked otherwise)."""
+        selects (packed kernel at high sparsity, blocked otherwise).
+
+        A precomputed ``plan`` (e.g. from :meth:`plan_for` or a serving
+        plan cache) skips plan construction entirely; it must match the
+        operand shapes and the handle's pattern.
+
+        ``A`` may have either the handle's logical ``k`` (the original
+        weights' row count — zero-padded here, matching the padding
+        compression applied to the weights) or the padded ``k``.  The
+        result is trimmed to the logical ``n``.
+        """
         a = as_f32(check_matrix("a", a))
-        if a.shape[1] < handle.k:
+        if a.shape[1] == handle.k_logical and handle.k_logical != handle.k:
+            pad = np.zeros(
+                (a.shape[0], handle.k - a.shape[1]), dtype=np.float32
+            )
+            a = np.hstack([a, pad])
+        elif a.shape[1] != handle.k:
+            expected = (
+                f"k={handle.k}"
+                if handle.k == handle.k_logical
+                else f"k={handle.k_logical} (or padded k={handle.k})"
+            )
             raise ShapeError(
                 f"A has k={a.shape[1]} but the prepared weights expect "
-                f"k={handle.k}"
+                f"{expected}"
             )
-        plan = self.plan_for(a.shape[0], handle, params)
+        if plan is None:
+            plan = self.plan_for(
+                a.shape[0], handle, params, use_cache=use_plan_cache
+            )
+        else:
+            expected = (a.shape[0], handle.n, handle.k)
+            got = (plan.shape.m, plan.shape.n, plan.shape.k)
+            if got != expected:
+                raise PlanError(
+                    f"plan was built for (m, n, k)={got} but the operands "
+                    f"have (m, n, k)={expected}"
+                )
+            if plan.pattern != handle.pattern:
+                raise PlanError(
+                    f"plan pattern {plan.pattern.label()} does not match "
+                    f"the handle's pattern {handle.pattern.label()}"
+                )
         if plan.uses_packing:
             ws = min(plan.ws, handle.compressed.w)
             col_info = handle.col_info(ws, plan.params.ns)
-            return nm_spmm_packed(
+            out = nm_spmm_packed(
                 a, handle.compressed, plan.params, col_info, trace=trace
             )
-        return nm_spmm_blocked(a, handle.compressed, plan.params, trace=trace)
+        else:
+            out = nm_spmm_blocked(
+                a, handle.compressed, plan.params, trace=trace
+            )
+        # Trim the columns compression padded onto B (they are zero, so
+        # dropping them loses nothing).
+        if handle.n_logical != out.shape[1]:
+            out = out[:, : handle.n_logical]
+        return out
 
     # ------------------------------------------------------------------
     # Prediction
@@ -200,9 +337,24 @@ def nm_spmm(
     pattern: NMPattern,
     *,
     already_pruned: bool = False,
+    gpu: "str | GPUSpec" = "A100",
+    version: "str | OptimizationVersion" = "V3",
 ) -> np.ndarray:
     """One-shot convenience: prune ``b`` under ``pattern`` and return
-    ``A (*) (B', D)``."""
-    op = NMSpMM(pattern)
+    ``A (*) (B', D)``.
+
+    This rebuilds the operator (GPU resolution, pruning, compression and
+    plan construction) on **every** call — it is the slow path, meant
+    for experiments and doctests.  For repeated products against the
+    same weights, construct :class:`NMSpMM` once, call
+    :meth:`NMSpMM.prepare` once, and reuse the handle with
+    :meth:`NMSpMM.execute` (the paper's offline/online split); for
+    serving workloads use :mod:`repro.serve`.
+
+    ``gpu`` and ``version`` pass through to the :class:`NMSpMM`
+    constructor so one-shot calls can still target a specific catalogued
+    GPU and optimization level.
+    """
+    op = NMSpMM(pattern, gpu=gpu, version=version)
     handle = op.prepare(b, already_pruned=already_pruned)
     return op.execute(a, handle)

@@ -17,6 +17,7 @@ __all__ = [
     "SimulationError",
     "CalibrationError",
     "AutotuneError",
+    "ServeError",
 ]
 
 
@@ -54,3 +55,8 @@ class CalibrationError(ReproError):
 
 class AutotuneError(ReproError):
     """The parameter autotuner found no feasible configuration."""
+
+
+class ServeError(ReproError):
+    """The serving runtime was misused (unknown model, bad request,
+    inconsistent queue state or batching policy)."""

@@ -12,7 +12,7 @@ import numpy as np
 from repro.core.api import NMSpMM, SparseHandle
 from repro.errors import ShapeError
 from repro.sparsity.config import NMPattern
-from repro.utils.arrays import as_f32, pad_to_multiple
+from repro.utils.arrays import as_f32
 from repro.utils.validation import check_matrix
 
 __all__ = ["Linear", "NMSparseLinear"]
@@ -75,8 +75,23 @@ class NMSparseLinear:
         self.op = op
         self.handle = handle
         self.bias = bias
-        self.original_k = original_k if original_k is not None else handle.k
-        self.original_n = original_n if original_n is not None else handle.n
+        self.original_k = (
+            original_k if original_k is not None else handle.k_logical
+        )
+        self.original_n = (
+            original_n if original_n is not None else handle.n_logical
+        )
+        if self.original_k > handle.k_logical:
+            raise ShapeError(
+                f"original_k={self.original_k} exceeds the weights' input "
+                f"width k={handle.k_logical}; the extra features would "
+                "silently multiply zero padding rows"
+            )
+        if self.original_n > handle.n_logical:
+            raise ShapeError(
+                f"original_n={self.original_n} exceeds the handle's "
+                f"output width n={handle.n_logical}"
+            )
 
     @classmethod
     def from_dense(
@@ -116,10 +131,16 @@ class NMSparseLinear:
                 f"input has {x.shape[1]} features, layer expects "
                 f"{self.original_k}"
             )
-        # Pad activations to the compressed k (weights were padded at
-        # compression; padded weight rows are zero so results match).
-        if x.shape[1] < self.handle.k:
-            x = pad_to_multiple(x, 1, self.pattern.m)[:, : self.handle.k]
+        # execute() pads logical-k activations and trims the output to
+        # the logical n itself; the explicit pad below only matters when
+        # original_k was overridden on a handle that lacks logical-shape
+        # metadata, and the residual slice when original_n was overridden
+        # below the handle's logical width.
+        if x.shape[1] not in (self.handle.k, self.handle.k_logical):
+            pad = np.zeros(
+                (x.shape[0], self.handle.k - x.shape[1]), dtype=np.float32
+            )
+            x = np.hstack([x, pad])
         y = self.op.execute(x, self.handle)
         y = y[:, : self.out_features]
         if self.bias is not None:

@@ -1,0 +1,76 @@
+"""Serving runtime for NM-SpMM: queue, dynamic batching, plan-cached
+execution, metrics, and seeded load generation.
+
+This is the scaling layer on top of the one-shot
+:class:`~repro.core.api.NMSpMM` facade: prepared
+:class:`~repro.core.api.SparseHandle` weights are registered once (the
+paper's offline phase) and then served under load, with a dynamic
+batcher amortizing the per-launch overheads the performance model
+charges and a shared LRU plan cache skipping repeat plan construction.
+
+Quickstart::
+
+    import numpy as np
+    from repro import NMPattern
+    from repro.serve import (
+        BatchingPolicy, InferenceServer, TrafficSource, generate_requests,
+    )
+
+    rng = np.random.default_rng(0)
+    server = InferenceServer(policy=BatchingPolicy(max_wait_s=1e-3))
+    server.register_model(
+        "llama-7b/attn", rng.standard_normal((256, 256)).astype(np.float32),
+        NMPattern(2, 8, vector_length=8),
+    )
+    trace = generate_requests(
+        [TrafficSource(model="llama-7b/attn", k=256)],
+        qps=200, duration_s=1.0, seed=0,
+    )
+    report = server.simulate(trace)
+    print(report.render())
+"""
+
+from repro.serve.request import InferenceRequest, RequestRecord
+from repro.serve.queue import RequestQueue
+from repro.serve.batcher import Batch, BatchingPolicy, DynamicBatcher
+from repro.serve.cache import CacheStats, LRUCache, PlanCache, PlanEntry
+from repro.serve.metrics import (
+    BatchRecord,
+    LatencySummary,
+    ServingMetrics,
+    percentile,
+)
+from repro.serve.loadgen import (
+    TrafficSource,
+    bursty_arrivals,
+    generate_requests,
+    poisson_arrivals,
+)
+from repro.serve.server import InferenceServer, ModelEntry, ServingReport
+from repro.serve.scenarios import LlamaServingScenario, parse_pattern
+
+__all__ = [
+    "InferenceRequest",
+    "RequestRecord",
+    "RequestQueue",
+    "Batch",
+    "BatchingPolicy",
+    "DynamicBatcher",
+    "CacheStats",
+    "LRUCache",
+    "PlanCache",
+    "PlanEntry",
+    "BatchRecord",
+    "LatencySummary",
+    "ServingMetrics",
+    "percentile",
+    "TrafficSource",
+    "bursty_arrivals",
+    "generate_requests",
+    "poisson_arrivals",
+    "InferenceServer",
+    "ModelEntry",
+    "ServingReport",
+    "LlamaServingScenario",
+    "parse_pattern",
+]

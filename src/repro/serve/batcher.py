@@ -1,0 +1,214 @@
+"""Dynamic batching: when to cut a batch and how to build it.
+
+The scheduler follows the standard max-size / max-wait contract of
+serving systems: a queue is flushed as soon as it fills either budget
+(request count or total activation rows), or once its oldest request
+has waited ``max_wait_s``, or immediately when the arrival stream has
+drained.  The stacked activation block is padded with zero rows up to a
+*bucketed* row count so that repeat launches hit the same execution
+plan — padding buys plan-cache locality at the cost of a few wasted
+rows, exactly the trade the per-launch overheads in the perf model
+reward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.queue import RequestQueue
+from repro.serve.request import InferenceRequest
+from repro.utils.intmath import ilog2_ceil, round_up
+
+__all__ = ["BatchingPolicy", "Batch", "DynamicBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Tunables of the dynamic batcher.
+
+    Parameters
+    ----------
+    max_batch_requests:
+        Flush once this many requests are queued.
+    max_batch_rows:
+        Flush once the queued activation rows reach this budget; also
+        the row budget of one batch (a single larger request still runs,
+        alone).
+    max_wait_s:
+        Deadline: flush when the oldest request has waited this long,
+        even if the batch is small (bounds tail latency).
+    pad_rows_quantum:
+        Pad the stacked batch up to a multiple of this row count.
+    pow2_rows:
+        Additionally round padded rows up to a power of two, collapsing
+        the batch-size distribution onto a handful of buckets so the
+        plan cache converges after a few batches.
+    """
+
+    max_batch_requests: int = 16
+    max_batch_rows: int = 256
+    max_wait_s: float = 2e-3
+    pad_rows_quantum: int = 8
+    pow2_rows: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch_requests < 1:
+            raise ServeError(
+                f"max_batch_requests must be >= 1, got {self.max_batch_requests}"
+            )
+        if self.max_batch_rows < 1:
+            raise ServeError(
+                f"max_batch_rows must be >= 1, got {self.max_batch_rows}"
+            )
+        if not np.isfinite(self.max_wait_s) or self.max_wait_s < 0:
+            raise ServeError(
+                f"max_wait_s must be finite and >= 0, got {self.max_wait_s}"
+            )
+        if self.pad_rows_quantum < 1:
+            raise ServeError(
+                f"pad_rows_quantum must be >= 1, got {self.pad_rows_quantum}"
+            )
+
+    def bucket_rows(self, rows: int) -> int:
+        """The padded row count a ``rows``-row batch launches with."""
+        if rows < 1:
+            raise ServeError(f"batch must have >= 1 row, got {rows}")
+        padded = round_up(rows, self.pad_rows_quantum)
+        if self.pow2_rows:
+            padded = 1 << ilog2_ceil(padded)
+        return padded
+
+
+@dataclass
+class Batch:
+    """One formed batch: the stacked (and padded) activation block plus
+    the bookkeeping needed to hand each request its output slice.
+
+    ``a`` is ``None`` when the batch was formed without stacking
+    (modeled-time-only runs never execute the numerics, so the padded
+    activation copy would be pure waste).
+    """
+
+    batch_id: int
+    model: str
+    requests: list[InferenceRequest]
+    a: "np.ndarray | None"
+    row_offsets: list[int]
+    rows: int
+    padded_rows: int
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def padding_rows(self) -> int:
+        return self.padded_rows - self.rows
+
+    def split(self, c: np.ndarray) -> list[np.ndarray]:
+        """Slice the batched product back into per-request outputs,
+        dropping the zero-padding rows."""
+        if c.shape[0] != self.padded_rows:
+            raise ServeError(
+                f"batched output has {c.shape[0]} rows but the batch "
+                f"launched with {self.padded_rows}"
+            )
+        outputs: list[np.ndarray] = []
+        for req, start in zip(self.requests, self.row_offsets):
+            outputs.append(c[start : start + req.rows])
+        return outputs
+
+
+class DynamicBatcher:
+    """Cuts batches off per-model FIFO queues under a
+    :class:`BatchingPolicy`."""
+
+    def __init__(self, policy: "BatchingPolicy | None" = None):
+        self.policy = policy or BatchingPolicy()
+        self._next_batch_id = 0
+
+    # ------------------------------------------------------------------
+    # Flush decision
+    # ------------------------------------------------------------------
+    def is_full(self, queue: RequestQueue) -> bool:
+        """Whether the queue already fills a batch budget."""
+        return (
+            len(queue) >= self.policy.max_batch_requests
+            or queue.total_rows >= self.policy.max_batch_rows
+        )
+
+    def deadline_s(self, queue: RequestQueue) -> "float | None":
+        """The time at which the queue must flush regardless of size."""
+        oldest = queue.oldest_arrival_s
+        if oldest is None:
+            return None
+        return oldest + self.policy.max_wait_s
+
+    def should_flush(
+        self, queue: RequestQueue, now_s: float, *, drain: bool = False
+    ) -> bool:
+        """Whether a batch should be cut from this queue at ``now_s``.
+
+        ``drain`` marks the end of the arrival stream: nothing is gained
+        by waiting, so any nonempty queue flushes immediately.
+        """
+        if not queue:
+            return False
+        if drain or self.is_full(queue):
+            return True
+        deadline = self.deadline_s(queue)
+        return deadline is not None and now_s >= deadline
+
+    # ------------------------------------------------------------------
+    # Batch formation
+    # ------------------------------------------------------------------
+    def form_batch(
+        self,
+        queue: RequestQueue,
+        *,
+        stack: bool = True,
+        pad_to_k: "int | None" = None,
+    ) -> Batch:
+        """Pop the FIFO prefix within budget, pad to the row bucket,
+        and return the batch.  ``stack=False`` skips building the
+        stacked activation block (modeled-time-only runs);
+        ``pad_to_k`` widens the stacked block with zero columns up to
+        the weights' padded k, so execute() need not re-copy it.
+        """
+        requests = queue.pop_upto(
+            self.policy.max_batch_requests, self.policy.max_batch_rows
+        )
+        rows = sum(req.rows for req in requests)
+        k = requests[0].k
+        if pad_to_k is not None:
+            if pad_to_k < k:
+                raise ServeError(
+                    f"pad_to_k={pad_to_k} is narrower than the requests' "
+                    f"k={k}"
+                )
+            k = pad_to_k
+        padded_rows = self.policy.bucket_rows(rows)
+        a: "np.ndarray | None" = None
+        row_offsets: list[int] = []
+        cursor = 0
+        for req in requests:
+            row_offsets.append(cursor)
+            cursor += req.rows
+        if stack:
+            a = np.zeros((padded_rows, k), dtype=np.float32)
+            for req, start in zip(requests, row_offsets):
+                a[start : start + req.rows, : req.k] = req.a
+        batch = Batch(
+            batch_id=self._next_batch_id,
+            model=queue.model,
+            requests=requests,
+            a=a,
+            row_offsets=row_offsets,
+            rows=rows,
+            padded_rows=padded_rows,
+        )
+        self._next_batch_id += 1
+        return batch

@@ -1,0 +1,73 @@
+"""Plan caching for the serving runtime.
+
+Plan construction (Table I lookup, Eq. 5 ``ks``, strategy selection)
+and the perf-model simulation of the resulting launch are pure
+functions of the launch geometry, so the server shares one bounded LRU
+across all registered models keyed by ``(model, padded_m)``: the
+batcher's row bucketing collapses the batch-size distribution onto a
+few buckets, so the cache converges to near-100% hits after warm-up.
+``ColumnInfo`` (Listing 3's offline pre-processing) is likewise reused
+— it lives on each model's :class:`~repro.core.api.SparseHandle` and is
+built at most once per block shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.api import NMSpMM, SparseHandle
+from repro.core.plan import ExecutionPlan
+from repro.utils.cache import CacheStats, LRUCache
+
+__all__ = ["CacheStats", "LRUCache", "PlanEntry", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """What the serving engine needs per launch geometry: the execution
+    plan plus its perf-model report (modeled seconds drive the simulated
+    clock)."""
+
+    plan: ExecutionPlan
+    report: object  # KernelReport; kept untyped to avoid a model import
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.report.seconds  # type: ignore[attr-defined]
+
+
+@dataclass
+class PlanCache:
+    """The shared ``(model, m) -> PlanEntry`` LRU of the server."""
+
+    capacity: int = 64
+    _lru: LRUCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._lru = LRUCache(self.capacity)
+
+    def lookup(
+        self, model: str, op: NMSpMM, handle: SparseHandle, m: int
+    ) -> PlanEntry:
+        """The plan + modeled report for an ``m``-row launch of
+        ``model``, building both on first use."""
+        key = (model, m, op.gpu.name, op.version.value)
+
+        def build() -> PlanEntry:
+            # Deliberately NOT handle-level caching (use_cache): this
+            # LRU is the single bounded owner of serving plans, so
+            # evicting an entry really frees it.
+            plan = op.plan_for(m, handle)
+            return PlanEntry(plan=plan, report=plan.simulate())
+
+        return self._lru.get_or_build(key, build)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()

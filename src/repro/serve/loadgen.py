@@ -1,0 +1,241 @@
+"""Seeded load generation: arrival processes and request synthesis.
+
+Arrivals are generated ahead of time on the simulated clock (Poisson or
+bursty on/off-modulated Poisson), so a ``(seed, qps, duration)`` triple
+always produces the identical request trace — serving curves reproduce
+bit-for-bit with no wall-clock flakiness.
+
+Request shapes are Llama-flavoured: each :class:`TrafficSource` targets
+one registered weight matrix (e.g. a scaled Llama linear layer from
+:mod:`repro.workloads.llama`) and draws its activation row count from a
+decode-heavy distribution (mostly 1-8 rows, the occasional larger
+prefill chunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.request import InferenceRequest
+
+__all__ = [
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "TrafficSource",
+    "generate_requests",
+]
+
+#: Default decode-heavy request row distribution: mostly single-token
+#: decode steps, a tail of small prefill chunks.
+DEFAULT_ROWS_CHOICES: tuple[int, ...] = (1, 2, 4, 8, 16)
+DEFAULT_ROWS_WEIGHTS: tuple[float, ...] = (0.45, 0.25, 0.15, 0.10, 0.05)
+
+
+def _check_rate(qps: float, duration_s: float) -> None:
+    if not qps > 0:
+        raise ServeError(f"qps must be > 0, got {qps}")
+    if not duration_s > 0:
+        raise ServeError(f"duration_s must be > 0, got {duration_s}")
+
+
+def poisson_arrivals(
+    qps: float, duration_s: float, rng: np.random.Generator
+) -> list[float]:
+    """Homogeneous Poisson arrivals at ``qps`` over ``[0, duration_s)``
+    (i.i.d. exponential gaps)."""
+    _check_rate(qps, duration_s)
+    times: list[float] = []
+    t = float(rng.exponential(1.0 / qps))
+    while t < duration_s:
+        times.append(t)
+        t += float(rng.exponential(1.0 / qps))
+    return times
+
+
+def bursty_arrivals(
+    qps: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    *,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.25,
+    cycle_s: float = 0.25,
+) -> list[float]:
+    """On/off-modulated Poisson arrivals with mean rate ``qps``.
+
+    Each ``cycle_s`` window starts with a burst phase lasting
+    ``burst_fraction`` of the cycle at ``burst_factor * qps``; the off
+    phase rate is chosen so the long-run mean stays ``qps``.  Within
+    each phase, arrival counts are Poisson and positions uniform (the
+    standard conditional-uniformity construction), keeping the trace a
+    pure function of the seed.
+    """
+    _check_rate(qps, duration_s)
+    if burst_factor < 1:
+        raise ServeError(f"burst_factor must be >= 1, got {burst_factor}")
+    if not 0 < burst_fraction < 1:
+        raise ServeError(
+            f"burst_fraction must be in (0, 1), got {burst_fraction}"
+        )
+    if burst_factor * burst_fraction > 1:
+        raise ServeError(
+            f"burst_factor={burst_factor} with burst_fraction="
+            f"{burst_fraction} would need a negative off-phase rate to "
+            f"keep the mean at qps; require burst_factor <= "
+            f"{1.0 / burst_fraction:g}"
+        )
+    if not cycle_s > 0:
+        raise ServeError(f"cycle_s must be > 0, got {cycle_s}")
+    rate_on = qps * burst_factor
+    rate_off = qps * (1.0 - burst_fraction * burst_factor) / (
+        1.0 - burst_fraction
+    )
+    times: list[float] = []
+    t0 = 0.0
+    while t0 < duration_s:
+        for rate, t_start, t_end in (
+            (rate_on, t0, t0 + burst_fraction * cycle_s),
+            (rate_off, t0 + burst_fraction * cycle_s, t0 + cycle_s),
+        ):
+            t_end = min(t_end, duration_s)
+            span = t_end - t_start
+            if span <= 0 or rate <= 0:
+                continue
+            count = int(rng.poisson(rate * span))
+            if count:
+                times.extend(
+                    sorted(t_start + span * rng.random(count))
+                )
+        t0 += cycle_s
+    return times
+
+
+@dataclass(frozen=True)
+class TrafficSource:
+    """One stream of Llama-shaped requests against a registered model.
+
+    Parameters
+    ----------
+    model:
+        Registered model name the requests target.
+    k:
+        Activation width — must equal the registered handle's ``k``.
+    rows_choices / rows_weights:
+        Distribution of the per-request activation row count.
+    share:
+        Relative traffic share when several sources mix.
+    """
+
+    model: str
+    k: int
+    rows_choices: tuple[int, ...] = DEFAULT_ROWS_CHOICES
+    rows_weights: "tuple[float, ...] | None" = DEFAULT_ROWS_WEIGHTS
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ServeError(f"k must be >= 1, got {self.k}")
+        if not self.rows_choices or any(r < 1 for r in self.rows_choices):
+            raise ServeError(f"bad rows_choices {self.rows_choices}")
+        # The decode-heavy default weights only fit the default choices;
+        # custom rows_choices fall back to uniform unless the caller
+        # supplies matching weights explicitly.
+        if (
+            self.rows_weights is DEFAULT_ROWS_WEIGHTS
+            and len(self.rows_choices) != len(DEFAULT_ROWS_WEIGHTS)
+        ):
+            object.__setattr__(self, "rows_weights", None)
+        if self.rows_weights is not None and (
+            len(self.rows_weights) != len(self.rows_choices)
+            or any(w < 0 for w in self.rows_weights)
+            or sum(self.rows_weights) <= 0
+        ):
+            raise ServeError(f"bad rows_weights {self.rows_weights}")
+        if not self.share > 0:
+            raise ServeError(f"share must be > 0, got {self.share}")
+
+
+def generate_requests(
+    sources: "list[TrafficSource] | tuple[TrafficSource, ...]",
+    qps: float,
+    duration_s: float,
+    *,
+    seed: int = 0,
+    arrival: str = "poisson",
+    integer_values: bool = False,
+    synthesize_activations: bool = True,
+    burst_factor: float = 4.0,
+    burst_fraction: float = 0.25,
+    cycle_s: float = 0.25,
+) -> list[InferenceRequest]:
+    """A full seeded request trace, sorted by arrival time.
+
+    ``integer_values`` fills activations with small integers (exactly
+    representable in float32), which makes batched-vs-individual
+    execution *bitwise* comparable regardless of BLAS accumulation
+    order — the correctness tests rely on it.
+
+    ``synthesize_activations=False`` emits metadata-only requests
+    (``a=None``, just ``(rows, k)``) for scheduling-only runs with
+    numerics off — no point drawing and storing activation data the
+    engine never reads.
+    """
+    if not sources:
+        raise ServeError("generate_requests needs at least one TrafficSource")
+    rng = np.random.default_rng(seed)
+    if arrival == "poisson":
+        times = poisson_arrivals(qps, duration_s, rng)
+    elif arrival == "bursty":
+        times = bursty_arrivals(
+            qps,
+            duration_s,
+            rng,
+            burst_factor=burst_factor,
+            burst_fraction=burst_fraction,
+            cycle_s=cycle_s,
+        )
+    else:
+        raise ServeError(
+            f"unknown arrival process {arrival!r}; use 'poisson' or 'bursty'"
+        )
+
+    shares = np.array([s.share for s in sources], dtype=np.float64)
+    shares /= shares.sum()
+    rows_weights_by_source: "list[np.ndarray | None]" = []
+    for src in sources:
+        if src.rows_weights is None:
+            rows_weights_by_source.append(None)
+        else:
+            weights = np.array(src.rows_weights, dtype=np.float64)
+            rows_weights_by_source.append(weights / weights.sum())
+    requests: list[InferenceRequest] = []
+    for i, t in enumerate(times):
+        src_index = int(rng.choice(len(sources), p=shares))
+        src = sources[src_index]
+        rows = int(
+            rng.choice(src.rows_choices, p=rows_weights_by_source[src_index])
+        )
+        if not synthesize_activations:
+            requests.append(
+                InferenceRequest(
+                    request_id=i,
+                    model=src.model,
+                    a=None,
+                    arrival_s=float(t),
+                    shape=(rows, src.k),
+                )
+            )
+            continue
+        if integer_values:
+            a = rng.integers(-4, 5, size=(rows, src.k)).astype(np.float32)
+        else:
+            a = rng.standard_normal((rows, src.k)).astype(np.float32)
+        requests.append(
+            InferenceRequest(
+                request_id=i, model=src.model, a=a, arrival_s=float(t)
+            )
+        )
+    return requests

@@ -1,0 +1,239 @@
+"""Serving metrics: latency percentiles, throughput, batch shape.
+
+Aggregates the per-request and per-batch records the engine emits into
+the numbers serving papers report — p50/p95/p99 latency, achieved QPS,
+batch-size histogram, modeled GPU busy time and utilization — plus a
+JSON-able summary dict so benchmark trajectories can accrue across PRs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ServeError
+from repro.serve.request import RequestRecord
+from repro.utils.tables import TextTable
+
+__all__ = ["percentile", "LatencySummary", "BatchRecord", "ServingMetrics"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile with linear interpolation (no numpy
+    dependency so the metrics layer stays trivially deterministic).
+
+    >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
+    2.5
+    """
+    if not values:
+        raise ServeError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ServeError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The latency digest of one sample, in milliseconds."""
+
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_seconds(cls, seconds: Sequence[float]) -> "LatencySummary":
+        ms = [s * 1e3 for s in seconds]
+        return cls(
+            p50_ms=percentile(ms, 50),
+            p95_ms=percentile(ms, 95),
+            p99_ms=percentile(ms, 99),
+            mean_ms=sum(ms) / len(ms),
+            max_ms=max(ms),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "p50_ms": round(self.p50_ms, 6),
+            "p95_ms": round(self.p95_ms, 6),
+            "p99_ms": round(self.p99_ms, 6),
+            "mean_ms": round(self.mean_ms, 6),
+            "max_ms": round(self.max_ms, 6),
+        }
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One launched batch, as the metrics layer sees it."""
+
+    batch_id: int
+    model: str
+    n_requests: int
+    rows: int
+    padded_rows: int
+    started_s: float
+    finished_s: float
+    modeled_gpu_s: float
+
+    @property
+    def padding_fraction(self) -> float:
+        return 1.0 - self.rows / self.padded_rows
+
+
+@dataclass
+class ServingMetrics:
+    """Accumulator for one simulated serving run."""
+
+    request_records: list[RequestRecord] = field(default_factory=list)
+    batch_records: list[BatchRecord] = field(default_factory=list)
+
+    def add_request(self, record: RequestRecord) -> None:
+        self.request_records.append(record)
+
+    def add_batch(self, record: BatchRecord) -> None:
+        self.batch_records.append(record)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return len(self.request_records)
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion on the simulated clock."""
+        if not self.request_records:
+            return 0.0
+        first = min(r.request.arrival_s for r in self.request_records)
+        last = max(r.finished_s for r in self.request_records)
+        return last - first
+
+    @property
+    def achieved_qps(self) -> float:
+        span = self.makespan_s
+        return self.completed / span if span > 0 else 0.0
+
+    def latency(self) -> LatencySummary:
+        self._require_records()
+        return LatencySummary.from_seconds(
+            [r.latency_s for r in self.request_records]
+        )
+
+    def queue_wait(self) -> LatencySummary:
+        self._require_records()
+        return LatencySummary.from_seconds(
+            [r.queue_wait_s for r in self.request_records]
+        )
+
+    @property
+    def mean_batch_requests(self) -> float:
+        self._require_batches()
+        return sum(b.n_requests for b in self.batch_records) / len(
+            self.batch_records
+        )
+
+    @property
+    def mean_batch_rows(self) -> float:
+        self._require_batches()
+        return sum(b.rows for b in self.batch_records) / len(self.batch_records)
+
+    def batch_requests_histogram(self) -> dict[int, int]:
+        """``requests-per-batch -> batch count``."""
+        return dict(sorted(Counter(b.n_requests for b in self.batch_records).items()))
+
+    def padded_rows_histogram(self) -> dict[int, int]:
+        """``padded batch rows (plan-cache bucket) -> batch count``."""
+        return dict(sorted(Counter(b.padded_rows for b in self.batch_records).items()))
+
+    @property
+    def gpu_busy_s(self) -> float:
+        """Total modeled GPU time across batches."""
+        return sum(b.modeled_gpu_s for b in self.batch_records)
+
+    @property
+    def gpu_utilization(self) -> float:
+        span = self.makespan_s
+        return self.gpu_busy_s / span if span > 0 else 0.0
+
+    @property
+    def padding_overhead(self) -> float:
+        """Fraction of launched rows that were zero padding."""
+        self._require_batches()
+        launched = sum(b.padded_rows for b in self.batch_records)
+        useful = sum(b.rows for b in self.batch_records)
+        return 1.0 - useful / launched
+
+    def per_model_completed(self) -> dict[str, int]:
+        return dict(
+            sorted(Counter(r.request.model for r in self.request_records).items())
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary(self, extra: "dict | None" = None) -> dict:
+        """A JSON-able digest of the run (the serving-bench schema)."""
+        self._require_records()
+        out = {
+            "completed_requests": self.completed,
+            "batches": len(self.batch_records),
+            "makespan_s": round(self.makespan_s, 9),
+            "achieved_qps": round(self.achieved_qps, 3),
+            "latency": self.latency().as_dict(),
+            "queue_wait": self.queue_wait().as_dict(),
+            "mean_batch_requests": round(self.mean_batch_requests, 3),
+            "mean_batch_rows": round(self.mean_batch_rows, 3),
+            "batch_requests_histogram": {
+                str(k): v for k, v in self.batch_requests_histogram().items()
+            },
+            "padded_rows_histogram": {
+                str(k): v for k, v in self.padded_rows_histogram().items()
+            },
+            "padding_overhead": round(self.padding_overhead, 4),
+            "modeled_gpu_busy_s": round(self.gpu_busy_s, 9),
+            "modeled_gpu_utilization": round(self.gpu_utilization, 4),
+            "per_model_completed": self.per_model_completed(),
+        }
+        if extra:
+            out.update(extra)
+        return out
+
+    def render(self, title: str = "serving run") -> str:
+        """The human-readable digest ``serve-sim`` prints."""
+        self._require_records()
+        lat = self.latency()
+        wait = self.queue_wait()
+        table = TextTable(["metric", "value"], title=title)
+        table.add_row(["requests completed", str(self.completed)])
+        table.add_row(["batches launched", str(len(self.batch_records))])
+        table.add_row(["makespan", f"{self.makespan_s * 1e3:.3f} ms"])
+        table.add_row(["achieved QPS", f"{self.achieved_qps:.1f}"])
+        table.add_row(["latency p50", f"{lat.p50_ms:.3f} ms"])
+        table.add_row(["latency p95", f"{lat.p95_ms:.3f} ms"])
+        table.add_row(["latency p99", f"{lat.p99_ms:.3f} ms"])
+        table.add_row(["queue wait p99", f"{wait.p99_ms:.3f} ms"])
+        table.add_row(["mean batch size (requests)", f"{self.mean_batch_requests:.2f}"])
+        table.add_row(["mean batch rows", f"{self.mean_batch_rows:.1f}"])
+        table.add_row(["padding overhead", f"{self.padding_overhead * 100:.1f}%"])
+        table.add_row(["modeled GPU busy", f"{self.gpu_busy_s * 1e3:.3f} ms"])
+        table.add_row(["modeled GPU utilization", f"{self.gpu_utilization * 100:.1f}%"])
+        return table.render()
+
+    # ------------------------------------------------------------------
+    def _require_records(self) -> None:
+        if not self.request_records:
+            raise ServeError("no completed requests recorded")
+
+    def _require_batches(self) -> None:
+        if not self.batch_records:
+            raise ServeError("no batches recorded")

@@ -1,0 +1,95 @@
+"""Per-model FIFO request queue.
+
+One :class:`RequestQueue` holds the admitted-but-unlaunched requests of
+a single registered model.  The batcher inspects the queue's aggregate
+state (request count, total rows, oldest arrival) to decide when a
+batch should be cut, and pops requests in strict arrival order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ServeError
+from repro.serve.request import InferenceRequest
+
+__all__ = ["RequestQueue"]
+
+
+class RequestQueue:
+    """FIFO queue of pending requests for one model."""
+
+    def __init__(self, model: str):
+        if not model:
+            raise ServeError("queue needs a model name")
+        self.model = model
+        self._items: deque[InferenceRequest] = deque()
+        self._total_rows = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def total_rows(self) -> int:
+        """Activation rows currently queued (the batch ``m`` a full
+        flush would produce before padding).  Maintained incrementally:
+        the scheduler polls this on every event-loop step."""
+        return self._total_rows
+
+    @property
+    def oldest_arrival_s(self) -> "float | None":
+        """Arrival time of the longest-waiting request."""
+        return self._items[0].arrival_s if self._items else None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def push(self, request: InferenceRequest) -> None:
+        """Admit a request.  Admission must follow simulated time: a
+        request may not arrive before the queue's newest entry."""
+        if request.model != self.model:
+            raise ServeError(
+                f"request for model {request.model!r} pushed onto the "
+                f"{self.model!r} queue"
+            )
+        if self._items and request.arrival_s < self._items[-1].arrival_s:
+            raise ServeError(
+                f"out-of-order admission: request {request.request_id} "
+                f"arrives at {request.arrival_s} but the queue tail is at "
+                f"{self._items[-1].arrival_s}"
+            )
+        self._items.append(request)
+        self._total_rows += request.rows
+
+    def pop_upto(
+        self, max_requests: int, max_rows: int
+    ) -> list[InferenceRequest]:
+        """Pop the FIFO prefix that fits both budgets.
+
+        Always pops at least one request (a single oversized request
+        still has to run), then keeps taking requests while both the
+        request-count and row budgets hold.
+        """
+        if not self._items:
+            raise ServeError(f"pop from empty queue {self.model!r}")
+        if max_requests < 1 or max_rows < 1:
+            raise ServeError(
+                f"budgets must be >= 1, got max_requests={max_requests}, "
+                f"max_rows={max_rows}"
+            )
+        taken = [self._items.popleft()]
+        rows = taken[0].rows
+        while self._items:
+            nxt = self._items[0]
+            if len(taken) + 1 > max_requests or rows + nxt.rows > max_rows:
+                break
+            taken.append(self._items.popleft())
+            rows += nxt.rows
+        self._total_rows -= rows
+        return taken

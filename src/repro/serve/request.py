@@ -1,0 +1,139 @@
+"""Request and completion records of the serving runtime.
+
+An :class:`InferenceRequest` is one user call against a registered
+model: a dense activation block ``A_i`` of shape ``(rows, k)`` plus a
+simulated arrival timestamp.  The runtime stacks many requests into one
+NM-SpMM launch (the online phase of Fig. 2 amortized over a batch) and
+returns a :class:`RequestRecord` per request carrying the timing
+decomposition the metrics layer aggregates.
+
+All timestamps are seconds on the *simulated* clock — the runtime never
+reads the wall clock, which keeps throughput/latency curves exactly
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.utils.arrays import as_f32
+from repro.utils.validation import check_matrix
+
+__all__ = ["InferenceRequest", "RequestRecord"]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One inference call against a registered model.
+
+    Parameters
+    ----------
+    request_id:
+        Unique monotone id (ties in arrival time break by id).
+    model:
+        Name the target weights were registered under.
+    a:
+        The activation block, ``(rows, k)`` float32 — or ``None`` for a
+        metadata-only request (scheduling studies with numerics off),
+        in which case ``shape`` supplies ``(rows, k)``.
+    arrival_s:
+        Arrival time on the simulated clock.
+    shape:
+        ``(rows, k)`` of a metadata-only request; ignored (and must be
+        omitted) when ``a`` is given.
+    """
+
+    request_id: int
+    model: str
+    a: "np.ndarray | None"
+    arrival_s: float
+    shape: "tuple[int, int] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.request_id < 0:
+            raise ServeError(f"request_id must be >= 0, got {self.request_id}")
+        if not self.model:
+            raise ServeError("request needs a model name")
+        if self.a is not None:
+            if self.shape is not None:
+                raise ServeError("pass either a or shape, not both")
+            a = as_f32(check_matrix("a", self.a))
+            object.__setattr__(self, "a", a)
+        else:
+            if self.shape is None:
+                raise ServeError(
+                    "a metadata-only request needs shape=(rows, k)"
+                )
+            rows, k = self.shape
+            if rows < 1 or k < 1:
+                raise ServeError(f"bad request shape {self.shape}")
+        if not np.isfinite(self.arrival_s) or self.arrival_s < 0:
+            raise ServeError(
+                f"arrival_s must be finite and >= 0, got {self.arrival_s}"
+            )
+
+    @property
+    def rows(self) -> int:
+        """Rows this request contributes to a batch (its ``m``)."""
+        if self.a is None:
+            return int(self.shape[0])
+        return int(self.a.shape[0])
+
+    @property
+    def k(self) -> int:
+        if self.a is None:
+            return int(self.shape[1])
+        return int(self.a.shape[1])
+
+    def label(self) -> str:
+        return (
+            f"req#{self.request_id} {self.model} "
+            f"{self.rows}x{self.k} @t={self.arrival_s * 1e3:.3f}ms"
+        )
+
+
+@dataclass
+class RequestRecord:
+    """Completion record for one request.
+
+    ``output`` is the request's slice of the batched product (padding
+    rows removed), or ``None`` when the runtime ran in modeled-time-only
+    mode.
+    """
+
+    request: InferenceRequest
+    batch_id: int
+    started_s: float
+    finished_s: float
+    output: "np.ndarray | None" = None
+
+    def __post_init__(self) -> None:
+        if self.finished_s < self.started_s:
+            raise ServeError(
+                f"finished_s={self.finished_s} precedes started_s="
+                f"{self.started_s}"
+            )
+        if self.started_s < self.request.arrival_s:
+            raise ServeError(
+                f"request {self.request.request_id} started at "
+                f"{self.started_s} before its arrival "
+                f"{self.request.arrival_s}"
+            )
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion latency (what users experience)."""
+        return self.finished_s - self.request.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time spent queued before the batch launched."""
+        return self.started_s - self.request.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Modeled GPU + host time of the batch this request rode in."""
+        return self.finished_s - self.started_s

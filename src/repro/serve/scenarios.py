@@ -1,0 +1,162 @@
+"""Canned serving scenarios: Llama-shaped models under synthetic load.
+
+Shared by ``python -m repro serve-sim`` and
+``benchmarks/bench_serving.py`` so the CLI demo and the tracked
+benchmark run the identical setup: each requested Llama checkpoint is
+shrunk by ``scale`` (geometry-preserving), one linear layer's weight
+matrix is synthesized from the seed, registered on the server, and a
+:class:`~repro.serve.loadgen.TrafficSource` is attached to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ServeError
+from repro.serve.batcher import BatchingPolicy
+from repro.serve.loadgen import (
+    DEFAULT_ROWS_CHOICES,
+    TrafficSource,
+    generate_requests,
+)
+from repro.serve.server import InferenceServer, ServingReport
+from repro.sparsity.config import NMPattern
+from repro.workloads.llama import get_llama_model, llama_layer_shapes
+
+__all__ = ["parse_pattern", "LlamaServingScenario"]
+
+
+def parse_pattern(spec: str, vector_length: int = 8) -> NMPattern:
+    """Parse an ``"N:M"`` pattern spec (e.g. ``"2:8"``).
+
+    >>> parse_pattern("2:8").sparsity
+    0.75
+    """
+    parts = spec.strip().split(":")
+    if len(parts) != 2:
+        raise ConfigurationError(
+            f"bad pattern spec {spec!r}; expected 'N:M' like '2:8'"
+        )
+    try:
+        n, m = int(parts[0]), int(parts[1])
+    except ValueError:
+        raise ConfigurationError(
+            f"bad pattern spec {spec!r}; N and M must be integers"
+        ) from None
+    return NMPattern(n, m, vector_length=vector_length)
+
+
+@dataclass
+class LlamaServingScenario:
+    """One reproducible serving experiment.
+
+    Parameters
+    ----------
+    models:
+        Llama checkpoint names (``"llama-7b"``...), each registered as
+        one serving model.
+    layer:
+        Which linear layer's shape to serve (a name from
+        :func:`~repro.workloads.llama.llama_layer_shapes`).
+    scale:
+        Geometry-preserving shrink factor applied to every dimension so
+        the NumPy kernels stay fast; 1 serves the true shapes.
+    pattern:
+        N:M sparsity pattern for every registered model.
+    qps / duration_s / arrival / seed:
+        Load-generation knobs (see :mod:`repro.serve.loadgen`).
+    """
+
+    models: tuple[str, ...] = ("llama-7b",)
+    layer: str = "attn-qkvo"
+    scale: int = 16
+    pattern: NMPattern = field(
+        default_factory=lambda: NMPattern(2, 8, vector_length=8)
+    )
+    gpu: str = "A100"
+    version: str = "V3"
+    qps: float = 200.0
+    duration_s: float = 5.0
+    arrival: str = "poisson"
+    seed: int = 0
+    rows_choices: tuple[int, ...] = DEFAULT_ROWS_CHOICES
+    policy: BatchingPolicy = field(default_factory=BatchingPolicy)
+    plan_cache_capacity: int = 64
+    execute_numerics: bool = True
+    integer_values: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ServeError("scenario needs at least one model")
+        if self.scale < 1:
+            raise ConfigurationError(
+                f"scale must be >= 1 (1 serves the true shapes), got "
+                f"{self.scale}"
+            )
+
+    # ------------------------------------------------------------------
+    def build_server(self) -> "tuple[InferenceServer, list[TrafficSource]]":
+        """Register every model (offline phase) and return the server
+        plus one traffic source per model."""
+        server = InferenceServer(
+            policy=self.policy,
+            plan_cache_capacity=self.plan_cache_capacity,
+            execute_numerics=self.execute_numerics,
+        )
+        sources: list[TrafficSource] = []
+        rng = np.random.default_rng(self.seed)
+        for model_name in self.models:
+            base = get_llama_model(model_name)
+            scaled = base.scaled(self.scale) if self.scale > 1 else base
+            shapes = {
+                layer: (n, k) for layer, n, k in llama_layer_shapes(scaled)
+            }
+            if self.layer not in shapes:
+                raise ConfigurationError(
+                    f"unknown layer {self.layer!r}; known: "
+                    f"{sorted(shapes)}"
+                )
+            n, k = shapes[self.layer]
+            if self.integer_values:
+                weights = rng.integers(-4, 5, size=(k, n)).astype(np.float32)
+            else:
+                weights = rng.standard_normal((k, n)).astype(np.float32)
+            registered = f"{model_name.lower()}/{self.layer}"
+            server.register_model(
+                registered,
+                weights,
+                self.pattern,
+                gpu=self.gpu,
+                version=self.version,
+            )
+            sources.append(
+                TrafficSource(
+                    model=registered, k=k, rows_choices=self.rows_choices
+                )
+            )
+        return server, sources
+
+    def run(self) -> ServingReport:
+        """Build the server, generate the seeded trace, simulate."""
+        server, sources = self.build_server()
+        trace = generate_requests(
+            sources,
+            self.qps,
+            self.duration_s,
+            seed=self.seed,
+            arrival=self.arrival,
+            integer_values=self.integer_values,
+            synthesize_activations=self.execute_numerics,
+        )
+        return server.simulate(trace)
+
+    def describe(self) -> str:
+        return (
+            f"models={','.join(self.models)} layer={self.layer} "
+            f"scale=1/{self.scale} pattern={self.pattern.label()} "
+            f"gpu={self.gpu} {self.version} qps={self.qps:g} "
+            f"duration={self.duration_s:g}s arrival={self.arrival} "
+            f"seed={self.seed}"
+        )

@@ -1,0 +1,349 @@
+"""The serving engine: model registry + discrete-event simulation.
+
+:class:`InferenceServer` owns the registered models (each an
+:class:`~repro.core.api.NMSpMM` operator plus its prepared
+:class:`~repro.core.api.SparseHandle`), a shared plan cache, and a
+single simulated GPU.  ``simulate`` replays a seeded request trace
+through the dynamic batcher with a discrete-event loop:
+
+* requests are admitted to their model's FIFO queue at arrival time;
+* whenever the GPU is free, any queue that fills a batch budget, blows
+  its max-wait deadline, or sits nonempty after the arrival stream has
+  drained is flushed (earliest-waiting queue first);
+* the batch's service time is the perf model's prediction for the
+  padded batch shape (plus a fixed host overhead), so the latency
+  curves reflect the paper's modeled GPU timing while the numerics run
+  through the real NumPy kernels.
+
+Everything advances on the simulated clock — two runs of the same trace
+produce identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import NMSpMM, SparseHandle
+from repro.errors import ServeError
+from repro.gpu.spec import GPUSpec
+from repro.serve.batcher import BatchingPolicy, DynamicBatcher
+from repro.serve.cache import PlanCache
+from repro.serve.metrics import BatchRecord, ServingMetrics
+from repro.serve.queue import RequestQueue
+from repro.serve.request import InferenceRequest, RequestRecord
+from repro.sparsity.config import NMPattern
+
+__all__ = ["ModelEntry", "ServingReport", "InferenceServer"]
+
+#: Fixed host-side cost charged per batch launch (scheduling, argument
+#: marshalling) on top of the modeled GPU time.
+DEFAULT_HOST_OVERHEAD_S = 10e-6
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered weight matrix and its operator."""
+
+    name: str
+    op: NMSpMM
+    handle: SparseHandle
+
+    @property
+    def k(self) -> int:
+        """Activation width requests must have (the weights' logical
+        k; compression padding is internal to execute)."""
+        return self.handle.k_logical
+
+    @property
+    def n(self) -> int:
+        """Output width requests receive (the weights' logical n)."""
+        return self.handle.n_logical
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.op.pattern.label()} "
+            f"k={self.k} n={self.n} gpu={self.op.gpu.name} "
+            f"{self.op.version.value}"
+        )
+
+
+@dataclass
+class ServingReport:
+    """Everything one simulated run produced."""
+
+    metrics: ServingMetrics
+    policy: BatchingPolicy
+    plan_cache_stats: dict
+    model_names: list[str]
+    numerics: bool
+
+    @property
+    def request_records(self) -> list[RequestRecord]:
+        return self.metrics.request_records
+
+    def record_for(self, request_id: int) -> RequestRecord:
+        for record in self.metrics.request_records:
+            if record.request.request_id == request_id:
+                return record
+        raise ServeError(f"no record for request {request_id}")
+
+    def summary(self, extra: "dict | None" = None) -> dict:
+        out = self.metrics.summary(
+            {
+                "models": self.model_names,
+                "numerics": self.numerics,
+                "plan_cache": self.plan_cache_stats,
+                "policy": {
+                    "max_batch_requests": self.policy.max_batch_requests,
+                    "max_batch_rows": self.policy.max_batch_rows,
+                    "max_wait_ms": self.policy.max_wait_s * 1e3,
+                    "pad_rows_quantum": self.policy.pad_rows_quantum,
+                    "pow2_rows": self.policy.pow2_rows,
+                },
+            }
+        )
+        if extra:
+            out.update(extra)
+        return out
+
+    def render(self, title: str = "serve-sim") -> str:
+        text = self.metrics.render(title=title)
+        cache = self.plan_cache_stats
+        text += (
+            f"\nplan cache: {cache['hits']} hits / {cache['misses']} misses "
+            f"({cache['hit_rate'] * 100:.1f}% hit rate, "
+            f"{cache['evictions']} evictions)"
+        )
+        text += f"\nmodels: {', '.join(self.model_names)}"
+        return text
+
+
+class InferenceServer:
+    """Single-process serving runtime over NM-SpMM operators.
+
+    Parameters
+    ----------
+    policy:
+        Default batching policy (overridable per ``simulate`` call).
+    plan_cache_capacity:
+        Entries in the shared ``(model, padded_m)`` plan LRU.
+    execute_numerics:
+        When True each batch also runs through the NumPy kernels and
+        every request record carries its output slice; when False only
+        the modeled timing is produced (pure scheduling study).
+    host_overhead_s:
+        Fixed per-launch host cost added to the modeled GPU time.
+    """
+
+    def __init__(
+        self,
+        *,
+        policy: "BatchingPolicy | None" = None,
+        plan_cache_capacity: int = 64,
+        execute_numerics: bool = True,
+        host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S,
+    ):
+        if host_overhead_s < 0:
+            raise ServeError(
+                f"host_overhead_s must be >= 0, got {host_overhead_s}"
+            )
+        self.policy = policy or BatchingPolicy()
+        self.plan_cache = PlanCache(capacity=plan_cache_capacity)
+        self.execute_numerics = execute_numerics
+        self.host_overhead_s = host_overhead_s
+        self._models: dict[str, ModelEntry] = {}
+        self._inbox: list[InferenceRequest] = []
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        name: str,
+        weights: np.ndarray,
+        pattern: NMPattern,
+        *,
+        gpu: "str | GPUSpec" = "A100",
+        version: str = "V3",
+        already_pruned: bool = False,
+    ) -> ModelEntry:
+        """Prepare ``weights`` (the offline phase) and register the
+        handle under ``name``."""
+        op = NMSpMM(pattern, gpu=gpu, version=version)
+        handle = op.prepare(weights, already_pruned=already_pruned)
+        return self.register_handle(name, op, handle)
+
+    def register_handle(
+        self, name: str, op: NMSpMM, handle: SparseHandle
+    ) -> ModelEntry:
+        """Register an already-prepared handle under ``name``."""
+        if not name:
+            raise ServeError("model name must be nonempty")
+        if name in self._models:
+            raise ServeError(f"model {name!r} is already registered")
+        entry = ModelEntry(name=name, op=op, handle=handle)
+        self._models[name] = entry
+        return entry
+
+    @property
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
+
+    def model(self, name: str) -> ModelEntry:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise ServeError(
+                f"unknown model {name!r}; registered: {self.model_names}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def submit(self, request: InferenceRequest) -> None:
+        """Queue a request for the next :meth:`run_submitted` call."""
+        self._validate_request(request)
+        self._inbox.append(request)
+
+    def run_submitted(
+        self, *, policy: "BatchingPolicy | None" = None
+    ) -> ServingReport:
+        """Simulate everything submitted so far and clear the inbox."""
+        requests, self._inbox = self._inbox, []
+        return self.simulate(requests, policy=policy)
+
+    def _validate_request(self, request: InferenceRequest) -> None:
+        entry = self.model(request.model)
+        if request.k != entry.k:
+            raise ServeError(
+                f"request {request.request_id} has k={request.k} but model "
+                f"{request.model!r} expects k={entry.k}"
+            )
+        if self.execute_numerics and request.a is None:
+            raise ServeError(
+                f"request {request.request_id} is metadata-only but the "
+                "server executes numerics; generate the trace with "
+                "synthesize_activations=True or disable numerics"
+            )
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        requests: "list[InferenceRequest] | tuple[InferenceRequest, ...]",
+        *,
+        policy: "BatchingPolicy | None" = None,
+    ) -> ServingReport:
+        """Replay a request trace through the dynamic batcher against a
+        single simulated GPU and return the full report."""
+        if not requests:
+            raise ServeError("simulate needs at least one request")
+        for request in requests:
+            self._validate_request(request)
+        pending = sorted(
+            requests, key=lambda r: (r.arrival_s, r.request_id)
+        )
+        stats_before = self.plan_cache.stats.snapshot()
+        batcher = DynamicBatcher(policy or self.policy)
+        queues = {name: RequestQueue(name) for name in self._models}
+        metrics = ServingMetrics()
+        i, n = 0, len(pending)
+        clock_s = 0.0
+        gpu_free_s = 0.0
+
+        while True:
+            # The GPU can next launch at t; admit everything arrived by
+            # then (requests landing during a busy period join the next
+            # batch, which is how batches grow under load).
+            t = max(clock_s, gpu_free_s)
+            while i < n and pending[i].arrival_s <= t:
+                queues[pending[i].model].push(pending[i])
+                i += 1
+            drain = i >= n
+            flushable = [
+                q
+                for q in queues.values()
+                if batcher.should_flush(q, t, drain=drain)
+            ]
+            if flushable:
+                queue = min(
+                    flushable, key=lambda q: (q.oldest_arrival_s, q.model)
+                )
+                self._launch(queue, batcher, t, metrics)
+                gpu_free_s = metrics.batch_records[-1].finished_s
+                clock_s = t
+                continue
+            # Nothing to launch: advance to the next event (arrival or
+            # deadline).  All candidate times are strictly after t, so
+            # the loop always progresses.
+            events = []
+            if i < n:
+                events.append(pending[i].arrival_s)
+            for q in queues.values():
+                deadline = batcher.deadline_s(q)
+                if deadline is not None:
+                    events.append(deadline)
+            if not events:
+                break
+            clock_s = max(t, min(events))
+
+        metrics.request_records.sort(key=lambda r: r.request.request_id)
+        return ServingReport(
+            metrics=metrics,
+            policy=batcher.policy,
+            plan_cache_stats=self.plan_cache.stats.since(stats_before).as_dict(),
+            model_names=self.model_names,
+            numerics=self.execute_numerics,
+        )
+
+    def _launch(
+        self,
+        queue: RequestQueue,
+        batcher: DynamicBatcher,
+        start_s: float,
+        metrics: ServingMetrics,
+    ) -> None:
+        """Form a batch from ``queue``, execute it at ``start_s``, and
+        record per-request and per-batch results."""
+        entry = self.model(queue.model)
+        # Stack directly at the weights' padded k so execute() consumes
+        # the block without another copy.
+        batch = batcher.form_batch(
+            queue, stack=self.execute_numerics, pad_to_k=entry.handle.k
+        )
+        plan_entry = self.plan_cache.lookup(
+            batch.model, entry.op, entry.handle, batch.padded_rows
+        )
+        modeled_gpu_s = plan_entry.modeled_seconds
+        finished_s = start_s + modeled_gpu_s + self.host_overhead_s
+
+        outputs: "list[np.ndarray] | None" = None
+        if self.execute_numerics:
+            c = entry.op.execute(batch.a, entry.handle, plan=plan_entry.plan)
+            outputs = batch.split(c)
+
+        for idx, request in enumerate(batch.requests):
+            metrics.add_request(
+                RequestRecord(
+                    request=request,
+                    batch_id=batch.batch_id,
+                    started_s=start_s,
+                    finished_s=finished_s,
+                    output=None if outputs is None else outputs[idx],
+                )
+            )
+        metrics.add_batch(
+            BatchRecord(
+                batch_id=batch.batch_id,
+                model=batch.model,
+                n_requests=batch.n_requests,
+                rows=batch.rows,
+                padded_rows=batch.padded_rows,
+                started_s=start_s,
+                finished_s=finished_s,
+                modeled_gpu_s=modeled_gpu_s,
+            )
+        )

@@ -3,6 +3,7 @@
 from repro.workloads.llama import (
     LlamaModel,
     LLAMA_MODELS,
+    get_llama_model,
     llama_layer_shapes,
     build_paper_dataset,
     DataPoint,
@@ -22,6 +23,7 @@ from repro.workloads.synthetic import (
 __all__ = [
     "LlamaModel",
     "LLAMA_MODELS",
+    "get_llama_model",
     "llama_layer_shapes",
     "build_paper_dataset",
     "DataPoint",

@@ -31,13 +31,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.model.workload import ProblemShape
 from repro.utils.validation import check_positive_int
 
 __all__ = [
     "LlamaModel",
     "LLAMA_MODELS",
+    "get_llama_model",
     "llama_layer_shapes",
+    "LLAMA_LAYER_KINDS",
     "DataPoint",
     "build_paper_dataset",
     "PAPER_M_VALUES",
@@ -61,6 +64,29 @@ class LlamaModel:
         check_positive_int("ffn", self.ffn)
         check_positive_int("vocab", self.vocab)
 
+    def scaled(self, factor: int) -> "LlamaModel":
+        """A geometry-preserving shrink of this model: every dimension
+        divided by ``factor`` (which must divide them all).  The serving
+        simulator uses this so Llama-*shaped* traffic stays cheap enough
+        for the NumPy kernels while keeping the layer aspect ratios.
+        """
+        check_positive_int("factor", factor)
+        if (
+            self.hidden % factor
+            or self.ffn % factor
+            or self.vocab % factor
+        ):
+            raise ConfigurationError(
+                f"factor {factor} does not divide {self.name}'s dimensions "
+                f"(hidden={self.hidden}, ffn={self.ffn}, vocab={self.vocab})"
+            )
+        return LlamaModel(
+            name=f"{self.name}/{factor}x-scaled",
+            hidden=self.hidden // factor,
+            ffn=self.ffn // factor,
+            vocab=self.vocab // factor,
+        )
+
 
 LLAMA_MODELS: tuple[LlamaModel, ...] = (
     LlamaModel("Llama-7B", hidden=4096, ffn=11008),
@@ -68,6 +94,21 @@ LLAMA_MODELS: tuple[LlamaModel, ...] = (
     LlamaModel("Llama-30B", hidden=6656, ffn=17920),
     LlamaModel("Llama-65B", hidden=8192, ffn=22016),
 )
+
+
+def get_llama_model(name: str) -> LlamaModel:
+    """Look up a Llama checkpoint by name, case-insensitively
+    (``"llama-7b"`` and ``"Llama-7B"`` both resolve).
+
+    >>> get_llama_model("llama-7b").hidden
+    4096
+    """
+    wanted = name.strip().lower()
+    for model in LLAMA_MODELS:
+        if model.name.lower() == wanted:
+            return model
+    known = ", ".join(m.name for m in LLAMA_MODELS)
+    raise ConfigurationError(f"unknown Llama model {name!r}; known: {known}")
 
 
 def llama_layer_shapes(model: LlamaModel) -> list[tuple[str, int, int]]:
@@ -81,6 +122,14 @@ def llama_layer_shapes(model: LlamaModel) -> list[tuple[str, int, int]]:
         ("mlp-down", h, f),
         ("lm-head", v, h),
     ]
+
+
+#: The five layer kinds every Llama checkpoint exposes — derived from
+#: :func:`llama_layer_shapes` so there is a single source of truth for
+#: consumers that need the names without a model (e.g. CLI choices).
+LLAMA_LAYER_KINDS: tuple[str, ...] = tuple(
+    name for name, _, _ in llama_layer_shapes(LLAMA_MODELS[0])
+)
 
 
 @dataclass(frozen=True)

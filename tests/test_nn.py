@@ -141,3 +141,87 @@ class TestPruneIntegration:
             err = np.linalg.norm(sparse(x) - dense_out)
             errors.append(err)
         assert errors[0] < errors[-1]
+
+
+class TestDirectConstructionOverrides:
+    """Regression: an explicit original_k override on a handle built
+    directly from a compressed matrix (no logical-shape metadata) must
+    still pad activations up to the compressed k."""
+
+    def test_original_k_override_pads(self):
+        import numpy as np
+
+        from repro.core.api import NMSpMM, SparseHandle
+        from repro.nn.linear import NMSparseLinear
+        from repro.sparsity.compress import compress
+        from repro.sparsity.config import NMPattern
+        from repro.sparsity.pruning import prune_dense
+
+        rng = np.random.default_rng(0)
+        pattern = NMPattern(2, 8, vector_length=4)
+        op = NMSpMM(pattern)
+        dense = rng.standard_normal((64, 16)).astype(np.float32)
+        pruned, mask = prune_dense(pattern, dense)
+        handle = SparseHandle(compressed=compress(pattern, pruned, mask))
+        assert handle.k_logical == handle.k == 64  # no logical metadata
+        layer = NMSparseLinear(op, handle, original_k=60)
+        x = rng.standard_normal((4, 60)).astype(np.float32)
+        y = layer(x)
+        assert y.shape == (4, 16)
+        padded = np.hstack([x, np.zeros((4, 4), np.float32)])
+        np.testing.assert_allclose(
+            y, padded @ pruned, rtol=2e-5, atol=2e-5
+        )
+
+    def test_oversized_original_k_raises_shape_error(self):
+        import numpy as np
+        import pytest
+
+        from repro.core.api import NMSpMM
+        from repro.errors import ShapeError
+        from repro.nn.linear import NMSparseLinear
+        from repro.sparsity.config import NMPattern
+
+        rng = np.random.default_rng(0)
+        pattern = NMPattern(2, 8, vector_length=4)
+        op = NMSpMM(pattern)
+        handle = op.prepare(rng.standard_normal((64, 16)).astype(np.float32))
+        with pytest.raises(ShapeError, match="original_k"):
+            NMSparseLinear(op, handle, original_k=72)
+
+    def test_oversized_original_n_raises_shape_error(self):
+        import numpy as np
+        import pytest
+
+        from repro.core.api import NMSpMM
+        from repro.errors import ShapeError
+        from repro.nn.linear import NMSparseLinear
+        from repro.sparsity.config import NMPattern
+
+        rng = np.random.default_rng(0)
+        pattern = NMPattern(2, 8, vector_length=8)
+        op = NMSpMM(pattern)
+        # n=18 pads to 24; an override above the logical 18 cannot be
+        # honored now that execute() trims to the logical width.
+        handle = op.prepare(rng.standard_normal((64, 18)).astype(np.float32))
+        with pytest.raises(ShapeError, match="original_n"):
+            NMSparseLinear(op, handle, original_n=20)
+
+    def test_inconsistent_handle_logical_dims_rejected(self):
+        import numpy as np
+        import pytest
+
+        from repro.core.api import NMSpMM, SparseHandle
+        from repro.errors import ShapeError
+        from repro.sparsity.config import NMPattern
+
+        rng = np.random.default_rng(0)
+        pattern = NMPattern(2, 8, vector_length=4)
+        op = NMSpMM(pattern)
+        compressed = op.prepare(
+            rng.standard_normal((64, 16)).astype(np.float32)
+        ).compressed
+        with pytest.raises(ShapeError, match="logical_k"):
+            SparseHandle(compressed=compressed, logical_k=100)
+        with pytest.raises(ShapeError, match="logical_n"):
+            SparseHandle(compressed=compressed, logical_n=20)

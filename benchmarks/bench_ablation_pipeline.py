@@ -60,7 +60,7 @@ def test_pipeline_scheduler_crossover(emit):
     )
     pipe = SoftwarePipeline(buffers=2)
     for load, comp in [(10, 40), (25, 30), (40, 10)]:
-        serial = pipe_serial = SoftwarePipeline(buffers=1).uniform_total(
+        serial = SoftwarePipeline(buffers=1).uniform_total(
             load, comp, 20
         )
         pipelined = pipe.uniform_total(load, comp, 20)

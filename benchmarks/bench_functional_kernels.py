@@ -10,6 +10,7 @@ import pytest
 
 from repro.kernels.blocked import nm_spmm_blocked
 from repro.kernels.dense import dense_gemm
+from repro.kernels.fast import nm_spmm_fast
 from repro.kernels.functional import nm_spmm_functional
 from repro.kernels.packed import nm_spmm_packed
 from repro.kernels.reference import nm_spmm_reference
@@ -17,6 +18,7 @@ from repro.kernels.tiling import TileParams
 from repro.sparsity.colinfo import preprocess_offline
 from repro.sparsity.compress import compress
 from repro.sparsity.config import NMPattern
+from repro.sparsity.gather import build_gather_layout
 from repro.sparsity.pruning import prune_dense
 from repro.workloads.synthetic import random_dense
 
@@ -37,6 +39,11 @@ def data():
     return a, b, pruned, comp, col_info
 
 
+@pytest.fixture(scope="module")
+def gather_layout(data):
+    return build_gather_layout(data[3])
+
+
 def test_bench_dense_gemm(benchmark, data):
     a, b, pruned, comp, col_info = data
     out = benchmark(dense_gemm, a, pruned)
@@ -46,6 +53,14 @@ def test_bench_dense_gemm(benchmark, data):
 def test_bench_functional(benchmark, data):
     a, b, pruned, comp, col_info = data
     out = benchmark(nm_spmm_functional, a, comp)
+    np.testing.assert_allclose(out, a @ pruned, rtol=2e-5, atol=2e-5)
+
+
+def test_bench_fast(benchmark, data, gather_layout):
+    """The gather-GEMM backend over its precomputed layout — the
+    library's default online path."""
+    a, b, pruned, comp, col_info = data
+    out = benchmark(nm_spmm_fast, a, gather_layout)
     np.testing.assert_allclose(out, a @ pruned, rtol=2e-5, atol=2e-5)
 
 

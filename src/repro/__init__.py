@@ -37,7 +37,12 @@ from repro.core.api import NMSpMM, SparseHandle, nm_spmm
 from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.analysis import PerformanceAnalysis, analyze
 from repro.gpu import GPUSpec, get_gpu, list_gpus
-from repro.kernels import nm_spmm_functional, nm_spmm_reference, dense_gemm
+from repro.kernels import (
+    nm_spmm_fast,
+    nm_spmm_functional,
+    nm_spmm_reference,
+    dense_gemm,
+)
 from repro.model import KernelReport, simulate_nm_spmm
 from repro.serve import BatchingPolicy, InferenceServer
 
@@ -57,6 +62,7 @@ __all__ = [
     "GPUSpec",
     "get_gpu",
     "list_gpus",
+    "nm_spmm_fast",
     "nm_spmm_functional",
     "nm_spmm_reference",
     "dense_gemm",

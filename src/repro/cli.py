@@ -18,6 +18,7 @@ import argparse
 import sys
 
 from repro._version import __version__
+from repro.constants import EXECUTE_BACKENDS
 from repro.workloads.llama import LLAMA_LAYER_KINDS
 
 __all__ = ["main", "build_parser"]
@@ -90,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     pss.add_argument("--max-wait-ms", type=float, default=2.0)
     pss.add_argument("--cache-size", type=int, default=64,
                      help="plan-cache capacity (entries)")
+    pss.add_argument("--backend", default="fast",
+                     choices=list(EXECUTE_BACKENDS),
+                     help="kernel backend batches execute with "
+                          "(fast = batched gather-GEMM)")
     pss.add_argument("--no-numerics", action="store_true",
                      help="modeled timing only; skip the NumPy kernels")
     pss.add_argument("--json", default=None, metavar="PATH",
@@ -183,6 +188,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 ),
                 plan_cache_capacity=args.cache_size,
                 execute_numerics=not args.no_numerics,
+                backend=args.backend,
             )
             report = scenario.run()
         except ReproError as exc:

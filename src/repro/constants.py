@@ -39,6 +39,12 @@ THREAD_TILE_REGISTER_BUDGET: int = MAX_REGISTERS_PER_THREAD
 #: for double buffering and temporaries).
 SMEM_USABLE_FRACTION: float = 0.5
 
+#: Valid ``backend=`` arguments to :meth:`repro.core.api.NMSpMM.execute`
+#: (also accepted by the serving runtime and the ``serve-sim`` CLI).
+#: Lives here, in a dependency-free module, so the CLI can build its
+#: argument parser without importing the kernel stack.
+EXECUTE_BACKENDS: tuple[str, ...] = ("auto", "fast", "structural")
+
 #: Default vector length L for vector-wise pruning; the paper's figures
 #: use pruning windows of L-wide vectors with L a multiple of the warp
 #: quad width.  Fig. 1 demonstrates L = 4; kernels default to 32 which

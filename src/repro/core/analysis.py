@@ -79,7 +79,7 @@ class PerformanceAnalysis:
             f"({self.ai_flop_per_byte:.2f} FLOP/B) -> {self.bound.value}, "
             f"attainable {self.attainable_tflops:.1f} TFLOPS; "
             f"{'packing' if self.recommend_packing else 'non-packing'} "
-            f"strategy recommended"
+            "strategy recommended"
         )
 
 

@@ -13,24 +13,35 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.constants import EXECUTE_BACKENDS as _EXECUTE_BACKENDS
 from repro.core.plan import ExecutionPlan, build_plan
-from repro.core.strategy import LoadStrategy
 from repro.core.versions import OptimizationVersion
-from repro.errors import PlanError, ShapeError
+from repro.errors import ConfigurationError, PlanError, ShapeError
 from repro.gpu.catalog import resolve_gpu
 from repro.gpu.spec import GPUSpec
 from repro.kernels.blocked import KernelTrace, nm_spmm_blocked
+from repro.kernels.fast import nm_spmm_fast
 from repro.kernels.packed import nm_spmm_packed
 from repro.kernels.tiling import TileParams
 from repro.sparsity.colinfo import ColumnInfo, preprocess_offline
 from repro.sparsity.compress import NMCompressedMatrix, compress
 from repro.sparsity.config import NMPattern
+from repro.sparsity.gather import GatherLayout, build_gather_layout
 from repro.sparsity.pruning import prune_dense
 from repro.utils.arrays import as_f32
 from repro.utils.cache import LRUCache
 from repro.utils.validation import check_matrix
 
-__all__ = ["SparseHandle", "NMSpMM", "nm_spmm"]
+__all__ = ["EXECUTE_BACKENDS", "SparseHandle", "NMSpMM", "nm_spmm"]
+
+#: Valid ``backend=`` arguments to :meth:`NMSpMM.execute`.  ``"auto"``
+#: runs the fast gather-GEMM kernel for pure numerics and falls back to
+#: the structural executors only when the caller wants an event-level
+#: (recorded) trace; ``"fast"`` always runs the gather-GEMM kernel and
+#: fills any requested trace analytically from the plan.  (Defined in
+#: :mod:`repro.constants` so the CLI can list the choices without
+#: importing the kernel stack.)
+EXECUTE_BACKENDS = _EXECUTE_BACKENDS
 
 
 #: Key under which a plan is cached on a handle:
@@ -64,6 +75,7 @@ class SparseHandle:
     _plan_cache: LRUCache = field(
         default_factory=lambda: LRUCache(PLAN_CACHE_CAPACITY)
     )
+    _gather_layout: "GatherLayout | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.logical_k is not None and not (
@@ -112,6 +124,15 @@ class SparseHandle:
         if key not in self._colinfo_cache:
             self._colinfo_cache[key] = preprocess_offline(self.compressed, ws, ns)
         return self._colinfo_cache[key]
+
+    def gather_layout(self) -> GatherLayout:
+        """The fast backend's batched-GEMM layout for these weights,
+        built on first use and cached for the handle's lifetime
+        (:meth:`NMSpMM.prepare` builds it eagerly so serving never pays
+        the conversion online)."""
+        if self._gather_layout is None:
+            self._gather_layout = build_gather_layout(self.compressed)
+        return self._gather_layout
 
     def cached_plan(self, key: PlanKey) -> "ExecutionPlan | None":
         """A previously stored plan for this launch geometry, if any."""
@@ -189,9 +210,13 @@ class NMSpMM:
         else:
             pruned, mask = prune_dense(self.pattern, b)
             compressed = compress(self.pattern, pruned, mask)
-        return SparseHandle(
+        handle = SparseHandle(
             compressed=compressed, logical_k=logical_k, logical_n=logical_n
         )
+        # Offline phase pays the format conversion: the fast backend's
+        # gather layout is part of the prepared representation.
+        handle.gather_layout()
+        return handle
 
     # ------------------------------------------------------------------
     # Online
@@ -237,19 +262,43 @@ class NMSpMM:
         trace: KernelTrace | None = None,
         plan: ExecutionPlan | None = None,
         use_plan_cache: bool = False,
+        backend: str = "auto",
     ) -> np.ndarray:
-        """Compute ``C = A (*) (B', D)`` with the strategy the plan
-        selects (packed kernel at high sparsity, blocked otherwise).
+        """Compute ``C = A (*) (B', D)``.
+
+        ``backend`` selects the execution path:
+
+        * ``"fast"`` — the batched gather-GEMM kernel
+          (:func:`~repro.kernels.fast.nm_spmm_fast`) over the handle's
+          precomputed :class:`~repro.sparsity.gather.GatherLayout`; a
+          requested ``trace`` is filled *analytically* from the plan
+          (:func:`~repro.kernels.analytic.analytic_trace`).
+        * ``"structural"`` — the per-block executors that mirror the
+          CUDA kernel's structure (packed kernel at high sparsity,
+          blocked otherwise) and record the trace event by event.
+        * ``"auto"`` (default) — ``"fast"`` for pure numerics,
+          ``"structural"`` only when a ``trace`` is requested, so
+          callers that want event-level provenance get the recorded
+          counts while everything else takes the fast path.
 
         A precomputed ``plan`` (e.g. from :meth:`plan_for` or a serving
         plan cache) skips plan construction entirely; it must match the
-        operand shapes and the handle's pattern.
+        operand shapes and the handle's pattern.  The fast backend only
+        consults the plan when a trace is requested, so trace-less fast
+        execution skips plan construction altogether.
 
         ``A`` may have either the handle's logical ``k`` (the original
         weights' row count — zero-padded here, matching the padding
         compression applied to the weights) or the padded ``k``.  The
         result is trimmed to the logical ``n``.
         """
+        if backend not in EXECUTE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{EXECUTE_BACKENDS}"
+            )
+        if backend == "auto":
+            backend = "structural" if trace is not None else "fast"
         a = as_f32(check_matrix("a", a))
         if a.shape[1] == handle.k_logical and handle.k_logical != handle.k:
             pad = np.zeros(
@@ -267,9 +316,13 @@ class NMSpMM:
                 f"{expected}"
             )
         if plan is None:
-            plan = self.plan_for(
-                a.shape[0], handle, params, use_cache=use_plan_cache
-            )
+            # The fast backend without a trace never consults the plan,
+            # so skip construction — unless the caller explicitly wants
+            # the handle's plan cache warmed for later reuse.
+            if backend == "structural" or trace is not None or use_plan_cache:
+                plan = self.plan_for(
+                    a.shape[0], handle, params, use_cache=use_plan_cache
+                )
         else:
             expected = (a.shape[0], handle.n, handle.k)
             got = (plan.shape.m, plan.shape.n, plan.shape.k)
@@ -283,9 +336,31 @@ class NMSpMM:
                     f"plan pattern {plan.pattern.label()} does not match "
                     f"the handle's pattern {handle.pattern.label()}"
                 )
-        if plan.uses_packing:
+        # The packed executor and the analytic trace of a packing plan
+        # must consume the same offline pre-processing; derive it once
+        # here.  The trace-less fast path skips it entirely — it would
+        # otherwise trigger offline preprocessing the gather-GEMM
+        # kernel never reads.
+        col_info = None
+        if (
+            plan is not None
+            and plan.uses_packing
+            and (backend != "fast" or trace is not None)
+        ):
             ws = min(plan.ws, handle.compressed.w)
             col_info = handle.col_info(ws, plan.params.ns)
+        if backend == "fast":
+            out = nm_spmm_fast(a, handle.gather_layout())
+            if trace is not None:
+                trace.merge(
+                    plan.analytic_trace(
+                        col_info,
+                        index_itemsize=(
+                            handle.compressed.indices.dtype.itemsize
+                        ),
+                    )
+                )
+        elif plan.uses_packing:
             out = nm_spmm_packed(
                 a, handle.compressed, plan.params, col_info, trace=trace
             )
@@ -339,6 +414,7 @@ def nm_spmm(
     already_pruned: bool = False,
     gpu: "str | GPUSpec" = "A100",
     version: "str | OptimizationVersion" = "V3",
+    backend: str = "auto",
 ) -> np.ndarray:
     """One-shot convenience: prune ``b`` under ``pattern`` and return
     ``A (*) (B', D)``.
@@ -353,8 +429,9 @@ def nm_spmm(
 
     ``gpu`` and ``version`` pass through to the :class:`NMSpMM`
     constructor so one-shot calls can still target a specific catalogued
-    GPU and optimization level.
+    GPU and optimization level; ``backend`` passes through to
+    :meth:`NMSpMM.execute`.
     """
     op = NMSpMM(pattern, gpu=gpu, version=version)
     handle = op.prepare(b, already_pruned=already_pruned)
-    return op.execute(a, handle)
+    return op.execute(a, handle, backend=backend)

@@ -84,6 +84,16 @@ class ExecutionPlan:
         )
         return sim.run(self.problem, self.params, profile)
 
+    def analytic_trace(self, col_info=None, *, index_itemsize=None):
+        """The :class:`~repro.kernels.blocked.KernelTrace` this plan's
+        structural executor would record, in closed form (no data is
+        touched; packing plans need ``col_info``)."""
+        from repro.kernels.analytic import analytic_trace
+
+        return analytic_trace(
+            self, col_info=col_info, index_itemsize=index_itemsize
+        )
+
     def analyze(self):
         """Run the §III-A analysis for this plan."""
         from repro.core.analysis import analyze

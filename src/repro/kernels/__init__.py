@@ -1,23 +1,31 @@
 """Functional (numerically exact) kernels.
 
-Four implementations of the same contract, in increasing structural
+Five implementations of the same contract, in increasing structural
 fidelity to the paper's CUDA kernels:
 
 * :func:`nm_spmm_reference` — direct Eq. 1 evaluation (gold standard);
+* :func:`nm_spmm_fast` — batched gather-GEMM over a precomputed
+  :class:`~repro.sparsity.gather.GatherLayout` (the default online
+  path of ``execute()``/serving);
 * :func:`nm_spmm_functional` — vectorized per-window gather + GEMM;
 * :func:`nm_spmm_blocked` — hierarchical blocking of Listings 1/2;
 * :func:`nm_spmm_packed` — packed loads of Listing 3 (high sparsity).
 
-All four agree to float32 rounding with ``A @ decompress(B)``; the
+All five agree to float32 rounding with ``A @ decompress(B)``; the
 blocked and packed versions additionally record the memory/instruction
-events the performance model reasons about.
+events the performance model reasons about, and
+:func:`analytic_trace` reproduces those recorded counts in closed form
+from an execution plan so tracing no longer requires running the
+structural executors.
 """
 
 from repro.kernels.reference import nm_spmm_reference
 from repro.kernels.dense import dense_gemm, gemm_flops
 from repro.kernels.functional import nm_spmm_functional
+from repro.kernels.fast import nm_spmm_fast
 from repro.kernels.blocked import nm_spmm_blocked, KernelTrace
 from repro.kernels.packed import nm_spmm_packed
+from repro.kernels.analytic import analytic_trace
 from repro.kernels.tiling import (
     TileParams,
     MatrixSizeClass,
@@ -36,9 +44,11 @@ __all__ = [
     "dense_gemm",
     "gemm_flops",
     "nm_spmm_functional",
+    "nm_spmm_fast",
     "nm_spmm_blocked",
     "nm_spmm_packed",
     "KernelTrace",
+    "analytic_trace",
     "TileParams",
     "MatrixSizeClass",
     "TABLE_I",

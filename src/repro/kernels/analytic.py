@@ -1,0 +1,130 @@
+"""Analytic :class:`KernelTrace` construction from an execution plan.
+
+The structural executors (:func:`~repro.kernels.blocked.nm_spmm_blocked`,
+:func:`~repro.kernels.packed.nm_spmm_packed`) record their memory and
+compute events while actually walking the tiles.  Every one of those
+counts is a pure function of the launch geometry — the problem shape,
+the blocking parameters and (for the packing strategy) the offline
+``col_info`` — so it can be produced in closed form without touching a
+single matrix element.  That is what decouples tracing from execution:
+``execute(..., backend="fast", trace=...)`` runs the batched gather-GEMM
+kernel for the numerics and fills the trace analytically, instead of
+being forced onto the slow structural path.
+
+The equality ``analytic_trace(plan) == recorded trace`` is asserted in
+tests for both strategies across ragged tile edges; the structural
+executors remain the ground truth that keeps this module honest.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.constants import FP32_BYTES
+from repro.errors import PlanError
+from repro.kernels.blocked import KernelTrace
+from repro.sparsity.index_matrix import index_dtype_for
+from repro.utils.intmath import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.plan import ExecutionPlan
+    from repro.sparsity.colinfo import ColumnInfo
+
+__all__ = ["analytic_trace"]
+
+
+def _tile_sizes(extent: int, tile: int) -> list[int]:
+    """Sizes of the tiles covering ``[0, extent)`` (last may be partial)."""
+    return [min(tile, extent - start) for start in range(0, extent, tile)]
+
+
+def analytic_trace(
+    plan: "ExecutionPlan",
+    *,
+    col_info: "ColumnInfo | None" = None,
+    index_itemsize: "int | None" = None,
+) -> KernelTrace:
+    """The :class:`KernelTrace` the plan's structural executor would
+    record, computed from the launch geometry alone.
+
+    Parameters
+    ----------
+    plan:
+        The resolved :class:`~repro.core.plan.ExecutionPlan`.
+    col_info:
+        Required when ``plan.uses_packing``: the packed loads' byte
+        counts depend on the per-tile packed widths, which only the
+        offline pre-processing knows.
+    index_itemsize:
+        Stored byte width of the index matrix ``D``; defaults to the
+        narrowest dtype for the pattern (what :func:`compress` emits).
+    """
+    pattern = plan.pattern
+    m, n, k = plan.shape.m, plan.shape.n, plan.shape.k
+    params = plan.params
+    ell = pattern.vector_length
+    w = pattern.compressed_rows(k)
+    ks = min(params.ks, k)
+    ws = (ks // pattern.m) * pattern.n
+    if index_itemsize is None:
+        index_itemsize = np.dtype(index_dtype_for(pattern.m)).itemsize
+
+    m_tiles = _tile_sizes(m, params.ms)
+    n_tiles = _tile_sizes(n, params.ns)
+    w_tiles = _tile_sizes(w, ws)
+    num_bi, num_bj, num_kb = len(m_tiles), len(n_tiles), len(w_tiles)
+
+    trace = KernelTrace()
+    trace.blocks = num_bi * num_bj
+    trace.main_loop_iterations = trace.blocks * num_kb
+    # Every strategy computes the same useful work and writes the same
+    # result tile exactly once.
+    trace.fma_ops = m * n * w
+    trace.stg_bytes = m * n * FP32_BYTES
+    # Ls2r aggregate: each (bi, bj, kb) visit streams ws_b*(mi + nj)
+    # words; the ws_b sum telescopes to w per (bi, bj) pair.
+    trace.lds_bytes = w * (num_bj * m + num_bi * n) * FP32_BYTES
+
+    if plan.uses_packing:
+        if col_info is None:
+            raise PlanError(
+                "analytic_trace for a packing plan needs the col_info the "
+                "packed kernel would load"
+            )
+        if col_info.ws != ws or col_info.ns != params.ns:
+            raise PlanError(
+                f"col_info was preprocessed for (ws={col_info.ws}, "
+                f"ns={col_info.ns}) but the plan needs "
+                f"(ws={ws}, ns={params.ns})"
+            )
+        for mi in m_tiles:
+            for jb in range(num_bj):
+                for kb, ws_b in enumerate(w_tiles):
+                    cols = col_info.cols[kb][jb]
+                    local = col_info.local_d[kb][jb]
+                    trace.ldg_colinfo_bytes += cols.size * cols.dtype.itemsize
+                    trace.ldg_a_bytes += mi * cols.size * FP32_BYTES
+                    trace.ldg_b_bytes += ws_b * n_tiles[jb] * FP32_BYTES
+                    trace.ldg_d_bytes += local.size  # packed uint8-ish
+                    trace.sts_bytes += (
+                        mi * cols.size + ws_b * n_tiles[jb]
+                    ) * FP32_BYTES
+                    trace.packed_widths.append(int(cols.size))
+        return trace
+
+    # Non-packing strategy: tile footprints are shape-only.  The k-block
+    # A slices partition [0, k), so their widths sum to k; the D tile
+    # spans the windows its n-tile overlaps.
+    q_spans = [
+        ceil_div(j0 + nj, ell) - j0 // ell
+        for j0, nj in zip(range(0, n, params.ns), n_tiles)
+    ]
+    trace.ldg_a_bytes = m * num_bj * k * FP32_BYTES
+    trace.ldg_b_bytes = num_bi * w * n * FP32_BYTES
+    trace.ldg_d_bytes = num_bi * w * sum(q_spans) * index_itemsize
+    trace.sts_bytes = (
+        trace.ldg_a_bytes + trace.ldg_b_bytes + trace.ldg_d_bytes
+    )
+    return trace

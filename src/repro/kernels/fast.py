@@ -1,0 +1,92 @@
+"""Fast gather-GEMM NM-SpMM (the batched online execution path).
+
+Where :func:`repro.kernels.functional.nm_spmm_functional` re-derives
+the gather rows from ``D`` and loops over column windows in Python,
+this kernel consumes a precomputed
+:class:`~repro.sparsity.gather.GatherLayout` and evaluates **all**
+windows with one batched ``matmul``: gather ``A`` into ``(q, m, w)``
+blocks, multiply against the layout's ``(q, w, L)`` value blocks, and
+interleave the ``(q, m, L)`` results back into ``(m, n)``.  This is the
+§III-B2 observation applied end to end — after the offline layout
+conversion the whole product is dense-GEMM-shaped work that BLAS can
+execute at full rate, which is why ``execute(backend="fast")`` is the
+library's default numerics path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.sparsity.compress import NMCompressedMatrix
+from repro.sparsity.gather import GatherLayout, build_gather_layout
+from repro.utils.arrays import as_f32
+from repro.utils.validation import check_matrix
+
+__all__ = ["nm_spmm_fast", "GATHER_BUFFER_ELEMENTS"]
+
+#: Bound on the gathered-operand buffer, in float32 elements (64 MiB).
+#: Every column window gathers its own (w, m) view of A, so an
+#: unchunked gather grows as q * w * m — orders of magnitude beyond the
+#: inputs for many-window (small-L, large-n) problems.  Windows are
+#: processed in groups that keep the buffer under this bound; one
+#: window is the floor, so correctness never depends on the limit.
+GATHER_BUFFER_ELEMENTS = 1 << 24
+
+
+def nm_spmm_fast(
+    a: np.ndarray,
+    layout: "GatherLayout | NMCompressedMatrix",
+    *,
+    rescale: bool = False,
+) -> np.ndarray:
+    """Compute ``C = A (*) (B', D)`` from a precomputed gather layout.
+
+    Parameters
+    ----------
+    a:
+        Dense ``(m, k)`` input with exactly the layout's (padded) k.
+    layout:
+        A :class:`GatherLayout`, or an :class:`NMCompressedMatrix` to
+        convert on the fly (hot paths should build the layout once via
+        :func:`~repro.sparsity.gather.build_gather_layout` and reuse
+        it — conversion costs more than one call saves).
+    rescale:
+        Apply Eq. 1's ``M/N`` mean-preserving prefactor.
+
+    Numerically equivalent to :func:`nm_spmm_reference` up to float32
+    summation order (each output entry sums the same ``w`` products).
+    """
+    if isinstance(layout, NMCompressedMatrix):
+        layout = build_gather_layout(layout)
+    a = as_f32(check_matrix("a", a))
+    m_rows, k = a.shape
+    if k != layout.k:
+        raise ShapeError(
+            f"A has k={k} columns but the gather layout expects "
+            f"k={layout.k}"
+        )
+    pattern = layout.pattern
+    ell = pattern.vector_length
+    q, w = layout.q, layout.w
+    # Gather from A^T so every gathered element pulls a contiguous
+    # m-row instead of a strided column — one fancy-index per window
+    # group builds the windows' Ar^T as a contiguous (cq, w, m) block.
+    # matmul broadcasts over the leading window axis (Ar^T is consumed
+    # transposed, which BLAS handles without a copy), so the per-window
+    # GEMMs of a group run in a single batched call.
+    at = np.ascontiguousarray(a.T)
+    chunk_q = max(1, min(q, GATHER_BUFFER_ELEMENTS // max(1, w * m_rows)))
+    out = np.empty((m_rows, q * ell), dtype=np.float32)
+    out3 = out.reshape(m_rows, q, ell)
+    for j0 in range(0, q, chunk_q):
+        j1 = min(j0 + chunk_q, q)
+        ar_t = at[layout.rows[j0:j1].reshape(-1)]
+        prod = np.matmul(
+            ar_t.reshape(j1 - j0, w, m_rows).transpose(0, 2, 1),
+            layout.values[j0:j1],
+        )  # (cq, m, L)
+        out3[:, j0:j1] = prod.transpose(1, 0, 2)
+    if rescale:
+        out *= np.float32(pattern.m / pattern.n)
+    return out

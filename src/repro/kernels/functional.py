@@ -32,7 +32,9 @@ def nm_spmm_functional(
     a = as_f32(check_matrix("a", a))
     pattern = compressed.pattern
     m_rows, k = a.shape
-    if k < compressed.k:
+    if k != compressed.k:
+        # != rather than <: oversized A would silently gather from the
+        # leading columns and drop the rest, which is a caller bug.
         raise ShapeError(
             f"A has k={k} columns but the compressed matrix expects "
             f"k={compressed.k}"

@@ -65,7 +65,6 @@ def simulate_sputnik(
     dram_total = gather_bytes * m / max(1, 512) + stream_bytes + a_rows_bytes
     memory_s = dram_total / dram_bps
 
-    clock = spec.effective_clock_hz
     seconds = max(compute_s, memory_s) + calib.launch_overhead_s
     traffic = TrafficBreakdown(
         a_staged=gather_bytes,

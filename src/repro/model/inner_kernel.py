@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.constants import FP32_BYTES, WARP_SIZE
+from repro.constants import FP32_BYTES
 from repro.gpu.banks import conflict_multiplier
 from repro.gpu.isa import IssueModel
 from repro.kernels.thread_grid import ThreadGrid

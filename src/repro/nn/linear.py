@@ -71,10 +71,14 @@ class NMSparseLinear:
         *,
         original_k: int | None = None,
         original_n: int | None = None,
+        backend: str = "fast",
     ):
         self.op = op
         self.handle = handle
         self.bias = bias
+        #: Kernel backend forward passes run with; the fast gather-GEMM
+        #: path by default (layers never ask for traces).
+        self.backend = backend
         self.original_k = (
             original_k if original_k is not None else handle.k_logical
         )
@@ -141,7 +145,7 @@ class NMSparseLinear:
                 (x.shape[0], self.handle.k - x.shape[1]), dtype=np.float32
             )
             x = np.hstack([x, pad])
-        y = self.op.execute(x, self.handle)
+        y = self.op.execute(x, self.handle, backend=self.backend)
         y = y[:, : self.out_features]
         if self.bias is not None:
             y = y + self.bias

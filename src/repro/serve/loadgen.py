@@ -84,7 +84,7 @@ def bursty_arrivals(
         raise ServeError(
             f"burst_factor={burst_factor} with burst_fraction="
             f"{burst_fraction} would need a negative off-phase rate to "
-            f"keep the mean at qps; require burst_factor <= "
+            "keep the mean at qps; require burst_factor <= "
             f"{1.0 / burst_fraction:g}"
         )
     if not cycle_s > 0:

@@ -86,13 +86,14 @@ class LlamaServingScenario:
     plan_cache_capacity: int = 64
     execute_numerics: bool = True
     integer_values: bool = False
+    backend: str = "fast"
 
     def __post_init__(self) -> None:
         if not self.models:
             raise ServeError("scenario needs at least one model")
         if self.scale < 1:
             raise ConfigurationError(
-                f"scale must be >= 1 (1 serves the true shapes), got "
+                "scale must be >= 1 (1 serves the true shapes), got "
                 f"{self.scale}"
             )
 
@@ -104,6 +105,7 @@ class LlamaServingScenario:
             policy=self.policy,
             plan_cache_capacity=self.plan_cache_capacity,
             execute_numerics=self.execute_numerics,
+            backend=self.backend,
         )
         sources: list[TrafficSource] = []
         rng = np.random.default_rng(self.seed)

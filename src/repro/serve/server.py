@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.api import NMSpMM, SparseHandle
+from repro.core.api import EXECUTE_BACKENDS, NMSpMM, SparseHandle
 from repro.errors import ServeError
 from repro.gpu.spec import GPUSpec
 from repro.serve.batcher import BatchingPolicy, DynamicBatcher
@@ -78,6 +78,7 @@ class ServingReport:
     plan_cache_stats: dict
     model_names: list[str]
     numerics: bool
+    backend: str = "fast"
 
     @property
     def request_records(self) -> list[RequestRecord]:
@@ -94,6 +95,7 @@ class ServingReport:
             {
                 "models": self.model_names,
                 "numerics": self.numerics,
+                "backend": self.backend,
                 "plan_cache": self.plan_cache_stats,
                 "policy": {
                     "max_batch_requests": self.policy.max_batch_requests,
@@ -135,6 +137,12 @@ class InferenceServer:
         the modeled timing is produced (pure scheduling study).
     host_overhead_s:
         Fixed per-launch host cost added to the modeled GPU time.
+    backend:
+        Kernel backend every batch executes with (see
+        :meth:`~repro.core.api.NMSpMM.execute`); ``"fast"`` — the
+        batched gather-GEMM path — is the serving default, since the
+        server only needs numerics and modeled timing, never recorded
+        traces.
     """
 
     def __init__(
@@ -144,15 +152,22 @@ class InferenceServer:
         plan_cache_capacity: int = 64,
         execute_numerics: bool = True,
         host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S,
+        backend: str = "fast",
     ):
         if host_overhead_s < 0:
             raise ServeError(
                 f"host_overhead_s must be >= 0, got {host_overhead_s}"
             )
+        if backend not in EXECUTE_BACKENDS:
+            raise ServeError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{EXECUTE_BACKENDS}"
+            )
         self.policy = policy or BatchingPolicy()
         self.plan_cache = PlanCache(capacity=plan_cache_capacity)
         self.execute_numerics = execute_numerics
         self.host_overhead_s = host_overhead_s
+        self.backend = backend
         self._models: dict[str, ModelEntry] = {}
         self._inbox: list[InferenceRequest] = []
 
@@ -297,6 +312,7 @@ class InferenceServer:
             plan_cache_stats=self.plan_cache.stats.since(stats_before).as_dict(),
             model_names=self.model_names,
             numerics=self.execute_numerics,
+            backend=self.backend,
         )
 
     def _launch(
@@ -322,7 +338,12 @@ class InferenceServer:
 
         outputs: "list[np.ndarray] | None" = None
         if self.execute_numerics:
-            c = entry.op.execute(batch.a, entry.handle, plan=plan_entry.plan)
+            c = entry.op.execute(
+                batch.a,
+                entry.handle,
+                plan=plan_entry.plan,
+                backend=self.backend,
+            )
             outputs = batch.split(c)
 
         for idx, request in enumerate(batch.requests):

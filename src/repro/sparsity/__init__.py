@@ -25,6 +25,7 @@ from repro.sparsity.index_matrix import (
     absolute_rows,
 )
 from repro.sparsity.colinfo import ColumnInfo, preprocess_offline, query_col_info
+from repro.sparsity.gather import GatherLayout, build_gather_layout
 from repro.sparsity.packing import pack_a_tile, packed_footprint_columns
 from repro.sparsity.quality import (
     confusion_matrix,
@@ -63,6 +64,8 @@ __all__ = [
     "ColumnInfo",
     "preprocess_offline",
     "query_col_info",
+    "GatherLayout",
+    "build_gather_layout",
     "pack_a_tile",
     "packed_footprint_columns",
     "confusion_matrix",

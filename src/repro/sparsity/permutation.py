@@ -24,8 +24,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.sparsity.config import NMPattern
-from repro.sparsity.pruning import magnitude_prune, vector_importance
-from repro.sparsity.quality import pruning_energy_kept
+from repro.sparsity.pruning import vector_importance
 from repro.utils.validation import check_matrix
 
 __all__ = [

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.api import NMSpMM, SparseHandle, nm_spmm
+from repro.core.api import NMSpMM, nm_spmm
 from repro.core.pipeline_design import design_pipeline
 from repro.core.plan import build_plan
 from repro.core.strategy import LoadStrategy

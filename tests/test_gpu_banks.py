@@ -66,7 +66,6 @@ class TestWarpTransactions:
     )
     def test_transactions_at_least_ideal(self, addrs, width):
         t = warp_transactions(np.array(addrs), words_per_thread=width)
-        ideal = max(1, 32 * width // 32)
         assert t >= width  # at least one phase per word column
         assert t <= 32 * width
 

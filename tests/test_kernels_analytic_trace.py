@@ -1,0 +1,140 @@
+"""Analytic traces must match the structural executors' recorded
+traces exactly — field for field, including the packed-width list."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import build_plan
+from repro.errors import PlanError
+from repro.kernels.analytic import analytic_trace
+from repro.kernels.blocked import KernelTrace, nm_spmm_blocked
+from repro.kernels.packed import nm_spmm_packed
+from repro.kernels.tiling import TileParams
+from repro.sparsity.colinfo import preprocess_offline
+from repro.sparsity.compress import compress
+from repro.sparsity.config import NMPattern
+from repro.sparsity.pruning import prune_dense
+from repro.workloads.synthetic import random_dense
+
+
+def _problem(pattern, m, n, k, seed=0):
+    rng = np.random.default_rng(seed)
+    a = random_dense(m, pattern.padded_k(k), rng)
+    b = random_dense(pattern.padded_k(k), pattern.padded_n(n), rng)
+    pruned, mask = prune_dense(pattern, b)
+    return a, compress(pattern, pruned, mask)
+
+
+#: (pattern, m, n, k, params) — edges chosen so every tile dimension
+#: goes ragged somewhere: m=40 vs ms=32, n=48 vs ns=32, and ks values
+#: that leave a partial final k-block.
+CASES = [
+    (NMPattern(2, 8, vector_length=4), 40, 48, 64,
+     TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=24)),
+    (NMPattern(2, 8, vector_length=4), 32, 32, 64,
+     TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=64)),
+    (NMPattern(2, 4, vector_length=4), 7, 36, 20,
+     TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=8)),
+    (NMPattern(8, 32, vector_length=32), 256, 512, 512,
+     TileParams(ms=32, ns=64, mr=32, nr=32, mt=8, nt=4, ks=128)),
+    (NMPattern(4, 4, vector_length=4), 24, 40, 16,
+     TileParams(ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=8)),
+]
+
+IDS = [f"{p.label()}-m{m}n{n}k{k}" for p, m, n, k, _ in CASES]
+
+
+@pytest.mark.parametrize("pattern,m,n,k,params", CASES, ids=IDS)
+class TestAnalyticMatchesRecorded:
+    def test_blocked(self, pattern, m, n, k, params):
+        a, comp = _problem(pattern, m, n, k)
+        plan = build_plan(
+            m, comp.n, comp.k, pattern, "A100", version="V1", params=params
+        )
+        recorded = KernelTrace()
+        nm_spmm_blocked(a, comp, plan.params, trace=recorded)
+        analytic = analytic_trace(
+            plan, index_itemsize=comp.indices.dtype.itemsize
+        )
+        assert analytic == recorded
+
+    def test_blocked_default_itemsize(self, pattern, m, n, k, params):
+        """compress() emits the narrowest index dtype, which is also
+        the analytic default — so omitting index_itemsize matches."""
+        a, comp = _problem(pattern, m, n, k)
+        plan = build_plan(
+            m, comp.n, comp.k, pattern, "A100", version="V1", params=params
+        )
+        recorded = KernelTrace()
+        nm_spmm_blocked(a, comp, plan.params, trace=recorded)
+        assert analytic_trace(plan) == recorded
+
+    def test_packed(self, pattern, m, n, k, params):
+        a, comp = _problem(pattern, m, n, k)
+        # V3 + explicit packing-capable pattern; force the packed
+        # executor directly so every case exercises the path no matter
+        # what the 70% rule would pick.
+        plan = build_plan(
+            m, comp.n, comp.k, pattern, "A100", version="V3", params=params
+        )
+        ks = min(plan.params.ks, comp.k)
+        ws = (ks // pattern.m) * pattern.n
+        col_info = preprocess_offline(comp, ws, plan.params.ns)
+        recorded = KernelTrace()
+        nm_spmm_packed(a, comp, plan.params, col_info, trace=recorded)
+        analytic = KernelTrace()
+        analytic.merge(_packed_analytic(plan, col_info))
+        assert analytic == recorded
+
+
+def _packed_analytic(plan, col_info):
+    """analytic_trace for the packing strategy regardless of the
+    plan's own strategy choice (mirrors what execute() passes)."""
+    if plan.uses_packing:
+        return analytic_trace(plan, col_info=col_info)
+
+    class _Packing:
+        """Plan view that forces uses_packing (analytic_trace reads
+        only shape/pattern/params/uses_packing)."""
+
+        uses_packing = True
+
+        def __init__(self, inner):
+            self.shape = inner.shape
+            self.pattern = inner.pattern
+            self.params = inner.params
+
+    return analytic_trace(_Packing(plan), col_info=col_info)
+
+
+class TestAnalyticTraceErrors:
+    def setup_method(self):
+        self.pattern = NMPattern(2, 8, vector_length=4)
+        _, self.comp = _problem(self.pattern, 16, 32, 64)
+        self.params = TileParams(
+            ms=32, ns=32, mr=16, nr=32, mt=4, nt=4, ks=16
+        )
+        # 2:8 is 75% sparse, so V3 picks the packing strategy.
+        self.plan = build_plan(
+            16, self.comp.n, self.comp.k, self.pattern, "A100",
+            version="V3", params=self.params,
+        )
+        assert self.plan.uses_packing
+
+    def test_packing_requires_col_info(self):
+        with pytest.raises(PlanError, match="col_info"):
+            analytic_trace(self.plan)
+
+    def test_mismatched_col_info_rejected(self):
+        wrong = preprocess_offline(
+            self.comp, 2 * self.plan.ws, self.params.ns
+        )
+        with pytest.raises(PlanError, match="preprocessed for"):
+            analytic_trace(self.plan, col_info=wrong)
+
+    def test_plan_method_delegates(self):
+        ws = min(self.plan.ws, self.comp.w)
+        col_info = preprocess_offline(self.comp, ws, self.params.ns)
+        trace = self.plan.analytic_trace(col_info)
+        assert trace.blocks > 0
+        assert trace.fma_ops == 16 * self.comp.n * self.comp.w

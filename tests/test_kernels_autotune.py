@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import AutotuneError
 from repro.kernels.autotune import AutotuneResult, autotune, enumerate_candidates
 from repro.kernels.tiling import TileParams
 from repro.sparsity.config import NMPattern

@@ -117,7 +117,9 @@ class TestPruneIntegration:
         pattern = NMPattern(2, 8, vector_length=4)
         mlp = MLP.random([16, 32, 8], seed=2)
         sparse = sparsify_mlp(mlp, pattern, skip_last=False)
-        assert all(isinstance(l, NMSparseLinear) for l in sparse.layers)
+        assert all(
+            isinstance(layer, NMSparseLinear) for layer in sparse.layers
+        )
 
     def test_outputs_close_at_low_sparsity(self, rng):
         """A 7:8 pruned MLP barely changes its function."""

@@ -12,7 +12,7 @@ from repro.bench.fig7 import run_fig7
 from repro.bench.fig8 import run_fig8
 from repro.bench.fig9 import run_fig9
 from repro.bench.fig10 import run_fig10
-from repro.gpu.catalog import A100_80G, resolve_gpu
+from repro.gpu.catalog import resolve_gpu
 from repro.kernels.tiling import MatrixSizeClass
 from repro.model.baselines.cublas import simulate_cublas
 from repro.model.engine import simulate_nm_spmm

@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import CompressionError
 from repro.sparsity.compress import compress
-from repro.sparsity.config import NMPattern
 from repro.sparsity.index_matrix import (
     absolute_rows,
     deinterleave_layout,

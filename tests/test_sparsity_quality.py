@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sparsity.compress import compress
 from repro.sparsity.config import NMPattern
 from repro.sparsity.masks import random_nm_mask
 from repro.sparsity.pruning import prune_dense

@@ -1,11 +1,15 @@
 """Kernel-backend throughput: wall clock per backend, GFLOP/s, speedups.
 
-Times every execution backend — dense BLAS, the fast gather-GEMM path,
-the vectorized functional kernel, and the structural blocked/packed
-executors — across small/medium/large shapes and a low- (2:4) and
-high-sparsity (8:32) pattern, then writes ``BENCH_kernels.json`` at the
-repo root so the kernel perf trajectory accrues across PRs.  These are
-the substrate's own numbers (host CPU BLAS), not the GPU model's.
+Times raw-kernel baselines (dense BLAS, the vectorized functional
+kernel, the structural blocked/packed executors with explicit blocking
+parameters) plus **every backend registered in the execution-backend
+registry** (:mod:`repro.backends`) through the real ``execute()``
+facade — so a newly registered backend lands in the tracked numbers
+without touching this file.  The grid covers small/medium/large shapes
+and a low- (2:4) and high-sparsity (8:32) pattern, and writes
+``BENCH_kernels.json`` at the repo root so the kernel perf trajectory
+accrues across PRs.  These are the substrate's own numbers (host CPU
+BLAS), not the GPU model's.
 
 Schema (``nm-spmm/kernel-bench/v1``)::
 
@@ -43,6 +47,8 @@ import time
 
 import numpy as np
 
+from repro.backends import available_backends
+from repro.core.api import NMSpMM, SparseHandle
 from repro.gpu.catalog import resolve_gpu
 from repro.kernels.blocked import nm_spmm_blocked
 from repro.kernels.fast import nm_spmm_fast
@@ -52,7 +58,6 @@ from repro.kernels.tiling import TileParams, params_for
 from repro.sparsity.colinfo import preprocess_offline
 from repro.sparsity.compress import compress
 from repro.sparsity.config import NMPattern
-from repro.sparsity.gather import build_gather_layout
 from repro.sparsity.pruning import prune_dense
 from repro.utils.tables import TextTable
 
@@ -75,6 +80,11 @@ PATTERNS: tuple[NMPattern, ...] = (
     NMPattern(2, 4, vector_length=4),
     NMPattern(8, 32, vector_length=32),
 )
+
+#: Registry rows that are part of the library itself: a failure in one
+#: of these is a regression and must abort the run, while third-party
+#: registrations get the lenient skip-with-a-note path.
+BUILTIN_BACKENDS = ("fast", "structural", "dense_scatter")
 
 #: The exact ``bench_functional_kernels`` medium configuration — the
 #: problem the tentpole's >=5x fast-vs-blocked acceptance target is
@@ -113,8 +123,12 @@ def run_config(
     pruned, mask = prune_dense(pattern, b)
     comp = compress(pattern, pruned, mask)
     # Offline artifacts are precomputed — the benchmark times the
-    # online phase, mirroring how serving uses the handles.
-    layout = build_gather_layout(comp)
+    # online phase, mirroring how serving uses the handles.  The
+    # registry rows run through the real execute() facade against a
+    # prepared handle (gather layout built in the warmup call, plans
+    # cached on the handle), so facade overhead is part of the number.
+    handle = SparseHandle(compressed=comp)
+    op = NMSpMM(pattern)
     if params is None:
         params = params_for(
             m, n, k, pattern, resolve_gpu("A100").smem_bytes_per_sm
@@ -123,20 +137,63 @@ def run_config(
 
     backends = {
         "dense": lambda: a @ pruned,
-        "fast": lambda: nm_spmm_fast(a, layout),
         "functional": lambda: nm_spmm_functional(a, comp),
         "blocked": lambda: nm_spmm_blocked(a, comp, params),
         "packed": lambda: nm_spmm_packed(a, comp, params, col_info),
     }
+    registry_rows = set()
+    for registered in available_backends():
+        if registered.name in backends:
+            # Never let a registered name shadow a raw baseline row —
+            # speedup_vs_dense must stay anchored to raw BLAS.
+            print(
+                f"note: skipping registered backend {registered.name!r} "
+                "(collides with a raw baseline row)"
+            )
+            continue
+        verdict = registered.supports(
+            op.build_request(a, handle, params=params)
+        )
+        if verdict is not True:
+            if registered.name in BUILTIN_BACKENDS:
+                raise RuntimeError(
+                    f"builtin backend {registered.name!r} declined a "
+                    f"benchmark request: {verdict}"
+                )
+            print(
+                f"note: skipping registered backend {registered.name!r} "
+                f"(unsupported here: {verdict})"
+            )
+            continue
+        registry_rows.add(registered.name)
+        backends[registered.name] = (
+            lambda name=registered.name: op.execute(
+                a, handle, params=params, backend=name, use_plan_cache=True
+            )
+        )
     gold = a @ pruned
     flops = 2.0 * m * n * k
     results: dict[str, dict] = {}
     for backend, fn in backends.items():
         # Sanity gate only (the equivalence suite owns tight bounds);
-        # tolerance scales with the float32 reduction depth.
-        np.testing.assert_allclose(
-            fn(), gold, rtol=2e-4, atol=1e-4 * np.sqrt(k)
-        )
+        # tolerance scales with the float32 reduction depth.  Registry
+        # rows that cannot run or cannot meet float32 tolerance (e.g.
+        # a registered quantized backend) are skipped with a note
+        # instead of aborting the tracked run; the builtin rows stay a
+        # hard gate via the acceptance assertions downstream.
+        try:
+            np.testing.assert_allclose(
+                fn(), gold, rtol=2e-4, atol=1e-4 * np.sqrt(k)
+            )
+        except Exception as exc:
+            if backend in registry_rows and backend not in BUILTIN_BACKENDS:
+                first_line = str(exc).strip().splitlines()[0]
+                print(
+                    f"note: skipping registered backend {backend!r} "
+                    f"({type(exc).__name__}: {first_line})"
+                )
+                continue
+            raise
         seconds = _best_of(fn, repeats)
         results[backend] = {
             "seconds": seconds,
@@ -145,14 +202,31 @@ def run_config(
     dense_s = results["dense"]["seconds"]
     for entry in results.values():
         entry["speedup_vs_dense"] = dense_s / entry["seconds"]
+    # Same-run facade-overhead measurement: the registry's "fast" row
+    # runs through execute(); time the raw kernel on the same operands
+    # so the API layer's cost is checkable per run (cross-run GFLOP/s
+    # comparisons on shared hardware are dominated by machine noise —
+    # the raw-kernel rows move +/-20% between runs of identical code).
+    fast_facade_overhead = None
+    if "fast" in results:
+        raw_fast_s = _best_of(
+            lambda: nm_spmm_fast(a, handle.gather_layout()), repeats
+        )
+        fast_facade_overhead = results["fast"]["seconds"] / raw_fast_s - 1.0
     return {
         "name": f"{name}-{pattern.n}:{pattern.m}",
         "shape": {"m": m, "n": n, "k": k},
         "pattern": pattern.label(),
         "backends": results,
+        # None when the 'fast' registry row was skipped/replaced (it is
+        # a registry row, not a guaranteed baseline) — the acceptance
+        # checks downstream fail loudly on it rather than crashing here.
         "fast_vs_blocked": (
             results["blocked"]["seconds"] / results["fast"]["seconds"]
+            if "fast" in results
+            else None
         ),
+        "fast_facade_overhead": fast_facade_overhead,
     }
 
 
@@ -185,9 +259,18 @@ def write_results(result: dict) -> pathlib.Path:
 
 
 def render_results(result: dict) -> str:
+    # Column order: dense baseline first, then the union of measured
+    # backends across all configs in first-seen order (a registry row
+    # may be skipped on some configs but measured on others).
+    names: list[str] = []
+    for config in result["configs"]:
+        for name in config["backends"]:
+            if name != "dense" and name not in names:
+                names.append(name)
     table = TextTable(
-        ["config", "dense ms", "fast ms", "functional ms", "blocked ms",
-         "packed ms", "fast GFLOP/s", "fast/blocked"],
+        ["config", "dense ms"]
+        + [f"{name} ms" for name in names]
+        + ["fast GFLOP/s", "fast/blocked"],
         title="kernel backends (host wall clock)",
     )
     for config in result["configs"]:
@@ -196,12 +279,18 @@ def render_results(result: dict) -> str:
             [
                 config["name"],
                 f"{be['dense']['seconds'] * 1e3:.3f}",
-                f"{be['fast']['seconds'] * 1e3:.3f}",
-                f"{be['functional']['seconds'] * 1e3:.3f}",
-                f"{be['blocked']['seconds'] * 1e3:.3f}",
-                f"{be['packed']['seconds'] * 1e3:.3f}",
-                f"{be['fast']['gflops']:.1f}",
-                f"{config['fast_vs_blocked']:.1f}x",
+            ]
+            + [
+                f"{be[name]['seconds'] * 1e3:.3f}" if name in be else "-"
+                for name in names
+            ]
+            + [
+                f"{be['fast']['gflops']:.1f}" if "fast" in be else "-",
+                (
+                    f"{config['fast_vs_blocked']:.1f}x"
+                    if config["fast_vs_blocked"] is not None
+                    else "-"
+                ),
             ]
         )
     return table.render()
@@ -215,13 +304,36 @@ def test_bench_kernel_backends(benchmark, emit):
     assert result["schema"] == SCHEMA
     assert len(result["configs"]) == len(SHAPES) * len(PATTERNS) + 1
     for config in result["configs"]:
+        # The builtin registry rows must be present alongside the raw
+        # baselines (they always support these requests and meet
+        # float32 tolerance); third-party registrations may be skipped
+        # with a note, so they are deliberately not asserted here.
+        for builtin in BUILTIN_BACKENDS:
+            assert builtin in config["backends"]
         for entry in config["backends"].values():
             assert entry["seconds"] > 0
             assert entry["gflops"] > 0
-    # The tentpole's headline: fast must beat the structural blocked
-    # executor by >=5x on the bench_functional_kernels medium problem.
     by_name = {c["name"]: c for c in result["configs"]}
-    assert by_name[f"{FUNCBENCH_NAME}-8:32"]["fast_vs_blocked"] >= 5.0
+    # The PR-2 headline: fast must beat the structural blocked executor
+    # by >=5x on the bench_functional_kernels medium problem.
+    funcbench = by_name[f"{FUNCBENCH_NAME}-8:32"]["fast_vs_blocked"]
+    assert funcbench is not None and funcbench >= 5.0
+    # The registry PR's headline: dense_scatter closes the tiny-L gap,
+    # beating gather-GEMM on the degenerate 2:4/L=4 small config...
+    small = by_name["small-2:4"]["backends"]
+    assert small["dense_scatter"]["gflops"] >= small["fast"]["gflops"]
+    # ...without the facade materially slowing fast vs the raw kernel
+    # on the medium/large configs.  Same-run comparison (the cross-run
+    # GFLOP/s history is machine-noise bound), with a bar wide enough
+    # for shared-machine jitter: the checked-in data shows single-run
+    # excursions past 20% in the facade's *favor*, so a tight bound
+    # would flake on an unchanged tree; real facade cost measures 1-8%.
+    for size in ("medium", "large"):
+        for config_pattern in ("2:4", "8:32"):
+            overhead = by_name[f"{size}-{config_pattern}"][
+                "fast_facade_overhead"
+            ]
+            assert overhead is not None and overhead < 0.25
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -236,15 +348,47 @@ def main(argv: "list[str] | None" = None) -> int:
     print(render_results(result))
     if not args.smoke:
         print(f"\nwrote {write_results(result)}")
-        # Enforce the tentpole's acceptance bar wherever the tracked
-        # numbers are regenerated (the pytest path asserts the same).
+        # Enforce the acceptance bars wherever the tracked numbers are
+        # regenerated (the pytest path asserts the same).
         by_name = {c["name"]: c for c in result["configs"]}
         funcbench = by_name[f"{FUNCBENCH_NAME}-8:32"]["fast_vs_blocked"]
-        if funcbench < 5.0:
+        if funcbench is None or funcbench < 5.0:
+            shown = "missing" if funcbench is None else f"{funcbench:.1f}x"
             print(
-                f"FAIL: fast is only {funcbench:.1f}x vs the structural "
-                "blocked executor on the funcbench medium problem "
+                f"FAIL: fast is only {shown} vs the structural blocked "
+                "executor on the funcbench medium problem "
                 "(acceptance bar: >=5x)"
+            )
+            return 1
+        small = by_name["small-2:4"]["backends"]
+        if "fast" not in small or "dense_scatter" not in small:
+            print(
+                "FAIL: the small-2:4 acceptance rows are missing "
+                f"(measured: {sorted(small)})"
+            )
+            return 1
+        if small["dense_scatter"]["gflops"] < small["fast"]["gflops"]:
+            print(
+                "FAIL: dense_scatter "
+                f"({small['dense_scatter']['gflops']:.1f} GFLOP/s) does "
+                "not close the tiny-L gap vs fast "
+                f"({small['fast']['gflops']:.1f} GFLOP/s) on small-2:4"
+            )
+            return 1
+        worst = max(
+            (
+                c["fast_facade_overhead"]
+                for c in result["configs"]
+                if c["fast_facade_overhead"] is not None
+            ),
+            default=None,
+        )
+        if worst is not None and worst >= 0.25:
+            # Looser than the pytest bar: standalone runs share the
+            # machine with whatever else is running.
+            print(
+                f"FAIL: execute() facade costs fast {worst * 100:.0f}% "
+                "over the raw kernel (bar: <25%)"
             )
             return 1
     return 0

@@ -33,6 +33,16 @@ Quickstart::
 
 from repro._version import __version__
 from repro.sparsity import NMPattern, NMCompressedMatrix, compress, decompress
+from repro.backends import (
+    AutoSelector,
+    Backend,
+    ExecutionRequest,
+    ExecutionResult,
+    available_backends,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.core.api import NMSpMM, SparseHandle, nm_spmm
 from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.analysis import PerformanceAnalysis, analyze
@@ -55,6 +65,14 @@ __all__ = [
     "NMSpMM",
     "SparseHandle",
     "nm_spmm",
+    "Backend",
+    "ExecutionRequest",
+    "ExecutionResult",
+    "AutoSelector",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "backend_names",
     "ExecutionPlan",
     "build_plan",
     "PerformanceAnalysis",

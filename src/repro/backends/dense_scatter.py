@@ -1,0 +1,49 @@
+"""The scatter-to-dense + SGEMM backend (the tiny-L escape hatch).
+
+The gather-GEMM path degenerates for tiny vector lengths: with L=4
+every column window's GEMM operand is only four columns wide, so the
+batched product decays into thousands of skinny GEMMs that BLAS cannot
+run at rate (see the ``small-2:4`` row of ``BENCH_kernels.json``).
+Below that efficiency crossover it is cheaper to pay the *full* dense
+FLOPs at full BLAS rate: scatter the compressed ``(B', D)`` values
+back into a dense ``(k, n)`` matrix (one vectorized
+``put_along_axis``) and run a single SGEMM.
+
+This backend does ``M/N``-times the useful work of the sparse paths —
+it trades FLOPs for BLAS efficiency, which is exactly the paper's
+moderate-sparsity argument (§III-A: at low sparsity the problem is
+compute-bound and dense-shaped execution wins).  The scatter is paid
+per call to keep the memory footprint compressed between calls; the
+auto-selector only routes here when the modeled gather-GEMM cost
+exceeds the dense cost.
+
+It is also the registry's proof of pluggability: nothing in the core
+knows this backend exists beyond its registration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import AnalyticTraceBackend, ExecutionRequest
+from repro.sparsity.compress import decompress
+
+__all__ = ["DenseScatterBackend"]
+
+
+class DenseScatterBackend(AnalyticTraceBackend):
+    """Scatter ``(B', D)`` to dense, then one full-rate SGEMM."""
+
+    name = "dense_scatter"
+
+    def capabilities(self) -> dict:
+        return {
+            "description": "scatter compressed values into a dense B, "
+            "then one SGEMM at full BLAS rate (wins below the "
+            "gather-GEMM's vector-length efficiency crossover)",
+            "traces": "analytic",
+            "needs_plan": False,
+        }
+
+    def _compute(self, request: ExecutionRequest) -> np.ndarray:
+        return request.a @ decompress(request.handle.compressed)

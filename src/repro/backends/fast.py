@@ -1,0 +1,34 @@
+"""The batched gather-GEMM backend (the library's default fast path).
+
+Wraps :func:`~repro.kernels.fast.nm_spmm_fast` over the handle's
+precomputed :class:`~repro.sparsity.gather.GatherLayout`.  Pure
+numerics never touch a plan; a requested trace is filled analytically
+from the plan (:func:`~repro.kernels.analytic.analytic_trace`), so
+tracing does not force the structural executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import AnalyticTraceBackend, ExecutionRequest
+from repro.kernels.fast import nm_spmm_fast
+
+__all__ = ["FastBackend"]
+
+
+class FastBackend(AnalyticTraceBackend):
+    """Batched gather-GEMM over the handle's frozen gather layout."""
+
+    name = "fast"
+
+    def capabilities(self) -> dict:
+        return {
+            "description": "batched gather-GEMM over the precomputed "
+            "GatherLayout (one BLAS call per window group)",
+            "traces": "analytic",
+            "needs_plan": False,
+        }
+
+    def _compute(self, request: ExecutionRequest) -> np.ndarray:
+        return nm_spmm_fast(request.a, request.handle.gather_layout())

@@ -1,0 +1,119 @@
+"""Process-wide execution-backend registry.
+
+Replaces the frozen ``EXECUTE_BACKENDS`` tuple: backends are
+*registered*, not enumerated in an ``if/elif``, so adding an execution
+strategy (multi-GPU-sharded, quantized, Triton-style...) is a
+:func:`register_backend` call instead of a core edit.  Every consumer
+— :meth:`NMSpMM.execute`, the serving runtime, the ``serve-sim`` CLI,
+``python -m repro backends`` and the kernel benchmark — enumerates
+this registry, so a newly registered backend is immediately usable end
+to end.
+
+``"auto"`` is not a backend: it names the
+:class:`~repro.backends.auto.AutoSelector`, which picks a registered
+backend per request.  :func:`backend_names` therefore lists it first,
+ahead of the registration-ordered backend names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.backends.base import Backend
+
+__all__ = [
+    "AUTO_BACKEND",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    "backend_names",
+]
+
+#: The selector pseudo-backend accepted by every ``backend=`` argument.
+AUTO_BACKEND = "auto"
+
+#: Registration order is preserved (it is the display/bench order).
+_REGISTRY: "dict[str, Backend]" = {}
+
+
+def register_backend(backend: "Backend", *, replace: bool = False) -> "Backend":
+    """Register ``backend`` under its ``name`` and return it.
+
+    The backend must satisfy the :class:`~repro.backends.base.Backend`
+    protocol (a ``name`` string plus ``supports``/``run`` callables).
+    Re-registering a taken name raises unless ``replace=True``.
+    """
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"backend {backend!r} must expose a nonempty string `name`"
+        )
+    if name == AUTO_BACKEND:
+        raise ConfigurationError(
+            f"{AUTO_BACKEND!r} is reserved for the auto-selector and "
+            "cannot name a backend"
+        )
+    for member in ("supports", "run"):
+        if not callable(getattr(backend, member, None)):
+            raise ConfigurationError(
+                f"backend {name!r} must define a callable `{member}(request)`"
+            )
+    if name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"backend {name!r} is already registered "
+            f"({_REGISTRY[name]!r}); pass replace=True to override"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> "Backend":
+    """Remove and return a registered backend (mainly for tests)."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; registered: {list(_REGISTRY)}"
+        ) from None
+
+
+def get_backend(name: str) -> "Backend":
+    """Look a backend up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {backend_names()}"
+        ) from None
+
+
+def available_backends() -> "tuple[Backend, ...]":
+    """Every registered backend, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def backend_names(*, include_auto: bool = True) -> tuple[str, ...]:
+    """Valid ``backend=`` arguments: ``"auto"`` plus the registered
+    names (what the deprecated ``EXECUTE_BACKENDS`` constant froze)."""
+    names = tuple(_REGISTRY)
+    return ((AUTO_BACKEND,) + names) if include_auto else names
+
+
+def deprecated_execute_backends(qualname: str) -> tuple[str, ...]:
+    """Body of the ``EXECUTE_BACKENDS`` deprecation shims (module
+    ``__getattr__`` in :mod:`repro.constants` and
+    :mod:`repro.core.api` both delegate here so the message and the
+    replacement stay in one place)."""
+    import warnings
+
+    warnings.warn(
+        f"{qualname} is deprecated; use repro.backends.backend_names() "
+        "(the registry) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return backend_names()

@@ -9,6 +9,7 @@ the same rows/series the paper reports::
     python -m repro fig10           # roofline analysis
     python -m repro table1          # autotuner vs Table I
     python -m repro serve-sim       # dynamic-batching serving simulation
+    python -m repro backends        # registered execution backends
     python -m repro all             # everything
 """
 
@@ -18,7 +19,7 @@ import argparse
 import sys
 
 from repro._version import __version__
-from repro.constants import EXECUTE_BACKENDS
+from repro.backends import backend_names
 from repro.workloads.llama import LLAMA_LAYER_KINDS
 
 __all__ = ["main", "build_parser"]
@@ -91,19 +92,51 @@ def build_parser() -> argparse.ArgumentParser:
     pss.add_argument("--max-wait-ms", type=float, default=2.0)
     pss.add_argument("--cache-size", type=int, default=64,
                      help="plan-cache capacity (entries)")
-    pss.add_argument("--backend", default="fast",
-                     choices=list(EXECUTE_BACKENDS),
-                     help="kernel backend batches execute with "
-                          "(fast = batched gather-GEMM)")
+    pss.add_argument("--backend", default="auto",
+                     choices=list(backend_names()),
+                     help="execution backend batches run with (from the "
+                          "backend registry; auto = cost-aware selection)")
     pss.add_argument("--no-numerics", action="store_true",
                      help="modeled timing only; skip the NumPy kernels")
     pss.add_argument("--json", default=None, metavar="PATH",
                      help="also write the summary as JSON")
 
+    sub.add_parser(
+        "backends",
+        help="list registered execution backends and their capabilities",
+    )
+
     pall = sub.add_parser("all", help="run every experiment")
     pall.add_argument("--gpu", default="A100")
     pall.add_argument("--limit", type=int, default=20)
     return parser
+
+
+def render_backends() -> str:
+    """The ``backends`` subcommand's listing: every registered backend
+    with its capabilities, plus the auto-selector's policy."""
+    from repro.backends import AutoSelector, available_backends
+    from repro.utils.tables import TextTable
+
+    table = TextTable(
+        ["name", "traces", "needs plan", "description"],
+        title="execution backends (repro.backends registry)",
+    )
+    table.add_row(["auto", "-", "-", AutoSelector().describe()])
+    for backend in available_backends():
+        # capabilities() is optional in the Backend protocol, and a
+        # third-party backend may expose it as a plain dict attribute.
+        caps = getattr(backend, "capabilities", None)
+        caps = (caps() if callable(caps) else caps) or {}
+        table.add_row(
+            [
+                backend.name,
+                str(caps.get("traces", "?")),
+                "yes" if caps.get("needs_plan") else "no",
+                str(caps.get("description", backend.__class__.__name__)),
+            ]
+        )
+    return table.render()
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -198,6 +231,8 @@ def main(argv: "list[str] | None" = None) -> int:
             with open(args.json, "w") as fh:
                 json_module.dump(report.summary(), fh, indent=2, sort_keys=True)
             print(f"\nwrote {args.json}")
+    elif args.experiment == "backends":
+        print(render_backends())
     elif args.experiment == "all":
         print(render_fig7(run_fig7()))
         print()

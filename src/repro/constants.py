@@ -39,11 +39,17 @@ THREAD_TILE_REGISTER_BUDGET: int = MAX_REGISTERS_PER_THREAD
 #: for double buffering and temporaries).
 SMEM_USABLE_FRACTION: float = 0.5
 
-#: Valid ``backend=`` arguments to :meth:`repro.core.api.NMSpMM.execute`
-#: (also accepted by the serving runtime and the ``serve-sim`` CLI).
-#: Lives here, in a dependency-free module, so the CLI can build its
-#: argument parser without importing the kernel stack.
-EXECUTE_BACKENDS: tuple[str, ...] = ("auto", "fast", "structural")
+def __getattr__(name: str):
+    # Deprecated shim: the frozen EXECUTE_BACKENDS tuple was replaced
+    # by the pluggable backend registry (:mod:`repro.backends`), which
+    # the CLI, serving runtime and benchmarks now enumerate directly.
+    # Resolved lazily so this module stays import-light and the shim
+    # always reflects the currently registered backends.
+    if name == "EXECUTE_BACKENDS":
+        from repro.backends.registry import deprecated_execute_backends
+
+        return deprecated_execute_backends("repro.constants.EXECUTE_BACKENDS")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Default vector length L for vector-wise pruning; the paper's figures
 #: use pruning windows of L-wide vectors with L a multiple of the warp

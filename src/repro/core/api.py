@@ -13,15 +13,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.constants import EXECUTE_BACKENDS as _EXECUTE_BACKENDS
+from repro.backends import (
+    AUTO_BACKEND,
+    AutoSelector,
+    ExecutionRequest,
+    ExecutionResult,
+    get_backend,
+)
+from repro.backends.registry import deprecated_execute_backends
 from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.versions import OptimizationVersion
 from repro.errors import ConfigurationError, PlanError, ShapeError
 from repro.gpu.catalog import resolve_gpu
 from repro.gpu.spec import GPUSpec
-from repro.kernels.blocked import KernelTrace, nm_spmm_blocked
-from repro.kernels.fast import nm_spmm_fast
-from repro.kernels.packed import nm_spmm_packed
+from repro.kernels.blocked import KernelTrace
 from repro.kernels.tiling import TileParams
 from repro.sparsity.colinfo import ColumnInfo, preprocess_offline
 from repro.sparsity.compress import NMCompressedMatrix, compress
@@ -32,16 +37,14 @@ from repro.utils.arrays import as_f32
 from repro.utils.cache import LRUCache
 from repro.utils.validation import check_matrix
 
-__all__ = ["EXECUTE_BACKENDS", "SparseHandle", "NMSpMM", "nm_spmm"]
+__all__ = ["SparseHandle", "NMSpMM", "nm_spmm"]
 
-#: Valid ``backend=`` arguments to :meth:`NMSpMM.execute`.  ``"auto"``
-#: runs the fast gather-GEMM kernel for pure numerics and falls back to
-#: the structural executors only when the caller wants an event-level
-#: (recorded) trace; ``"fast"`` always runs the gather-GEMM kernel and
-#: fills any requested trace analytically from the plan.  (Defined in
-#: :mod:`repro.constants` so the CLI can list the choices without
-#: importing the kernel stack.)
-EXECUTE_BACKENDS = _EXECUTE_BACKENDS
+
+def __getattr__(name: str):
+    # Deprecated shim: the frozen tuple became the backend registry.
+    if name == "EXECUTE_BACKENDS":
+        return deprecated_execute_backends("repro.core.api.EXECUTE_BACKENDS")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 #: Key under which a plan is cached on a handle:
@@ -168,6 +171,11 @@ class NMSpMM:
         Default GPU for planning and prediction.
     version:
         Optimization level, ``"V3"`` by default (all optimizations).
+    selector:
+        The ``backend="auto"`` policy; defaults to the cost-aware
+        :class:`~repro.backends.auto.AutoSelector`.  Inspect a choice
+        without executing via ``op.selector.explain(op.build_request(
+        a, handle))``.
 
     Examples
     --------
@@ -187,10 +195,12 @@ class NMSpMM:
         pattern: NMPattern,
         gpu: "str | GPUSpec" = "A100",
         version: "str | OptimizationVersion" = "V3",
+        selector: "AutoSelector | None" = None,
     ):
         self.pattern = pattern
         self.gpu = resolve_gpu(gpu)
         self.version = OptimizationVersion.parse(version)
+        self.selector = selector if selector is not None else AutoSelector()
 
     # ------------------------------------------------------------------
     # Offline
@@ -253,7 +263,7 @@ class NMSpMM:
             handle.store_plan(key, plan)
         return plan
 
-    def execute(
+    def build_request(
         self,
         a: np.ndarray,
         handle: SparseHandle,
@@ -262,43 +272,20 @@ class NMSpMM:
         trace: KernelTrace | None = None,
         plan: ExecutionPlan | None = None,
         use_plan_cache: bool = False,
-        backend: str = "auto",
-    ) -> np.ndarray:
-        """Compute ``C = A (*) (B', D)``.
-
-        ``backend`` selects the execution path:
-
-        * ``"fast"`` — the batched gather-GEMM kernel
-          (:func:`~repro.kernels.fast.nm_spmm_fast`) over the handle's
-          precomputed :class:`~repro.sparsity.gather.GatherLayout`; a
-          requested ``trace`` is filled *analytically* from the plan
-          (:func:`~repro.kernels.analytic.analytic_trace`).
-        * ``"structural"`` — the per-block executors that mirror the
-          CUDA kernel's structure (packed kernel at high sparsity,
-          blocked otherwise) and record the trace event by event.
-        * ``"auto"`` (default) — ``"fast"`` for pure numerics,
-          ``"structural"`` only when a ``trace`` is requested, so
-          callers that want event-level provenance get the recorded
-          counts while everything else takes the fast path.
-
-        A precomputed ``plan`` (e.g. from :meth:`plan_for` or a serving
-        plan cache) skips plan construction entirely; it must match the
-        operand shapes and the handle's pattern.  The fast backend only
-        consults the plan when a trace is requested, so trace-less fast
-        execution skips plan construction altogether.
+        backend: str = AUTO_BACKEND,
+    ) -> ExecutionRequest:
+        """Validate operands and bundle one execution's inputs into an
+        :class:`~repro.backends.base.ExecutionRequest`.
 
         ``A`` may have either the handle's logical ``k`` (the original
         weights' row count — zero-padded here, matching the padding
-        compression applied to the weights) or the padded ``k``.  The
-        result is trimmed to the logical ``n``.
+        compression applied to the weights) or the padded ``k``.  An
+        explicit ``plan`` must match the operand shapes and the
+        handle's pattern; when none is given the request carries a
+        planner so backends that need one (the structural executors,
+        analytic traces) can build it lazily — trace-less fast paths
+        never pay plan construction.
         """
-        if backend not in EXECUTE_BACKENDS:
-            raise ConfigurationError(
-                f"unknown backend {backend!r}; expected one of "
-                f"{EXECUTE_BACKENDS}"
-            )
-        if backend == "auto":
-            backend = "structural" if trace is not None else "fast"
         a = as_f32(check_matrix("a", a))
         if a.shape[1] == handle.k_logical and handle.k_logical != handle.k:
             pad = np.zeros(
@@ -315,15 +302,7 @@ class NMSpMM:
                 f"A has k={a.shape[1]} but the prepared weights expect "
                 f"{expected}"
             )
-        if plan is None:
-            # The fast backend without a trace never consults the plan,
-            # so skip construction — unless the caller explicitly wants
-            # the handle's plan cache warmed for later reuse.
-            if backend == "structural" or trace is not None or use_plan_cache:
-                plan = self.plan_for(
-                    a.shape[0], handle, params, use_cache=use_plan_cache
-                )
-        else:
+        if plan is not None:
             expected = (a.shape[0], handle.n, handle.k)
             got = (plan.shape.m, plan.shape.n, plan.shape.k)
             if got != expected:
@@ -336,38 +315,94 @@ class NMSpMM:
                     f"plan pattern {plan.pattern.label()} does not match "
                     f"the handle's pattern {handle.pattern.label()}"
                 )
-        # The packed executor and the analytic trace of a packing plan
-        # must consume the same offline pre-processing; derive it once
-        # here.  The trace-less fast path skips it entirely — it would
-        # otherwise trigger offline preprocessing the gather-GEMM
-        # kernel never reads.
-        col_info = None
-        if (
-            plan is not None
-            and plan.uses_packing
-            and (backend != "fast" or trace is not None)
-        ):
-            ws = min(plan.ws, handle.compressed.w)
-            col_info = handle.col_info(ws, plan.params.ns)
-        if backend == "fast":
-            out = nm_spmm_fast(a, handle.gather_layout())
-            if trace is not None:
-                trace.merge(
-                    plan.analytic_trace(
-                        col_info,
-                        index_itemsize=(
-                            handle.compressed.indices.dtype.itemsize
-                        ),
-                    )
-                )
-        elif plan.uses_packing:
-            out = nm_spmm_packed(
-                a, handle.compressed, plan.params, col_info, trace=trace
+        request = ExecutionRequest(
+            a=a,
+            handle=handle,
+            params=params,
+            plan=plan,
+            trace=trace,
+            use_plan_cache=use_plan_cache,
+            backend=backend,
+            planner=lambda req: self.plan_for(
+                req.m, req.handle, req.params, use_cache=req.use_plan_cache
+            ),
+        )
+        if use_plan_cache and plan is None:
+            # The caller explicitly wants the handle's plan cache warmed
+            # even on backends that never consult the plan.
+            request.resolve_plan()
+        return request
+
+    def run(self, request: ExecutionRequest) -> ExecutionResult:
+        """Dispatch a request to its backend and return the full
+        :class:`~repro.backends.base.ExecutionResult` (output plus
+        backend provenance, plan, timing, and — under ``"auto"`` — the
+        selector's decision)."""
+        name = request.backend
+        decision = None
+        if name == AUTO_BACKEND:
+            decision = self.selector.explain(request)
+            name = decision.backend
+        backend = get_backend(name)
+        verdict = backend.supports(request)
+        if verdict is not True:
+            reason = verdict if isinstance(verdict, str) else "unsupported request"
+            raise ConfigurationError(
+                f"backend {name!r} cannot run this request: {reason}"
             )
-        else:
-            out = nm_spmm_blocked(
-                a, handle.compressed, plan.params, trace=trace
-            )
+        result = backend.run(request)
+        result.decision = decision
+        return result
+
+    def execute(
+        self,
+        a: np.ndarray,
+        handle: SparseHandle,
+        *,
+        params: TileParams | None = None,
+        trace: KernelTrace | None = None,
+        plan: ExecutionPlan | None = None,
+        use_plan_cache: bool = False,
+        backend: str = AUTO_BACKEND,
+    ) -> np.ndarray:
+        """Compute ``C = A (*) (B', D)``.
+
+        A thin facade over the backend registry: the keywords are
+        bundled into an :class:`~repro.backends.base.ExecutionRequest`
+        (:meth:`build_request`), dispatched (:meth:`run`) to the named
+        backend — or to the one the cost-aware
+        :class:`~repro.backends.auto.AutoSelector` picks under
+        ``backend="auto"``, the default — and the padded output is
+        trimmed to the handle's logical ``n``.
+
+        Builtin backends (see ``python -m repro backends`` or
+        :func:`repro.backends.available_backends`):
+
+        * ``"fast"`` — the batched gather-GEMM kernel over the handle's
+          precomputed :class:`~repro.sparsity.gather.GatherLayout`; a
+          requested ``trace`` is filled *analytically* from the plan.
+        * ``"dense_scatter"`` — scatter the compressed values back to a
+          dense B and run one SGEMM; wins below the gather-GEMM's
+          vector-length efficiency crossover (e.g. 2:4 with L=4).
+        * ``"structural"`` — the per-block executors that mirror the
+          CUDA kernel's structure (packed at high sparsity, blocked
+          otherwise) and record the trace event by event.
+
+        Any backend registered via
+        :func:`repro.backends.register_backend` is accepted by name.
+        A precomputed ``plan`` (e.g. from :meth:`plan_for` or a serving
+        plan cache) skips plan construction entirely.
+        """
+        request = self.build_request(
+            a,
+            handle,
+            params=params,
+            trace=trace,
+            plan=plan,
+            use_plan_cache=use_plan_cache,
+            backend=backend,
+        )
+        out = self.run(request).output
         # Trim the columns compression padded onto B (they are zero, so
         # dropping them loses nothing).
         if handle.n_logical != out.shape[1]:

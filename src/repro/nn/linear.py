@@ -71,13 +71,16 @@ class NMSparseLinear:
         *,
         original_k: int | None = None,
         original_n: int | None = None,
-        backend: str = "fast",
+        backend: str = "auto",
     ):
         self.op = op
         self.handle = handle
         self.bias = bias
-        #: Kernel backend forward passes run with; the fast gather-GEMM
-        #: path by default (layers never ask for traces).
+        #: Execution backend forward passes run with — any registered
+        #: name (:mod:`repro.backends`).  ``"auto"`` by default: layers
+        #: never ask for traces, so the cost-aware selector picks the
+        #: fastest numerics path for this layer's pattern (gather-GEMM,
+        #: or scatter-to-dense below the vector-length crossover).
         self.backend = backend
         self.original_k = (
             original_k if original_k is not None else handle.k_logical

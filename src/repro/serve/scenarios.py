@@ -86,7 +86,7 @@ class LlamaServingScenario:
     plan_cache_capacity: int = 64
     execute_numerics: bool = True
     integer_values: bool = False
-    backend: str = "fast"
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if not self.models:

@@ -25,7 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.api import EXECUTE_BACKENDS, NMSpMM, SparseHandle
+from repro.backends.registry import backend_names
+from repro.core.api import NMSpMM, SparseHandle
 from repro.errors import ServeError
 from repro.gpu.spec import GPUSpec
 from repro.serve.batcher import BatchingPolicy, DynamicBatcher
@@ -78,7 +79,7 @@ class ServingReport:
     plan_cache_stats: dict
     model_names: list[str]
     numerics: bool
-    backend: str = "fast"
+    backend: str = "auto"
 
     @property
     def request_records(self) -> list[RequestRecord]:
@@ -138,11 +139,15 @@ class InferenceServer:
     host_overhead_s:
         Fixed per-launch host cost added to the modeled GPU time.
     backend:
-        Kernel backend every batch executes with (see
-        :meth:`~repro.core.api.NMSpMM.execute`); ``"fast"`` — the
-        batched gather-GEMM path — is the serving default, since the
-        server only needs numerics and modeled timing, never recorded
-        traces.
+        Kernel backend every batch executes with — any name the
+        backend registry (:mod:`repro.backends`) knows, validated here
+        so misconfiguration fails at construction rather than on the
+        first batch.  The default ``"auto"`` lets the cost-aware
+        selector choose per model handle (gather-GEMM for healthy
+        vector lengths, scatter-to-dense below the efficiency
+        crossover); the server only needs numerics and modeled timing,
+        never recorded traces, so auto never lands on the structural
+        executors.
     """
 
     def __init__(
@@ -152,16 +157,16 @@ class InferenceServer:
         plan_cache_capacity: int = 64,
         execute_numerics: bool = True,
         host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S,
-        backend: str = "fast",
+        backend: str = "auto",
     ):
         if host_overhead_s < 0:
             raise ServeError(
                 f"host_overhead_s must be >= 0, got {host_overhead_s}"
             )
-        if backend not in EXECUTE_BACKENDS:
+        if backend not in backend_names():
             raise ServeError(
                 f"unknown backend {backend!r}; expected one of "
-                f"{EXECUTE_BACKENDS}"
+                f"{backend_names()}"
             )
         self.policy = policy or BatchingPolicy()
         self.plan_cache = PlanCache(capacity=plan_cache_capacity)

@@ -39,8 +39,10 @@ class GatherLayout:
     pattern:
         The :class:`NMPattern` the source matrix was compressed under.
     rows:
-        ``(q, w)`` int64 — absolute A-row index of every compressed
+        ``(q, w)`` integer — absolute A-row index of every compressed
         entry, window-major (``rows[jq, u] == (u // N) * M + D[u, jq]``).
+        Built int32 whenever ``k`` fits (every realistic problem),
+        halving the layout's index memory versus int64.
     values:
         ``(q, w, L)`` float32 — ``B'`` resliced per column window so
         window ``jq``'s GEMM operand ``values[jq]`` is contiguous.
@@ -125,8 +127,15 @@ def build_gather_layout(compressed: NMCompressedMatrix) -> GatherLayout:
     pattern = compressed.pattern
     ell = pattern.vector_length
     # (w, q) absolute rows -> window-major (q, w), each window's gather
-    # list contiguous for the fancy-index in the fast kernel.
-    rows = np.ascontiguousarray(compressed.absolute_rows().T)
+    # list contiguous for the fancy-index in the fast kernel.  Row
+    # indices live in [0, k), so int32 suffices unless k overflows it;
+    # the narrower dtype halves the layout's resident index bytes.
+    rows_dtype = (
+        np.int32 if compressed.k <= np.iinfo(np.int32).max else np.int64
+    )
+    rows = np.ascontiguousarray(
+        compressed.absolute_rows().T, dtype=rows_dtype
+    )
     # (w, n) values -> (w, q, L) window slices -> window-major (q, w, L)
     # so values[jq] is the dense GEMM operand of window jq.
     values = np.ascontiguousarray(

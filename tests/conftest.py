@@ -15,6 +15,18 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture
+def registry_snapshot():
+    """Restore the backend registry (contents *and* registration
+    order) after tests that register or unregister backends."""
+    from repro.backends import registry as registry_module
+
+    saved = dict(registry_module._REGISTRY)
+    yield
+    registry_module._REGISTRY.clear()
+    registry_module._REGISTRY.update(saved)
+
+
+@pytest.fixture
 def pattern_2_4() -> NMPattern:
     """The canonical Fig. 1 pattern: 2:4 with L=4."""
     return NMPattern(2, 4, vector_length=4)

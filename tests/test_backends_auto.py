@@ -1,0 +1,305 @@
+"""The cost-aware auto-selector: decision table, reasons, overrides.
+
+The satellite decision table from the registry PR: pattern (2:4, 8:32)
+x vector length (4, 32) x trace-requested, asserting both the chosen
+backend and that ``explain()`` yields a non-empty reason for every
+cell.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    AutoSelector,
+    SelectionDecision,
+    unregister_backend,
+)
+from repro.core.api import NMSpMM
+from repro.errors import ConfigurationError
+from repro.kernels.blocked import KernelTrace
+from repro.sparsity.config import NMPattern
+from repro.workloads.synthetic import random_dense
+
+RTOL = 2e-5
+ATOL = 2e-5
+
+#: (N, M) x L grid of the satellite decision table, at a batched
+#: m=256 where the per-call scatter is amortized.  Expected choices:
+#: a demanded trace always routes to the recorded-provenance executors;
+#: L=4 degenerates the gather-GEMM (modeled efficiency (4/16)^2) so
+#: both patterns route to dense_scatter once the batch amortizes the
+#: scatter; L=32 is full-efficiency gather-GEMM and stays on fast.
+DECISION_TABLE = [
+    ((2, 4), 4, False, "dense_scatter"),
+    ((2, 4), 4, True, "structural"),
+    ((2, 4), 32, False, "fast"),
+    ((2, 4), 32, True, "structural"),
+    ((8, 32), 4, False, "dense_scatter"),
+    ((8, 32), 4, True, "structural"),
+    ((8, 32), 32, False, "fast"),
+    ((8, 32), 32, True, "structural"),
+]
+
+#: Batch size the table is evaluated at (a batched serving shape; the
+#: decode regime m=1 is covered separately below).
+TABLE_M = 256
+
+
+def _request(nm, ell, with_trace, rng, m=TABLE_M):
+    n_ratio, m_ratio = nm
+    pattern = NMPattern(n_ratio, m_ratio, vector_length=ell)
+    op = NMSpMM(pattern)
+    handle = op.prepare(random_dense(2 * pattern.m, 2 * ell, rng))
+    a = random_dense(m, handle.k, rng)
+    trace = KernelTrace() if with_trace else None
+    return op, handle, op.build_request(a, handle, trace=trace)
+
+
+class TestDecisionTable:
+    @pytest.mark.parametrize(
+        "nm, ell, with_trace, expected",
+        DECISION_TABLE,
+        ids=[
+            f"{nm[0]}:{nm[1]}-L{ell}-{'trace' if tr else 'numerics'}"
+            for nm, ell, tr, _ in DECISION_TABLE
+        ],
+    )
+    def test_choice_and_reason(self, nm, ell, with_trace, expected, rng):
+        op, _, request = _request(nm, ell, with_trace, rng)
+        decision = op.selector.explain(request)
+        assert isinstance(decision, SelectionDecision)
+        assert decision.backend == expected
+        assert decision.reason.strip()
+        assert op.selector.select(request) == expected
+
+    @pytest.mark.parametrize(
+        "nm, ell, with_trace, expected",
+        DECISION_TABLE,
+        ids=[
+            f"{nm[0]}:{nm[1]}-L{ell}-{'trace' if tr else 'numerics'}"
+            for nm, ell, tr, _ in DECISION_TABLE
+        ],
+    )
+    def test_execute_lands_on_the_chosen_backend(
+        self, nm, ell, with_trace, expected, rng
+    ):
+        """The facade's auto path runs exactly what explain() chose and
+        produces correct numerics."""
+        op, handle, request = _request(nm, ell, with_trace, rng)
+        result = op.run(request)
+        assert result.backend == expected
+        assert result.decision is not None
+        assert result.decision.backend == expected
+        np.testing.assert_allclose(
+            result.output, request.a @ handle.dense(), rtol=RTOL, atol=ATOL
+        )
+        if with_trace:
+            assert request.trace.fma_ops > 0
+
+
+class TestBatchSizeAwareness:
+    """The scatter is paid per call, so the decision must flip with
+    the batch size — measured: on tiny-L problems fast wins the decode
+    regime (m=1) and dense_scatter wins once batches amortize the
+    scatter."""
+
+    def test_decode_batches_stay_on_fast(self, rng):
+        op, _, request = _request((2, 4), 4, False, rng, m=1)
+        decision = op.selector.explain(request)
+        assert decision.backend == "fast"
+        assert "m=1" in decision.reason
+
+    def test_batched_tiny_l_routes_to_dense_scatter(self, rng):
+        op, _, request = _request((2, 4), 4, False, rng, m=TABLE_M)
+        assert op.selector.explain(request).backend == "dense_scatter"
+
+    def test_scatter_term_disabled_ignores_batch(self, rng):
+        selector = AutoSelector(scatter_macs_per_element=0)
+        op, _, request = _request((2, 4), 4, False, rng, m=1)
+        assert selector.explain(request).backend == "dense_scatter"
+
+
+class TestExplainContents:
+    def test_cost_race_exposes_costs_and_rejections(self, rng):
+        op, _, request = _request((2, 4), 4, False, rng)
+        decision = op.selector.explain(request)
+        assert set(decision.costs) == {"fast", "dense_scatter"}
+        assert decision.costs["dense_scatter"] < decision.costs["fast"]
+        assert decision.costs == op.selector.modeled_costs(request)
+        rejected_names = {name for name, _ in decision.rejected}
+        assert "fast" in rejected_names
+        assert all(why.strip() for _, why in decision.rejected)
+
+    def test_rejected_only_lists_registered_candidates(
+        self, registry_snapshot, rng
+    ):
+        op, _, request = _request((2, 4), 4, True, rng)
+        unregister_backend("dense_scatter")
+        decision = op.selector.explain(request)
+        rejected_names = {name for name, _ in decision.rejected}
+        assert "dense_scatter" not in rejected_names
+        assert rejected_names == {"fast"}
+
+    def test_trace_decision_has_no_cost_race(self, rng):
+        op, _, request = _request((2, 4), 4, True, rng)
+        decision = op.selector.explain(request)
+        assert decision.costs == {}
+        assert decision.backend == "structural"
+
+    def test_describe_is_nonempty(self):
+        assert AutoSelector().describe().strip()
+
+
+class TestThirdPartyCostRace:
+    """Registered backends enter auto-selection via the optional
+    ``estimated_cost(request)`` hook; without it they are listed as
+    rejected with that reason instead of being silently ignored."""
+
+    @pytest.fixture
+    def numerics_backend(self):
+        from repro.backends import ExecutionResult, register_backend
+
+        class Cheap:
+            name = "cheap"
+
+            def __init__(self):
+                self.cost = 0.5
+
+            def supports(self, request):
+                return True
+
+            def estimated_cost(self, request):
+                return self.cost
+
+            def run(self, request):
+                return ExecutionResult(
+                    output=request.a @ request.handle.dense(),
+                    backend=self.name,
+                )
+
+        backend = register_backend(Cheap())
+        yield backend
+        unregister_backend(backend.name)
+
+    def test_cheapest_estimate_wins_the_race(self, numerics_backend, rng):
+        op, handle, request = _request((8, 32), 32, False, rng)
+        decision = op.selector.explain(request)
+        assert decision.backend == "cheap"
+        assert decision.costs["cheap"] == 0.5
+        result = op.run(request)
+        assert result.backend == "cheap"
+        np.testing.assert_allclose(
+            result.output, request.a @ handle.dense(), rtol=RTOL, atol=ATOL
+        )
+
+    def test_losing_estimate_is_rejected_with_cost(
+        self, numerics_backend, rng
+    ):
+        numerics_backend.cost = 1e9
+        op, _, request = _request((8, 32), 32, False, rng)
+        decision = op.selector.explain(request)
+        assert decision.backend == "fast"
+        assert any(name == "cheap" for name, _ in decision.rejected)
+
+    def test_refusing_backend_never_wins_the_race(self, rng):
+        """A candidate whose supports() declines the request is routed
+        around (with its reason in rejected), not crashed into."""
+        from repro.backends import ExecutionResult, register_backend
+
+        class CheapButPicky:
+            name = "picky-cheap"
+
+            def supports(self, request):
+                return "only runs on Sundays"
+
+            def estimated_cost(self, request):
+                return 1e-9
+
+            def run(self, request):  # pragma: no cover - unreachable
+                return ExecutionResult(output=request.a, backend=self.name)
+
+        register_backend(CheapButPicky())
+        try:
+            op, handle, request = _request((8, 32), 32, False, rng)
+            decision = op.selector.explain(request)
+            assert decision.backend == "fast"
+            assert dict(decision.rejected)["picky-cheap"] == (
+                "only runs on Sundays"
+            )
+            assert op.run(request).backend == "fast"
+        finally:
+            unregister_backend("picky-cheap")
+
+    def test_hookless_backend_listed_as_out_of_race(self, rng):
+        from repro.backends import ExecutionResult, register_backend
+
+        class NoHook:
+            name = "nohook"
+
+            def supports(self, request):
+                return True
+
+            def run(self, request):
+                return ExecutionResult(
+                    output=request.a @ request.handle.dense(),
+                    backend=self.name,
+                )
+
+        register_backend(NoHook())
+        try:
+            op, _, request = _request((8, 32), 32, False, rng)
+            decision = op.selector.explain(request)
+            assert decision.backend == "fast"
+            reasons = dict(decision.rejected)
+            assert "nohook" in reasons
+            assert "estimated_cost" in reasons["nohook"]
+        finally:
+            unregister_backend("nohook")
+
+
+class TestSelectorConfiguration:
+    def test_lower_crossover_keeps_sparse_path(self, rng):
+        """With the efficiency ramp pinned at L=1 the gather-GEMM is
+        always modeled at full rate, so even 2:4/L=4 stays on fast."""
+        selector = AutoSelector(gather_full_efficiency_l=1)
+        op, _, request = _request((2, 4), 4, False, rng)
+        assert selector.explain(request).backend == "fast"
+
+    def test_selector_injectable_per_operator(self, rng):
+        pattern = NMPattern(2, 4, vector_length=4)
+        op = NMSpMM(pattern, selector=AutoSelector(gather_full_efficiency_l=1))
+        handle = op.prepare(random_dense(2 * pattern.m, 8, rng))
+        request = op.build_request(random_dense(4, handle.k, rng), handle)
+        assert op.run(request).backend == "fast"
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            AutoSelector(gather_full_efficiency_l=0)
+
+
+class TestFallbacks:
+    def test_scatter_unregistered_falls_back_to_fast(
+        self, registry_snapshot, rng
+    ):
+        op, _, request = _request((2, 4), 4, False, rng)
+        unregister_backend("dense_scatter")
+        decision = op.selector.explain(request)
+        assert decision.backend == "fast"
+        assert decision.reason.strip()
+
+    def test_no_numeric_backends_falls_back_to_structural(
+        self, registry_snapshot, rng
+    ):
+        op, _, request = _request((2, 4), 4, False, rng)
+        unregister_backend("fast")
+        unregister_backend("dense_scatter")
+        decision = op.selector.explain(request)
+        assert decision.backend == "structural"
+
+    def test_trace_without_structural_is_an_error(
+        self, registry_snapshot, rng
+    ):
+        op, _, request = _request((2, 4), 4, True, rng)
+        unregister_backend("structural")
+        with pytest.raises(ConfigurationError, match="structural"):
+            op.selector.explain(request)

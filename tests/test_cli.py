@@ -28,6 +28,22 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert exc.value.code == 0
 
+    def test_serve_sim_backend_choices_track_registry(self):
+        """--backend accepts exactly the registry's names, so a
+        registered backend is immediately reachable from the CLI."""
+        from repro.backends import backend_names
+
+        args = build_parser().parse_args(["serve-sim"])
+        assert args.backend == "auto"
+        for name in backend_names():
+            args = build_parser().parse_args(["serve-sim", "--backend", name])
+            assert args.backend == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "--backend", "turbo"])
+
+    def test_backends_subcommand_parses(self):
+        assert build_parser().parse_args(["backends"]).experiment == "backends"
+
 
 class TestMain:
     def test_fig7_single_gpu(self, capsys):
@@ -52,6 +68,13 @@ class TestMain:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
         assert "Table I" in capsys.readouterr().out
+
+    def test_backends_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("auto", "fast", "structural", "dense_scatter"):
+            assert name in out
+        assert "recorded" in out and "analytic" in out
 
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):

@@ -1,16 +1,18 @@
 """Backend selection in NMSpMM.execute and its consumers.
 
-The fast gather-GEMM path must be the default numerics path, agree
-with the structural executors to float32 tolerance, fill traces
-analytically, and compose with plan caching, logical shapes and the
-serving runtime.
+Back-compat contract of the registry redesign: ``execute(backend=...)``
+keeps working for "auto"/"fast"/"structural", auto still takes a fast
+numerics path (never structural) without a trace and the structural
+path with one, traces fill analytically off the structural path, and
+plan caching, logical shapes, serving and nn compose with all of it.
 """
 
 import numpy as np
 import pytest
 
-import repro.core.api as api_module
-from repro.core.api import EXECUTE_BACKENDS, NMSpMM, nm_spmm
+import repro.backends.fast as fast_backend_module
+from repro.backends import backend_names
+from repro.core.api import NMSpMM, nm_spmm
 from repro.errors import ConfigurationError, ServeError
 from repro.kernels.blocked import KernelTrace
 from repro.nn.linear import Linear, NMSparseLinear
@@ -46,7 +48,7 @@ class TestBackendSelection:
         with pytest.raises(ConfigurationError, match="unknown backend"):
             op.execute(a, handle, backend="turbo")
 
-    @pytest.mark.parametrize("backend", EXECUTE_BACKENDS)
+    @pytest.mark.parametrize("backend", backend_names())
     def test_all_backends_agree_with_dense(self, op_handle, rng, backend):
         op, handle = op_handle
         a = random_dense(16, handle.k, rng)
@@ -56,19 +58,32 @@ class TestBackendSelection:
             rtol=RTOL, atol=ATOL,
         )
 
-    def test_auto_runs_fast_for_pure_numerics(
-        self, op_handle, rng, monkeypatch
-    ):
+    def test_auto_runs_a_fast_numerics_path(self, op_handle, rng):
+        """Auto without a trace never lands on the structural
+        executors — it picks one of the fast numerics backends (which
+        one depends on the handle's vector length)."""
         op, handle = op_handle
         a = random_dense(8, handle.k, rng)
+        result = op.run(op.build_request(a, handle))
+        assert result.backend in ("fast", "dense_scatter")
+        assert result.decision is not None
+        assert result.backend == result.decision.backend
+
+    def test_auto_runs_fast_for_healthy_vector_length(
+        self, rng, monkeypatch
+    ):
+        pattern = NMPattern(8, 32, vector_length=32)
+        op = NMSpMM(pattern)
+        handle = op.prepare(random_dense(64, 64, rng))
+        a = random_dense(8, handle.k, rng)
         calls = []
-        real_fast = api_module.nm_spmm_fast
+        real_fast = fast_backend_module.nm_spmm_fast
 
         def spy(*args, **kwargs):
             calls.append(1)
             return real_fast(*args, **kwargs)
 
-        monkeypatch.setattr(api_module, "nm_spmm_fast", spy)
+        monkeypatch.setattr(fast_backend_module, "nm_spmm_fast", spy)
         op.execute(a, handle)
         assert calls, "auto without a trace must take the fast path"
 
@@ -81,7 +96,7 @@ class TestBackendSelection:
         def boom(*args, **kwargs):  # pragma: no cover - must not run
             raise AssertionError("fast kernel must not run")
 
-        monkeypatch.setattr(api_module, "nm_spmm_fast", boom)
+        monkeypatch.setattr(fast_backend_module, "nm_spmm_fast", boom)
         trace = KernelTrace()
         op.execute(a, handle, trace=trace)
         assert trace.fma_ops > 0
@@ -226,11 +241,11 @@ _WEIGHTS = random_dense(64, 48, np.random.default_rng(11))
 
 
 class TestLinearBackend:
-    def test_layer_defaults_to_fast_and_agrees_with_structural(self, rng):
+    def test_layer_defaults_to_auto_and_agrees_with_structural(self, rng):
         layer = Linear(random_dense(30, 20, rng))
         pattern = NMPattern(2, 8, vector_length=4)
         sparse_fast = NMSparseLinear.from_dense(layer, pattern)
-        assert sparse_fast.backend == "fast"
+        assert sparse_fast.backend == "auto"
         sparse_structural = NMSparseLinear(
             sparse_fast.op,
             sparse_fast.handle,

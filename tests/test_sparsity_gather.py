@@ -152,6 +152,59 @@ class TestGatherLayoutValidation:
     def test_nbytes_and_overhead(self):
         assert self.layout.nbytes() > 0
         overhead = self.layout.overhead_vs_compressed(self.comp)
-        # values are duplicated plus int64 gather rows, so the layout
+        # values are duplicated plus the gather rows, so the layout
         # costs more than (B', D) but stays the same order of magnitude.
         assert 1.0 < overhead < 10.0
+
+
+class TestRowsDtype:
+    """ROADMAP item: int32 gather rows halve the layout's index memory."""
+
+    def test_rows_built_int32_when_k_fits(self):
+        layout = build_gather_layout(
+            _compressed(NMPattern(2, 8, vector_length=4))
+        )
+        assert layout.rows.dtype == np.int32
+        assert layout.rows.nbytes == layout.rows.size * 4
+
+    def test_int32_halves_index_bytes_vs_int64(self):
+        comp = _compressed(NMPattern(2, 8, vector_length=4))
+        narrow = build_gather_layout(comp)
+        wide = GatherLayout(
+            pattern=narrow.pattern,
+            rows=narrow.rows.astype(np.int64),
+            values=narrow.values,
+            k=narrow.k,
+        )
+        assert narrow.rows.nbytes * 2 == wide.rows.nbytes
+        assert narrow.nbytes() < wide.nbytes()
+
+    def test_large_k_numerics_unchanged(self):
+        """On a large-k problem the int32 layout gathers the same rows
+        and produces bit-identical output to an int64 layout."""
+        from repro.kernels.fast import nm_spmm_fast
+        from repro.kernels.reference import nm_spmm_reference
+
+        pattern = NMPattern(2, 8, vector_length=4)
+        rng = np.random.default_rng(5)
+        k, n = 4096, 16
+        b = random_dense(k, n, rng)
+        pruned, mask = prune_dense(pattern, b)
+        comp = compress(pattern, pruned, mask)
+        layout = build_gather_layout(comp)
+        assert layout.rows.dtype == np.int32
+        np.testing.assert_array_equal(
+            layout.rows, comp.absolute_rows().T.astype(np.int64)
+        )
+        wide = GatherLayout(
+            pattern=layout.pattern,
+            rows=layout.rows.astype(np.int64),
+            values=layout.values,
+            k=layout.k,
+        )
+        a = random_dense(4, k, rng)
+        out = nm_spmm_fast(a, layout)
+        np.testing.assert_array_equal(out, nm_spmm_fast(a, wide))
+        np.testing.assert_allclose(
+            out, nm_spmm_reference(a, comp), rtol=5e-4, atol=5e-4
+        )

@@ -1,14 +1,15 @@
 """Serving-runtime benchmark: latency/throughput under synthetic load.
 
 Runs the canned Llama-shaped scenarios (Poisson and bursty arrivals,
-single- and multi-model registries) through the dynamic-batching
-simulator and writes ``BENCH_serving.json`` at the repo root so the
-serving perf trajectory accrues across PRs.
+single- and multi-model registries, mixed prefill/decode traffic, and
+a priority-tiered fifo-vs-slo-edf pair) through the serving simulator
+and writes ``BENCH_serving.json`` at the repo root so the serving perf
+trajectory accrues across PRs.
 
-Schema (``nm-spmm/serving-bench/v1``)::
+Schema (``nm-spmm/serving-bench/v2``)::
 
     {
-      "schema": "nm-spmm/serving-bench/v1",
+      "schema": "nm-spmm/serving-bench/v2",
       "configs": [
         {
           "name": "<scenario>",
@@ -16,7 +17,11 @@ Schema (``nm-spmm/serving-bench/v1``)::
           "metrics": {
             "latency": {"p50_ms", "p95_ms", "p99_ms", "mean_ms", "max_ms"},
             "queue_wait": {...same keys...},
-            "achieved_qps", "completed_requests", "batches",
+            "latency_by_priority": {"<tier>": {...same keys...}},
+            "slo": {"requests", "attained", "attainment_rate",
+                    "attainment_by_priority"},
+            "continuous": {"steps", "joins", "evictions", "preemptions"},
+            "achieved_qps", "completed_requests", "batches", "launches",
             "mean_batch_requests", "mean_batch_rows",
             "batch_requests_histogram", "padded_rows_histogram",
             "padding_overhead", "modeled_gpu_busy_s",
@@ -25,6 +30,13 @@ Schema (``nm-spmm/serving-bench/v1``)::
         }, ...
       ]
     }
+
+v2 adds the ``latency_by_priority``, ``slo``, and ``continuous``
+blocks (plus ``policy.scheduling`` / ``policy.continuous_batching`` /
+``policy.decode_rows_threshold``) and the three scheduling scenarios.
+The per-launch histograms/means span ``launches`` = dynamic
+``batches`` + continuous-batching engine steps (in v1 they spanned
+``batches``, which continuous runs would under-count).
 
 Run standalone (``python benchmarks/bench_serving.py``) or under
 pytest-benchmark (``pytest benchmarks/bench_serving.py``).
@@ -41,11 +53,13 @@ from repro.utils.tables import TextTable
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 OUTPUT_PATH = REPO_ROOT / "BENCH_serving.json"
-SCHEMA = "nm-spmm/serving-bench/v1"
+SCHEMA = "nm-spmm/serving-bench/v2"
 
 #: The tracked scenario grid.  Numerics are disabled: the benchmark
 #: tracks scheduler/model behavior, and modeled time is what drives the
-#: simulated clock either way.
+#: simulated clock either way.  ``priority-fifo`` and
+#: ``priority-slo-edf`` replay the *identical* tiered trace under the
+#: two schedulers, so their delta is pure scheduling.
 SCENARIOS: dict[str, LlamaServingScenario] = {
     "poisson-7b": LlamaServingScenario(
         models=("llama-7b",),
@@ -69,7 +83,13 @@ SCENARIOS: dict[str, LlamaServingScenario] = {
         execute_numerics=False,
         policy=BatchingPolicy(max_wait_s=1e-3),
     ),
+    "mixed-prefill-decode": LlamaServingScenario.mixed_prefill_decode(),
+    "priority-fifo": LlamaServingScenario.priority_tiered("fifo"),
+    "priority-slo-edf": LlamaServingScenario.priority_tiered("slo-edf"),
 }
+
+#: The priority tier the fifo-vs-slo-edf acceptance comparison reads.
+HIGH_PRIORITY_TIER = "2"
 
 
 def run_serving_bench() -> dict:
@@ -87,6 +107,13 @@ def run_serving_bench() -> dict:
     return {"schema": SCHEMA, "configs": configs}
 
 
+def config_named(result: dict, name: str) -> dict:
+    for config in result["configs"]:
+        if config["name"] == name:
+            return config
+    raise KeyError(name)
+
+
 def write_results(result: dict) -> pathlib.Path:
     OUTPUT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     return OUTPUT_PATH
@@ -94,18 +121,21 @@ def write_results(result: dict) -> pathlib.Path:
 
 def render_results(result: dict) -> str:
     table = TextTable(
-        ["scenario", "p50 ms", "p95 ms", "p99 ms", "QPS", "batch req",
-         "cache hit%"],
+        ["scenario", "p50 ms", "p99 ms", "hi-pri p99", "SLO %", "QPS",
+         "batch req", "cache hit%"],
         title="serving benchmark",
     )
     for config in result["configs"]:
         metrics = config["metrics"]
+        hi = metrics["latency_by_priority"].get(HIGH_PRIORITY_TIER)
+        slo_rate = metrics["slo"]["attainment_rate"]
         table.add_row(
             [
                 config["name"],
                 f"{metrics['latency']['p50_ms']:.3f}",
-                f"{metrics['latency']['p95_ms']:.3f}",
                 f"{metrics['latency']['p99_ms']:.3f}",
+                "-" if hi is None else f"{hi['p99_ms']:.3f}",
+                "-" if slo_rate is None else f"{slo_rate * 100:.1f}",
                 f"{metrics['achieved_qps']:.1f}",
                 f"{metrics['mean_batch_requests']:.2f}",
                 f"{metrics['plan_cache']['hit_rate'] * 100:.1f}",
@@ -129,6 +159,29 @@ def test_bench_serving(benchmark, emit):
         assert metrics["completed_requests"] > 0
         # Row bucketing must make the plan cache converge under load.
         assert metrics["plan_cache"]["hit_rate"] > 0.5
+
+    # Continuous batching must actually roll on the mixed scenario,
+    # and the histogram mass must equal the launch count.
+    mixed = config_named(result, "mixed-prefill-decode")["metrics"]
+    assert mixed["continuous"]["steps"] > 0
+    assert mixed["continuous"]["evictions"] > 0
+    assert (
+        mixed["launches"]
+        == mixed["batches"] + mixed["continuous"]["steps"]
+        == sum(mixed["padded_rows_histogram"].values())
+    )
+
+    # The acceptance comparison: at equal offered load, slo-edf must
+    # beat fifo on high-priority p99 *and* SLO attainment.
+    fifo = config_named(result, "priority-fifo")["metrics"]
+    edf = config_named(result, "priority-slo-edf")["metrics"]
+    fifo_hi = fifo["latency_by_priority"][HIGH_PRIORITY_TIER]
+    edf_hi = edf["latency_by_priority"][HIGH_PRIORITY_TIER]
+    assert edf_hi["p99_ms"] < fifo_hi["p99_ms"]
+    fifo_hi_slo = fifo["slo"]["attainment_by_priority"][HIGH_PRIORITY_TIER]
+    edf_hi_slo = edf["slo"]["attainment_by_priority"][HIGH_PRIORITY_TIER]
+    assert edf_hi_slo > fifo_hi_slo
+    assert edf["slo"]["attainment_rate"] > fifo["slo"]["attainment_rate"]
 
 
 if __name__ == "__main__":  # pragma: no cover

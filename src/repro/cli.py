@@ -87,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
     pss.add_argument("--arrival", choices=["poisson", "bursty"],
                      default="poisson")
     pss.add_argument("--seed", type=int, default=0)
+    pss.add_argument("--sched", choices=["fifo", "priority", "slo-edf"],
+                     default="fifo",
+                     help="scheduling policy: arrival order, strict "
+                          "priority tiers, or priority + earliest "
+                          "deadline first")
+    pss.add_argument("--decode-fraction", type=float, default=None,
+                     metavar="FRAC",
+                     help="emit this fraction of traffic as decode-shaped "
+                          "multi-step sequences and serve them with "
+                          "continuous batching (rolling in-flight batch)")
     pss.add_argument("--max-batch-requests", type=int, default=16)
     pss.add_argument("--max-batch-rows", type=int, default=256)
     pss.add_argument("--max-wait-ms", type=float, default=2.0)
@@ -222,6 +232,9 @@ def main(argv: "list[str] | None" = None) -> int:
                 plan_cache_capacity=args.cache_size,
                 execute_numerics=not args.no_numerics,
                 backend=args.backend,
+                scheduling=args.sched,
+                continuous=args.decode_fraction is not None,
+                decode_fraction=args.decode_fraction,
             )
             report = scenario.run()
         except ReproError as exc:

@@ -31,13 +31,20 @@ Quickstart::
 """
 
 from repro.serve.request import InferenceRequest, RequestRecord
+from repro.serve.scheduling import SchedulingPolicy
 from repro.serve.queue import RequestQueue
-from repro.serve.batcher import Batch, BatchingPolicy, DynamicBatcher
+from repro.serve.batcher import (
+    Batch,
+    BatchingPolicy,
+    ContinuousBatcher,
+    DynamicBatcher,
+)
 from repro.serve.cache import CacheStats, LRUCache, PlanCache, PlanEntry
 from repro.serve.metrics import (
     BatchRecord,
     LatencySummary,
     ServingMetrics,
+    StepRecord,
     percentile,
 )
 from repro.serve.loadgen import (
@@ -47,14 +54,20 @@ from repro.serve.loadgen import (
     poisson_arrivals,
 )
 from repro.serve.server import InferenceServer, ModelEntry, ServingReport
-from repro.serve.scenarios import LlamaServingScenario, parse_pattern
+from repro.serve.scenarios import (
+    LlamaServingScenario,
+    TrafficTier,
+    parse_pattern,
+)
 
 __all__ = [
     "InferenceRequest",
     "RequestRecord",
+    "SchedulingPolicy",
     "RequestQueue",
     "Batch",
     "BatchingPolicy",
+    "ContinuousBatcher",
     "DynamicBatcher",
     "CacheStats",
     "LRUCache",
@@ -63,6 +76,7 @@ __all__ = [
     "BatchRecord",
     "LatencySummary",
     "ServingMetrics",
+    "StepRecord",
     "percentile",
     "TrafficSource",
     "bursty_arrivals",
@@ -72,5 +86,6 @@ __all__ = [
     "ModelEntry",
     "ServingReport",
     "LlamaServingScenario",
+    "TrafficTier",
     "parse_pattern",
 ]

@@ -1,14 +1,23 @@
-"""Dynamic batching: when to cut a batch and how to build it.
+"""Batch formation: dynamic (cut-and-wait) and continuous (rolling).
 
-The scheduler follows the standard max-size / max-wait contract of
-serving systems: a queue is flushed as soon as it fills either budget
-(request count or total activation rows), or once its oldest request
-has waited ``max_wait_s``, or immediately when the arrival stream has
-drained.  The stacked activation block is padded with zero rows up to a
-*bucketed* row count so that repeat launches hit the same execution
-plan — padding buys plan-cache locality at the cost of a few wasted
-rows, exactly the trade the per-launch overheads in the perf model
-reward.
+:class:`DynamicBatcher` follows the standard max-size / max-wait
+contract of serving systems: a queue is flushed as soon as it fills
+either budget (request count or total activation rows), or once its
+oldest request has waited ``max_wait_s``, or immediately when the
+arrival stream has drained.  The stacked activation block is padded
+with zero rows up to a *bucketed* row count so that repeat launches hit
+the same execution plan — padding buys plan-cache locality at the cost
+of a few wasted rows, exactly the trade the per-launch overheads in the
+perf model reward.
+
+:class:`ContinuousBatcher` serves decode-style traffic (requests of at
+most ``decode_rows_threshold`` rows, typically long-running multi-step
+sequences): instead of cutting a fresh batch and holding its geometry
+until the slowest member finishes, it keeps one *rolling* in-flight
+batch that refills from the queue at every engine step and evicts each
+request the moment its own steps are done.  Higher-priority arrivals
+may preempt resident lower-priority sequences when the row budget is
+full (they rejoin at the next step with their progress kept).
 """
 
 from __future__ import annotations
@@ -20,9 +29,10 @@ import numpy as np
 from repro.errors import ServeError
 from repro.serve.queue import RequestQueue
 from repro.serve.request import InferenceRequest
+from repro.serve.scheduling import SchedulingPolicy, request_order_key
 from repro.utils.intmath import ilog2_ceil, round_up
 
-__all__ = ["BatchingPolicy", "Batch", "DynamicBatcher"]
+__all__ = ["BatchingPolicy", "Batch", "DynamicBatcher", "ContinuousBatcher"]
 
 
 @dataclass(frozen=True)
@@ -46,6 +56,10 @@ class BatchingPolicy:
         Additionally round padded rows up to a power of two, collapsing
         the batch-size distribution onto a handful of buckets so the
         plan cache converges after a few batches.
+    decode_rows_threshold:
+        Requests with at most this many rows count as decode-style: a
+        server running with continuous batching routes them to the
+        rolling batch instead of the cut-and-wait dynamic batcher.
     """
 
     max_batch_requests: int = 16
@@ -53,6 +67,7 @@ class BatchingPolicy:
     max_wait_s: float = 2e-3
     pad_rows_quantum: int = 8
     pow2_rows: bool = True
+    decode_rows_threshold: int = 4
 
     def __post_init__(self) -> None:
         if self.max_batch_requests < 1:
@@ -70,6 +85,11 @@ class BatchingPolicy:
         if self.pad_rows_quantum < 1:
             raise ServeError(
                 f"pad_rows_quantum must be >= 1, got {self.pad_rows_quantum}"
+            )
+        if not 1 <= self.decode_rows_threshold <= self.max_batch_rows:
+            raise ServeError(
+                f"decode_rows_threshold must be in [1, max_batch_rows="
+                f"{self.max_batch_rows}], got {self.decode_rows_threshold}"
             )
 
     def bucket_rows(self, rows: int) -> int:
@@ -120,6 +140,59 @@ class Batch:
         for req, start in zip(self.requests, self.row_offsets):
             outputs.append(c[start : start + req.rows])
         return outputs
+
+
+def _build_batch(
+    requests: list[InferenceRequest],
+    policy: BatchingPolicy,
+    batch_id: int,
+    model: str,
+    *,
+    stack: bool,
+    pad_to_k: "int | None",
+) -> Batch:
+    """Shared batch-geometry construction of the dynamic and continuous
+    paths: validate k-compatibility, bucket the rows, lay out offsets,
+    and optionally stack the zero-padded activation block."""
+    rows = sum(req.rows for req in requests)
+    widths = {req.k for req in requests}
+    if len(widths) != 1:
+        # The queue's admission guard makes this unreachable through
+        # normal dynamic operation, but the rolling batch outlives the
+        # queue's k lock (it resets when the queue drains) — so the
+        # continuous path can reach it, and a clear error beats a numpy
+        # broadcast failure either way.
+        raise ServeError(
+            f"cannot stack a mixed-k batch: requests have k in "
+            f"{sorted(widths)}"
+        )
+    k = requests[0].k
+    if pad_to_k is not None:
+        if pad_to_k < k:
+            raise ServeError(
+                f"pad_to_k={pad_to_k} is narrower than the requests' k={k}"
+            )
+        k = pad_to_k
+    padded_rows = policy.bucket_rows(rows)
+    row_offsets: list[int] = []
+    cursor = 0
+    for req in requests:
+        row_offsets.append(cursor)
+        cursor += req.rows
+    a: "np.ndarray | None" = None
+    if stack:
+        a = np.zeros((padded_rows, k), dtype=np.float32)
+        for req, start in zip(requests, row_offsets):
+            a[start : start + req.rows, : req.k] = req.a
+    return Batch(
+        batch_id=batch_id,
+        model=model,
+        requests=requests,
+        a=a,
+        row_offsets=row_offsets,
+        rows=rows,
+        padded_rows=padded_rows,
+    )
 
 
 class DynamicBatcher:
@@ -181,34 +254,212 @@ class DynamicBatcher:
         requests = queue.pop_upto(
             self.policy.max_batch_requests, self.policy.max_batch_rows
         )
-        rows = sum(req.rows for req in requests)
-        k = requests[0].k
-        if pad_to_k is not None:
-            if pad_to_k < k:
-                raise ServeError(
-                    f"pad_to_k={pad_to_k} is narrower than the requests' "
-                    f"k={k}"
-                )
-            k = pad_to_k
-        padded_rows = self.policy.bucket_rows(rows)
-        a: "np.ndarray | None" = None
-        row_offsets: list[int] = []
-        cursor = 0
-        for req in requests:
-            row_offsets.append(cursor)
-            cursor += req.rows
-        if stack:
-            a = np.zeros((padded_rows, k), dtype=np.float32)
-            for req, start in zip(requests, row_offsets):
-                a[start : start + req.rows, : req.k] = req.a
-        batch = Batch(
-            batch_id=self._next_batch_id,
-            model=queue.model,
-            requests=requests,
-            a=a,
-            row_offsets=row_offsets,
-            rows=rows,
-            padded_rows=padded_rows,
+        return _build_batch(
+            requests,
+            self.policy,
+            self.allocate_batch_id(),
+            queue.model,
+            stack=stack,
+            pad_to_k=pad_to_k,
         )
+
+    def allocate_batch_id(self) -> int:
+        """Next id in the shared launch-id space (dynamic batches and
+        continuous steps draw from the same counter, so a record's id is
+        unambiguous within a run)."""
+        batch_id = self._next_batch_id
         self._next_batch_id += 1
-        return batch
+        return batch_id
+
+
+# ---------------------------------------------------------------------------
+# Continuous batching
+# ---------------------------------------------------------------------------
+@dataclass
+class InFlightEntry:
+    """One sequence resident in the rolling batch."""
+
+    request: InferenceRequest
+    remaining_steps: int
+    joined_s: float  # first join = service start (kept across preemption)
+
+
+class ContinuousBatcher:
+    """Maintains the rolling in-flight batch for decode-style traffic.
+
+    Every engine step the batcher *refills* (admits waiting requests,
+    preempting resident lower-priority sequences if the scheduling
+    policy allows and the row budget is full), the engine runs one step
+    over all resident rows, and :meth:`advance` evicts every sequence
+    whose steps are done.  The per-step join/evict/preempt counts feed
+    :class:`~repro.serve.metrics.ServingMetrics`.
+    """
+
+    def __init__(
+        self,
+        policy: "BatchingPolicy | None" = None,
+        scheduling: "str | SchedulingPolicy" = SchedulingPolicy.FIFO,
+    ):
+        self.policy = policy or BatchingPolicy()
+        self.scheduling = SchedulingPolicy.parse(scheduling)
+        self._inflight: list[InFlightEntry] = []
+        self._preempted: list[InFlightEntry] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def resident(self) -> tuple[InFlightEntry, ...]:
+        return tuple(self._inflight)
+
+    @property
+    def preempted(self) -> tuple[InFlightEntry, ...]:
+        """Sequences waiting to rejoin after a preemption."""
+        return tuple(self._preempted)
+
+    @property
+    def resident_rows(self) -> int:
+        return sum(e.request.rows for e in self._inflight)
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any sequence is resident or waiting to rejoin."""
+        return bool(self._inflight or self._preempted)
+
+    def _fits(self, request: InferenceRequest) -> bool:
+        return (
+            len(self._inflight) < self.policy.max_batch_requests
+            and self.resident_rows + request.rows
+            <= self.policy.max_batch_rows
+        )
+
+    # ------------------------------------------------------------------
+    # Step lifecycle
+    # ------------------------------------------------------------------
+    def refill(self, queue: RequestQueue, now_s: float) -> tuple[int, int]:
+        """Admit waiting work into the rolling batch at ``now_s``.
+
+        Waiting work — sequences displaced by an earlier preemption
+        (which keep their progress and original service-start time) and
+        queued requests alike — is admitted as one urgency-ordered
+        stream under the scheduling policy.  A candidate of *strictly*
+        higher priority may preempt lower-priority resident sequences
+        to make room — transactionally: nothing is evicted unless the
+        evictions actually admit the candidate (a partial eviction
+        would starve the victim without serving anyone).  Under
+        ``priority``/``slo-edf`` an inadmissible candidate blocks the
+        stream: less urgent work must not slip into the space the most
+        urgent waiter needs (head-of-line semantics are exactly the
+        strict-priority guarantee).
+        Returns ``(joined, preempted)`` counts for the step record.
+        """
+        joined = 0
+        preempted = 0
+        while True:
+            # Fresh victims may have been appended last iteration, so
+            # the most urgent waiter is re-derived each round (the
+            # lists are a handful of entries).
+            self._preempted.sort(
+                key=lambda e: request_order_key(e.request, self.scheduling)
+            )
+            rejoin = self._preempted[0] if self._preempted else None
+            fresh = queue.peek() if queue else None
+            if rejoin is not None and (
+                fresh is None
+                or request_order_key(rejoin.request, self.scheduling)
+                < request_order_key(fresh, self.scheduling)
+            ):
+                candidate, entry = rejoin.request, rejoin
+            elif fresh is not None:
+                candidate, entry = fresh, None
+            else:
+                break
+            if not self._fits(candidate):
+                if self.scheduling is SchedulingPolicy.FIFO:
+                    break
+                victims = self._preemption_victims(candidate)
+                if victims is None:
+                    break
+                for victim in victims:
+                    self._inflight.remove(victim)
+                    self._preempted.append(victim)
+                preempted += len(victims)
+            if entry is not None:
+                self._preempted.remove(entry)
+                self._inflight.append(entry)
+            else:
+                self._inflight.append(
+                    InFlightEntry(
+                        request=queue.pop_next(),
+                        remaining_steps=candidate.steps,
+                        joined_s=now_s,
+                    )
+                )
+            joined += 1
+        return joined, preempted
+
+    def _preemption_victims(
+        self, candidate: InferenceRequest
+    ) -> "list[InFlightEntry] | None":
+        """The minimal resident set whose eviction admits ``candidate``:
+        strictly-lower-priority entries only, lowest priority first
+        (latest-joined breaks ties) — or ``None`` when even evicting
+        all of them would not make the candidate fit."""
+        displaceable = sorted(
+            (
+                (entry.request.priority, -index, entry)
+                for index, entry in enumerate(self._inflight)
+                if entry.request.priority < candidate.priority
+            ),
+            key=lambda item: item[:2],
+        )
+        rows = self.resident_rows
+        count = len(self._inflight)
+        victims: list[InFlightEntry] = []
+        for _, _, entry in displaceable:
+            victims.append(entry)
+            rows -= entry.request.rows
+            count -= 1
+            if (
+                count < self.policy.max_batch_requests
+                and rows + candidate.rows <= self.policy.max_batch_rows
+            ):
+                return victims
+        return None
+
+    def form_step(
+        self,
+        batch_id: int,
+        *,
+        stack: bool = True,
+        pad_to_k: "int | None" = None,
+    ) -> Batch:
+        """The current resident set as a :class:`Batch` (one engine
+        step's launch geometry)."""
+        if not self._inflight:
+            raise ServeError("form_step with no resident sequences")
+        requests = [e.request for e in self._inflight]
+        return _build_batch(
+            requests,
+            self.policy,
+            batch_id,
+            requests[0].model,
+            stack=stack,
+            pad_to_k=pad_to_k,
+        )
+
+    def advance(self) -> list[tuple[int, InFlightEntry]]:
+        """Account one executed step: decrement every resident
+        sequence and evict the finished ones.  Returns ``(index,
+        entry)`` pairs in batch order (the index addresses the step's
+        output slices)."""
+        finished: list[tuple[int, InFlightEntry]] = []
+        surviving: list[InFlightEntry] = []
+        for index, entry in enumerate(self._inflight):
+            entry.remaining_steps -= 1
+            if entry.remaining_steps <= 0:
+                finished.append((index, entry))
+            else:
+                surviving.append(entry)
+        self._inflight = surviving
+        return finished

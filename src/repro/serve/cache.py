@@ -3,7 +3,10 @@
 Plan construction (Table I lookup, Eq. 5 ``ks``, strategy selection)
 and the perf-model simulation of the resulting launch are pure
 functions of the launch geometry, so the server shares one bounded LRU
-across all registered models keyed by ``(model, padded_m)``: the
+across all registered models keyed by ``(model, padded_m, gpu,
+version)`` — the GPU spec and optimization version shape the plan just
+as much as the row count, so two models serving on different simulated
+GPUs (or at different optimization levels) never collide.  The
 batcher's row bucketing collapses the batch-size distribution onto a
 few buckets, so the cache converges to near-100% hits after warm-up.
 ``ColumnInfo`` (Listing 3's offline pre-processing) is likewise reused
@@ -38,7 +41,8 @@ class PlanEntry:
 
 @dataclass
 class PlanCache:
-    """The shared ``(model, m) -> PlanEntry`` LRU of the server."""
+    """The shared ``(model, m, gpu, version) -> PlanEntry`` LRU of the
+    server."""
 
     capacity: int = 64
     _lru: LRUCache = field(init=False)

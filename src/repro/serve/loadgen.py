@@ -9,7 +9,11 @@ Request shapes are Llama-flavoured: each :class:`TrafficSource` targets
 one registered weight matrix (e.g. a scaled Llama linear layer from
 :mod:`repro.workloads.llama`) and draws its activation row count from a
 decode-heavy distribution (mostly 1-8 rows, the occasional larger
-prefill chunk).
+prefill chunk).  Sources can *tag* their streams — a priority tier, an
+SLO deadline, and a decode fraction that splits the stream into
+decode-shaped multi-step sequences vs. single-step prefill chunks — so
+one trace can mix interactive and bulk tiers for the scheduler to
+separate.
 """
 
 from __future__ import annotations
@@ -26,12 +30,20 @@ __all__ = [
     "bursty_arrivals",
     "TrafficSource",
     "generate_requests",
+    "DECODE_ROWS_CHOICES",
+    "DEFAULT_DECODE_STEPS_CHOICES",
 ]
 
 #: Default decode-heavy request row distribution: mostly single-token
 #: decode steps, a tail of small prefill chunks.
 DEFAULT_ROWS_CHOICES: tuple[int, ...] = (1, 2, 4, 8, 16)
 DEFAULT_ROWS_WEIGHTS: tuple[float, ...] = (0.45, 0.25, 0.15, 0.10, 0.05)
+
+#: Row counts of an explicitly decode-shaped request (m = 1..4 rows per
+#: request, the regime the continuous batcher exists for) and the step
+#: counts of the decode sequences it emits.
+DECODE_ROWS_CHOICES: tuple[int, ...] = (1, 2, 4)
+DEFAULT_DECODE_STEPS_CHOICES: tuple[int, ...] = (2, 4, 8)
 
 
 def _check_rate(qps: float, duration_s: float) -> None:
@@ -127,6 +139,19 @@ class TrafficSource:
         Distribution of the per-request activation row count.
     share:
         Relative traffic share when several sources mix.
+    priority:
+        Priority tier tagged onto every request this source emits.
+    slo_ms:
+        Latency objective tagged onto every request this source emits
+        (drives ``slo-edf`` scheduling and the attainment metric).
+    decode_fraction:
+        When set, this fraction of the source's requests is emitted
+        decode-shaped — rows drawn from ``DECODE_ROWS_CHOICES`` and a
+        multi-step sequence length from ``decode_steps_choices`` — and
+        the rest prefill-shaped (``rows_choices``, a single step).
+        ``None`` keeps the legacy single-distribution behaviour.
+    decode_steps_choices:
+        Sequence lengths (engine steps) of the decode-shaped requests.
     """
 
     model: str
@@ -134,6 +159,10 @@ class TrafficSource:
     rows_choices: tuple[int, ...] = DEFAULT_ROWS_CHOICES
     rows_weights: "tuple[float, ...] | None" = DEFAULT_ROWS_WEIGHTS
     share: float = 1.0
+    priority: int = 0
+    slo_ms: "float | None" = None
+    decode_fraction: "float | None" = None
+    decode_steps_choices: tuple[int, ...] = DEFAULT_DECODE_STEPS_CHOICES
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -156,6 +185,23 @@ class TrafficSource:
             raise ServeError(f"bad rows_weights {self.rows_weights}")
         if not self.share > 0:
             raise ServeError(f"share must be > 0, got {self.share}")
+        if self.priority < 0:
+            raise ServeError(f"priority must be >= 0, got {self.priority}")
+        if self.slo_ms is not None and not self.slo_ms > 0:
+            raise ServeError(f"slo_ms must be > 0, got {self.slo_ms}")
+        if self.decode_fraction is not None and not (
+            0 <= self.decode_fraction <= 1
+        ):
+            raise ServeError(
+                f"decode_fraction must be in [0, 1], got "
+                f"{self.decode_fraction}"
+            )
+        if not self.decode_steps_choices or any(
+            s < 1 for s in self.decode_steps_choices
+        ):
+            raise ServeError(
+                f"bad decode_steps_choices {self.decode_steps_choices}"
+            )
 
 
 def generate_requests(
@@ -215,9 +261,19 @@ def generate_requests(
     for i, t in enumerate(times):
         src_index = int(rng.choice(len(sources), p=shares))
         src = sources[src_index]
-        rows = int(
-            rng.choice(src.rows_choices, p=rows_weights_by_source[src_index])
-        )
+        steps = 1
+        if src.decode_fraction is not None and (
+            rng.random() < src.decode_fraction
+        ):
+            rows = int(rng.choice(DECODE_ROWS_CHOICES))
+            steps = int(rng.choice(src.decode_steps_choices))
+        else:
+            rows = int(
+                rng.choice(
+                    src.rows_choices, p=rows_weights_by_source[src_index]
+                )
+            )
+        tags = dict(priority=src.priority, slo_ms=src.slo_ms, steps=steps)
         if not synthesize_activations:
             requests.append(
                 InferenceRequest(
@@ -226,6 +282,7 @@ def generate_requests(
                     a=None,
                     arrival_s=float(t),
                     shape=(rows, src.k),
+                    **tags,
                 )
             )
             continue
@@ -235,7 +292,7 @@ def generate_requests(
             a = rng.standard_normal((rows, src.k)).astype(np.float32)
         requests.append(
             InferenceRequest(
-                request_id=i, model=src.model, a=a, arrival_s=float(t)
+                request_id=i, model=src.model, a=a, arrival_s=float(t), **tags
             )
         )
     return requests

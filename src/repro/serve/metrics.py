@@ -1,9 +1,11 @@
 """Serving metrics: latency percentiles, throughput, batch shape.
 
-Aggregates the per-request and per-batch records the engine emits into
-the numbers serving papers report — p50/p95/p99 latency, achieved QPS,
-batch-size histogram, modeled GPU busy time and utilization — plus a
-JSON-able summary dict so benchmark trajectories can accrue across PRs.
+Aggregates the per-request, per-batch, and per-step records the engine
+emits into the numbers serving papers report — p50/p95/p99 latency
+(overall and per priority tier), SLO attainment, achieved QPS,
+batch-size histogram, continuous-batching join/evict/preempt counts,
+modeled GPU busy time and utilization — plus a JSON-able summary dict
+so benchmark trajectories can accrue across PRs.
 """
 
 from __future__ import annotations
@@ -16,7 +18,13 @@ from repro.errors import ServeError
 from repro.serve.request import RequestRecord
 from repro.utils.tables import TextTable
 
-__all__ = ["percentile", "LatencySummary", "BatchRecord", "ServingMetrics"]
+__all__ = [
+    "percentile",
+    "LatencySummary",
+    "BatchRecord",
+    "StepRecord",
+    "ServingMetrics",
+]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -89,18 +97,42 @@ class BatchRecord:
         return 1.0 - self.rows / self.padded_rows
 
 
+@dataclass(frozen=True)
+class StepRecord:
+    """One engine step of the continuous (rolling) batcher."""
+
+    step_id: int
+    model: str
+    n_resident: int
+    rows: int
+    padded_rows: int
+    joined: int
+    evicted: int
+    preempted: int
+    started_s: float
+    finished_s: float
+    modeled_gpu_s: float
+
+
 @dataclass
 class ServingMetrics:
     """Accumulator for one simulated serving run."""
 
     request_records: list[RequestRecord] = field(default_factory=list)
     batch_records: list[BatchRecord] = field(default_factory=list)
+    step_records: list[StepRecord] = field(default_factory=list)
+    _launch_shapes_cache: "tuple[tuple[int, int], list] | None" = field(
+        init=False, default=None, repr=False, compare=False
+    )
 
     def add_request(self, record: RequestRecord) -> None:
         self.request_records.append(record)
 
     def add_batch(self, record: BatchRecord) -> None:
         self.batch_records.append(record)
+
+    def add_step(self, record: StepRecord) -> None:
+        self.step_records.append(record)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -135,30 +167,127 @@ class ServingMetrics:
             [r.queue_wait_s for r in self.request_records]
         )
 
+    def latency_by_priority(self) -> dict[int, LatencySummary]:
+        """Per-priority-tier latency digests (SLO-aware scheduling is
+        judged per tier, not on the overall distribution)."""
+        self._require_records()
+        by_tier: dict[int, list[float]] = {}
+        for record in self.request_records:
+            by_tier.setdefault(record.request.priority, []).append(
+                record.latency_s
+            )
+        return {
+            tier: LatencySummary.from_seconds(values)
+            for tier, values in sorted(by_tier.items())
+        }
+
+    # ------------------------------------------------------------------
+    # SLO attainment
+    # ------------------------------------------------------------------
+    @property
+    def slo_requests(self) -> int:
+        """Completed requests that carried an SLO."""
+        return sum(1 for r in self.request_records if r.slo_met is not None)
+
+    @property
+    def slo_attained(self) -> int:
+        return sum(1 for r in self.request_records if r.slo_met)
+
+    @property
+    def slo_attainment(self) -> "float | None":
+        """Fraction of SLO-carrying requests that met their deadline,
+        or ``None`` when the trace carried no SLOs."""
+        total = self.slo_requests
+        if not total:
+            return None
+        return self.slo_attained / total
+
+    def slo_attainment_by_priority(self) -> dict[int, float]:
+        """Per-tier attainment over the tiers that carry SLOs (a tier
+        with no SLO-carrying requests is omitted)."""
+        totals: dict[int, int] = {}
+        attained: dict[int, int] = {}
+        for record in self.request_records:
+            met = record.slo_met
+            if met is None:
+                continue
+            tier = record.request.priority
+            totals[tier] = totals.get(tier, 0) + 1
+            attained[tier] = attained.get(tier, 0) + int(met)
+        return {
+            tier: attained[tier] / totals[tier] for tier in sorted(totals)
+        }
+
+    # ------------------------------------------------------------------
+    # Continuous batching
+    # ------------------------------------------------------------------
+    @property
+    def continuous_steps(self) -> int:
+        return len(self.step_records)
+
+    @property
+    def continuous_joins(self) -> int:
+        return sum(s.joined for s in self.step_records)
+
+    @property
+    def continuous_evictions(self) -> int:
+        return sum(s.evicted for s in self.step_records)
+
+    @property
+    def continuous_preemptions(self) -> int:
+        return sum(s.preempted for s in self.step_records)
+
+    def _launch_shapes(self) -> list[tuple[int, int, int]]:
+        """``(requests, rows, padded_rows)`` of every GPU launch —
+        dynamic batches and continuous steps alike (both occupy the GPU
+        and hit the plan cache).  Memoized on the (append-only) record
+        counts: summary() reads five aggregates off it per call."""
+        key = (len(self.batch_records), len(self.step_records))
+        if (
+            self._launch_shapes_cache is not None
+            and self._launch_shapes_cache[0] == key
+        ):
+            return self._launch_shapes_cache[1]
+        shapes = [
+            (b.n_requests, b.rows, b.padded_rows) for b in self.batch_records
+        ] + [
+            (s.n_resident, s.rows, s.padded_rows) for s in self.step_records
+        ]
+        self._launch_shapes_cache = (key, shapes)
+        return shapes
+
     @property
     def mean_batch_requests(self) -> float:
         self._require_batches()
-        return sum(b.n_requests for b in self.batch_records) / len(
-            self.batch_records
-        )
+        shapes = self._launch_shapes()
+        return sum(n for n, _, _ in shapes) / len(shapes)
 
     @property
     def mean_batch_rows(self) -> float:
         self._require_batches()
-        return sum(b.rows for b in self.batch_records) / len(self.batch_records)
+        shapes = self._launch_shapes()
+        return sum(rows for _, rows, _ in shapes) / len(shapes)
 
     def batch_requests_histogram(self) -> dict[int, int]:
-        """``requests-per-batch -> batch count``."""
-        return dict(sorted(Counter(b.n_requests for b in self.batch_records).items()))
+        """``requests-per-launch -> launch count``."""
+        return dict(
+            sorted(Counter(n for n, _, _ in self._launch_shapes()).items())
+        )
 
     def padded_rows_histogram(self) -> dict[int, int]:
-        """``padded batch rows (plan-cache bucket) -> batch count``."""
-        return dict(sorted(Counter(b.padded_rows for b in self.batch_records).items()))
+        """``padded launch rows (plan-cache bucket) -> launch count``."""
+        return dict(
+            sorted(
+                Counter(p for _, _, p in self._launch_shapes()).items()
+            )
+        )
 
     @property
     def gpu_busy_s(self) -> float:
-        """Total modeled GPU time across batches."""
-        return sum(b.modeled_gpu_s for b in self.batch_records)
+        """Total modeled GPU time across batches and continuous steps."""
+        return sum(b.modeled_gpu_s for b in self.batch_records) + sum(
+            s.modeled_gpu_s for s in self.step_records
+        )
 
     @property
     def gpu_utilization(self) -> float:
@@ -169,8 +298,9 @@ class ServingMetrics:
     def padding_overhead(self) -> float:
         """Fraction of launched rows that were zero padding."""
         self._require_batches()
-        launched = sum(b.padded_rows for b in self.batch_records)
-        useful = sum(b.rows for b in self.batch_records)
+        shapes = self._launch_shapes()
+        launched = sum(p for _, _, p in shapes)
+        useful = sum(rows for _, rows, _ in shapes)
         return 1.0 - useful / launched
 
     def per_model_completed(self) -> dict[str, int]:
@@ -187,6 +317,9 @@ class ServingMetrics:
         out = {
             "completed_requests": self.completed,
             "batches": len(self.batch_records),
+            # Dynamic batches + continuous steps: the launch count the
+            # per-launch histograms and means below are computed over.
+            "launches": len(self.batch_records) + len(self.step_records),
             "makespan_s": round(self.makespan_s, 9),
             "achieved_qps": round(self.achieved_qps, 3),
             "latency": self.latency().as_dict(),
@@ -203,6 +336,29 @@ class ServingMetrics:
             "modeled_gpu_busy_s": round(self.gpu_busy_s, 9),
             "modeled_gpu_utilization": round(self.gpu_utilization, 4),
             "per_model_completed": self.per_model_completed(),
+            "latency_by_priority": {
+                str(tier): summary.as_dict()
+                for tier, summary in self.latency_by_priority().items()
+            },
+            "slo": {
+                "requests": self.slo_requests,
+                "attained": self.slo_attained,
+                "attainment_rate": (
+                    None
+                    if self.slo_attainment is None
+                    else round(self.slo_attainment, 4)
+                ),
+                "attainment_by_priority": {
+                    str(tier): round(rate, 4)
+                    for tier, rate in self.slo_attainment_by_priority().items()
+                },
+            },
+            "continuous": {
+                "steps": self.continuous_steps,
+                "joins": self.continuous_joins,
+                "evictions": self.continuous_evictions,
+                "preemptions": self.continuous_preemptions,
+            },
         }
         if extra:
             out.update(extra)
@@ -227,6 +383,30 @@ class ServingMetrics:
         table.add_row(["padding overhead", f"{self.padding_overhead * 100:.1f}%"])
         table.add_row(["modeled GPU busy", f"{self.gpu_busy_s * 1e3:.3f} ms"])
         table.add_row(["modeled GPU utilization", f"{self.gpu_utilization * 100:.1f}%"])
+        by_tier = self.latency_by_priority()
+        if len(by_tier) > 1:
+            for tier, summary in by_tier.items():
+                table.add_row(
+                    [f"priority {tier} p99", f"{summary.p99_ms:.3f} ms"]
+                )
+        if self.slo_attainment is not None:
+            table.add_row(
+                [
+                    "SLO attainment",
+                    f"{self.slo_attainment * 100:.1f}% "
+                    f"({self.slo_attained}/{self.slo_requests})",
+                ]
+            )
+        if self.step_records:
+            table.add_row(
+                [
+                    "continuous steps",
+                    f"{self.continuous_steps} "
+                    f"({self.continuous_joins} joins, "
+                    f"{self.continuous_evictions} evictions, "
+                    f"{self.continuous_preemptions} preemptions)",
+                ]
+            )
         return table.render()
 
     # ------------------------------------------------------------------
@@ -235,5 +415,5 @@ class ServingMetrics:
             raise ServeError("no completed requests recorded")
 
     def _require_batches(self) -> None:
-        if not self.batch_records:
+        if not self.batch_records and not self.step_records:
             raise ServeError("no batches recorded")

@@ -1,39 +1,58 @@
-"""Per-model FIFO request queue.
+"""Per-model priority-aware request queue.
 
 One :class:`RequestQueue` holds the admitted-but-unlaunched requests of
-a single registered model.  The batcher inspects the queue's aggregate
-state (request count, total rows, oldest arrival) to decide when a
-batch should be cut, and pops requests in strict arrival order.
+a single registered model, grouped into strict-priority tiers.  The pop
+order follows the queue's :class:`~repro.serve.scheduling.SchedulingPolicy`:
+
+* ``fifo`` — one tier, strict arrival order (the original behaviour);
+* ``priority`` — highest tier first, FIFO within a tier;
+* ``slo-edf`` — highest tier first, earliest deadline first within a
+  tier (requests without an SLO sort after every deadlined request of
+  their tier, in arrival order).
+
+The batcher inspects the queue's aggregate state (request count, total
+rows, oldest arrival) to decide when a batch should be cut.  Admission
+keeps two guards: arrivals must be time-ordered *per tier*, and every
+queued request must share one activation width ``k`` (a mixed-k batch
+cannot be stacked — see ``DynamicBatcher.form_batch``).
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.errors import ServeError
 from repro.serve.request import InferenceRequest
+from repro.serve.scheduling import SchedulingPolicy, request_order_key
 
 __all__ = ["RequestQueue"]
 
 
 class RequestQueue:
-    """FIFO queue of pending requests for one model."""
+    """Priority-tiered queue of pending requests for one model."""
 
-    def __init__(self, model: str):
+    def __init__(
+        self,
+        model: str,
+        scheduling: "str | SchedulingPolicy" = SchedulingPolicy.FIFO,
+    ):
         if not model:
             raise ServeError("queue needs a model name")
         self.model = model
-        self._items: deque[InferenceRequest] = deque()
+        self.scheduling = SchedulingPolicy.parse(scheduling)
+        #: priority tier -> time-ordered list of requests.  Under FIFO
+        #: every request lands in tier 0 (priorities are ignored).
+        self._tiers: dict[int, list[InferenceRequest]] = {}
         self._total_rows = 0
+        self._count = 0
+        self._k: "int | None" = None
 
     # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._items)
+        return self._count
 
     def __bool__(self) -> bool:
-        return bool(self._items)
+        return self._count > 0
 
     @property
     def total_rows(self) -> int:
@@ -44,52 +63,109 @@ class RequestQueue:
 
     @property
     def oldest_arrival_s(self) -> "float | None":
-        """Arrival time of the longest-waiting request."""
-        return self._items[0].arrival_s if self._items else None
+        """Arrival time of the longest-waiting request (across tiers)."""
+        if not self._count:
+            return None
+        return min(items[0].arrival_s for items in self._tiers.values())
+
+    def _tier_of(self, request: InferenceRequest) -> int:
+        if self.scheduling is SchedulingPolicy.FIFO:
+            return 0
+        return request.priority
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def push(self, request: InferenceRequest) -> None:
-        """Admit a request.  Admission must follow simulated time: a
-        request may not arrive before the queue's newest entry."""
+        """Admit a request.  Admission must follow simulated time
+        within a tier: a request may not arrive before its tier's
+        newest entry.  All queued requests must share one ``k``."""
         if request.model != self.model:
             raise ServeError(
                 f"request for model {request.model!r} pushed onto the "
                 f"{self.model!r} queue"
             )
-        if self._items and request.arrival_s < self._items[-1].arrival_s:
+        if self._k is not None and request.k != self._k:
+            raise ServeError(
+                f"request {request.request_id} has k={request.k} but the "
+                f"{self.model!r} queue holds k={self._k} requests; a "
+                "mixed-k batch cannot be stacked"
+            )
+        tier = self._tier_of(request)
+        items = self._tiers.get(tier)
+        if items and request.arrival_s < items[-1].arrival_s:
             raise ServeError(
                 f"out-of-order admission: request {request.request_id} "
-                f"arrives at {request.arrival_s} but the queue tail is at "
-                f"{self._items[-1].arrival_s}"
+                f"arrives at {request.arrival_s} but tier {tier} of the "
+                f"queue tail is at {items[-1].arrival_s}"
             )
-        self._items.append(request)
+        if items is None:
+            items = self._tiers[tier] = []
+        items.append(request)
         self._total_rows += request.rows
+        self._count += 1
+        self._k = request.k
+
+    def _select(self) -> tuple[int, int]:
+        """The (tier, index) the scheduling policy serves next."""
+        tier = max(self._tiers)
+        items = self._tiers[tier]
+        if self.scheduling is SchedulingPolicy.SLO_EDF:
+            index = min(
+                range(len(items)),
+                key=lambda i: request_order_key(items[i], self.scheduling),
+            )
+        else:
+            index = 0  # FIFO within the tier (and overall under fifo).
+        return tier, index
+
+    def peek(self) -> InferenceRequest:
+        """The request the policy would pop next, without removing it."""
+        if not self._count:
+            raise ServeError(f"peek into empty queue {self.model!r}")
+        tier, index = self._select()
+        return self._tiers[tier][index]
+
+    def _pop_at(self, tier: int, index: int) -> InferenceRequest:
+        items = self._tiers[tier]
+        request = items.pop(index)
+        if not items:
+            del self._tiers[tier]
+        self._total_rows -= request.rows
+        self._count -= 1
+        if not self._count:
+            self._k = None
+        return request
+
+    def pop_next(self) -> InferenceRequest:
+        """Pop exactly the request the policy serves next."""
+        if not self._count:
+            raise ServeError(f"pop from empty queue {self.model!r}")
+        return self._pop_at(*self._select())
 
     def pop_upto(
         self, max_requests: int, max_rows: int
     ) -> list[InferenceRequest]:
-        """Pop the FIFO prefix that fits both budgets.
+        """Pop the policy-ordered prefix that fits both budgets.
 
         Always pops at least one request (a single oversized request
         still has to run), then keeps taking requests while both the
         request-count and row budgets hold.
         """
-        if not self._items:
+        if not self._count:
             raise ServeError(f"pop from empty queue {self.model!r}")
         if max_requests < 1 or max_rows < 1:
             raise ServeError(
                 f"budgets must be >= 1, got max_requests={max_requests}, "
                 f"max_rows={max_rows}"
             )
-        taken = [self._items.popleft()]
+        taken = [self.pop_next()]
         rows = taken[0].rows
-        while self._items:
-            nxt = self._items[0]
+        while self._count:
+            tier, index = self._select()
+            nxt = self._tiers[tier][index]
             if len(taken) + 1 > max_requests or rows + nxt.rows > max_rows:
                 break
-            taken.append(self._items.popleft())
+            taken.append(self._pop_at(tier, index))
             rows += nxt.rows
-        self._total_rows -= rows
         return taken

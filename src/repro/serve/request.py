@@ -44,6 +44,18 @@ class InferenceRequest:
     shape:
         ``(rows, k)`` of a metadata-only request; ignored (and must be
         omitted) when ``a`` is given.
+    priority:
+        Strict-priority tier (higher wins) under the ``priority`` and
+        ``slo-edf`` scheduling policies; ignored under ``fifo``.
+    slo_ms:
+        Optional latency objective in milliseconds.  Sets the request's
+        deadline (``arrival_s + slo_ms``) for earliest-deadline-first
+        scheduling and the SLO-attainment metric.
+    steps:
+        Engine steps the request occupies a batch for — a decode
+        sequence of this many token steps.  The dynamic (cut-and-wait)
+        path holds the whole batch for the longest member's step count;
+        the continuous path re-forms the rolling batch every step.
     """
 
     request_id: int
@@ -51,6 +63,9 @@ class InferenceRequest:
     a: "np.ndarray | None"
     arrival_s: float
     shape: "tuple[int, int] | None" = None
+    priority: int = 0
+    slo_ms: "float | None" = None
+    steps: int = 1
 
     def __post_init__(self) -> None:
         if self.request_id < 0:
@@ -74,6 +89,24 @@ class InferenceRequest:
             raise ServeError(
                 f"arrival_s must be finite and >= 0, got {self.arrival_s}"
             )
+        if self.priority < 0:
+            raise ServeError(f"priority must be >= 0, got {self.priority}")
+        if self.slo_ms is not None and (
+            not np.isfinite(self.slo_ms) or self.slo_ms <= 0
+        ):
+            raise ServeError(
+                f"slo_ms must be finite and > 0, got {self.slo_ms}"
+            )
+        if self.steps < 1:
+            raise ServeError(f"steps must be >= 1, got {self.steps}")
+
+    @property
+    def deadline_s(self) -> "float | None":
+        """``arrival_s + slo_ms`` on the simulated clock, or ``None``
+        when the request carries no SLO."""
+        if self.slo_ms is None:
+            return None
+        return self.arrival_s + self.slo_ms * 1e-3
 
     @property
     def rows(self) -> int:
@@ -89,10 +122,17 @@ class InferenceRequest:
         return int(self.a.shape[1])
 
     def label(self) -> str:
-        return (
+        text = (
             f"req#{self.request_id} {self.model} "
             f"{self.rows}x{self.k} @t={self.arrival_s * 1e3:.3f}ms"
         )
+        if self.priority:
+            text += f" pri={self.priority}"
+        if self.slo_ms is not None:
+            text += f" slo={self.slo_ms:g}ms"
+        if self.steps > 1:
+            text += f" steps={self.steps}"
+        return text
 
 
 @dataclass
@@ -137,3 +177,11 @@ class RequestRecord:
     def service_s(self) -> float:
         """Modeled GPU + host time of the batch this request rode in."""
         return self.finished_s - self.started_s
+
+    @property
+    def slo_met(self) -> "bool | None":
+        """Whether the request finished inside its SLO (``None`` when
+        it carries none)."""
+        if self.request.slo_ms is None:
+            return None
+        return self.latency_s <= self.request.slo_ms * 1e-3

@@ -21,11 +21,16 @@ from repro.serve.loadgen import (
     TrafficSource,
     generate_requests,
 )
-from repro.serve.server import InferenceServer, ServingReport
+from repro.serve.scheduling import SchedulingPolicy
+from repro.serve.server import (
+    DEFAULT_HOST_OVERHEAD_S,
+    InferenceServer,
+    ServingReport,
+)
 from repro.sparsity.config import NMPattern
 from repro.workloads.llama import get_llama_model, llama_layer_shapes
 
-__all__ = ["parse_pattern", "LlamaServingScenario"]
+__all__ = ["parse_pattern", "TrafficTier", "LlamaServingScenario"]
 
 
 def parse_pattern(spec: str, vector_length: int = 8) -> NMPattern:
@@ -48,6 +53,27 @@ def parse_pattern(spec: str, vector_length: int = 8) -> NMPattern:
     return NMPattern(n, m, vector_length=vector_length)
 
 
+@dataclass(frozen=True)
+class TrafficTier:
+    """One priority tier of a tiered traffic mix.
+
+    Every registered model gets one :class:`TrafficSource` per tier,
+    tagged with the tier's priority/SLO and carrying ``share`` of the
+    model's traffic.
+    """
+
+    priority: int
+    slo_ms: "float | None" = None
+    share: float = 1.0
+    decode_fraction: "float | None" = None
+
+    def label(self) -> str:
+        text = f"pri{self.priority}"
+        if self.slo_ms is not None:
+            text += f"/slo{self.slo_ms:g}ms"
+        return text
+
+
 @dataclass
 class LlamaServingScenario:
     """One reproducible serving experiment.
@@ -67,6 +93,18 @@ class LlamaServingScenario:
         N:M sparsity pattern for every registered model.
     qps / duration_s / arrival / seed:
         Load-generation knobs (see :mod:`repro.serve.loadgen`).
+    scheduling:
+        Scheduler policy: ``"fifo"``, ``"priority"``, or ``"slo-edf"``.
+    continuous:
+        Enable continuous batching (decode-shaped requests join the
+        rolling in-flight batch instead of the cut-and-wait batcher).
+    decode_fraction:
+        When set, that fraction of every source's traffic is emitted
+        decode-shaped (1-4 rows, multi-step); ignored by tiers that set
+        their own fraction.
+    tiers:
+        Priority tiers of the traffic mix; empty serves one untagged
+        source per model (the legacy behaviour).
     """
 
     models: tuple[str, ...] = ("llama-7b",)
@@ -87,6 +125,14 @@ class LlamaServingScenario:
     execute_numerics: bool = True
     integer_values: bool = False
     backend: str = "auto"
+    scheduling: str = SchedulingPolicy.FIFO.value
+    continuous: bool = False
+    decode_fraction: "float | None" = None
+    tiers: tuple[TrafficTier, ...] = ()
+    #: Per-launch host cost.  The scaled-down NumPy shapes make modeled
+    #: GPU time microseconds, so scheduling studies that need real
+    #: contention raise this instead of serving impractical QPS.
+    host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S
 
     def __post_init__(self) -> None:
         if not self.models:
@@ -96,6 +142,7 @@ class LlamaServingScenario:
                 "scale must be >= 1 (1 serves the true shapes), got "
                 f"{self.scale}"
             )
+        SchedulingPolicy.parse(self.scheduling)  # fail fast on typos
 
     # ------------------------------------------------------------------
     def build_server(self) -> "tuple[InferenceServer, list[TrafficSource]]":
@@ -106,6 +153,9 @@ class LlamaServingScenario:
             plan_cache_capacity=self.plan_cache_capacity,
             execute_numerics=self.execute_numerics,
             backend=self.backend,
+            scheduling=self.scheduling,
+            continuous_batching=self.continuous,
+            host_overhead_s=self.host_overhead_s,
         )
         sources: list[TrafficSource] = []
         rng = np.random.default_rng(self.seed)
@@ -133,11 +183,32 @@ class LlamaServingScenario:
                 gpu=self.gpu,
                 version=self.version,
             )
-            sources.append(
-                TrafficSource(
-                    model=registered, k=k, rows_choices=self.rows_choices
+            if self.tiers:
+                for tier in self.tiers:
+                    sources.append(
+                        TrafficSource(
+                            model=registered,
+                            k=k,
+                            rows_choices=self.rows_choices,
+                            share=tier.share,
+                            priority=tier.priority,
+                            slo_ms=tier.slo_ms,
+                            decode_fraction=(
+                                tier.decode_fraction
+                                if tier.decode_fraction is not None
+                                else self.decode_fraction
+                            ),
+                        )
+                    )
+            else:
+                sources.append(
+                    TrafficSource(
+                        model=registered,
+                        k=k,
+                        rows_choices=self.rows_choices,
+                        decode_fraction=self.decode_fraction,
+                    )
                 )
-            )
         return server, sources
 
     def run(self) -> ServingReport:
@@ -155,10 +226,60 @@ class LlamaServingScenario:
         return server.simulate(trace)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"models={','.join(self.models)} layer={self.layer} "
             f"scale=1/{self.scale} pattern={self.pattern.label()} "
             f"gpu={self.gpu} {self.version} qps={self.qps:g} "
             f"duration={self.duration_s:g}s arrival={self.arrival} "
-            f"seed={self.seed}"
+            f"seed={self.seed} sched={self.scheduling}"
         )
+        if self.continuous:
+            text += " continuous"
+        if self.decode_fraction is not None:
+            text += f" decode={self.decode_fraction:g}"
+        if self.tiers:
+            text += " tiers=" + ",".join(t.label() for t in self.tiers)
+        return text
+
+    # ------------------------------------------------------------------
+    # Canned scenarios (shared by bench_serving.py and the tests)
+    # ------------------------------------------------------------------
+    @classmethod
+    def mixed_prefill_decode(cls, **overrides) -> "LlamaServingScenario":
+        """Mixed prefill/decode traffic through the continuous batcher:
+        60% decode-shaped multi-step sequences (1-4 rows), the rest
+        prefill chunks on the dynamic path."""
+        defaults = dict(
+            models=("llama-7b",),
+            qps=200.0,
+            duration_s=2.0,
+            continuous=True,
+            decode_fraction=0.6,
+            execute_numerics=False,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def priority_tiered(
+        cls, scheduling: str = SchedulingPolicy.SLO_EDF.value, **overrides
+    ) -> "LlamaServingScenario":
+        """Priority-tiered traffic with per-tier SLOs: a small
+        latency-sensitive interactive tier sharing the GPU with a bulk
+        backlog.  Run once with ``scheduling="fifo"`` and once with
+        ``"slo-edf"`` to measure what SLO-aware scheduling buys."""
+        defaults = dict(
+            models=("llama-7b",),
+            qps=3000.0,
+            duration_s=2.0,
+            arrival="bursty",
+            tiers=(
+                TrafficTier(priority=2, slo_ms=5.0, share=0.2),
+                TrafficTier(priority=0, slo_ms=100.0, share=0.8),
+            ),
+            policy=BatchingPolicy(max_batch_rows=64),
+            host_overhead_s=2e-3,
+            execute_numerics=False,
+        )
+        defaults.update(overrides)
+        return cls(scheduling=scheduling, **defaults)

@@ -4,16 +4,25 @@
 :class:`~repro.core.api.NMSpMM` operator plus its prepared
 :class:`~repro.core.api.SparseHandle`), a shared plan cache, and a
 single simulated GPU.  ``simulate`` replays a seeded request trace
-through the dynamic batcher with a discrete-event loop:
+through the batching layer with a discrete-event loop:
 
-* requests are admitted to their model's FIFO queue at arrival time;
-* whenever the GPU is free, any queue that fills a batch budget, blows
-  its max-wait deadline, or sits nonempty after the arrival stream has
-  drained is flushed (earliest-waiting queue first);
-* the batch's service time is the perf model's prediction for the
+* requests are admitted to their model's queue at arrival time — to
+  the *decode* queue (rolling continuous batch) when continuous
+  batching is enabled and the request is decode-shaped, else to the
+  *prefill* queue (cut-and-wait dynamic batcher);
+* whenever the GPU is free, the most urgent launchable work runs: a
+  prefill queue that fills a batch budget, blows its max-wait deadline,
+  or sits nonempty after the arrival stream has drained — or a
+  continuous step whenever decode work is resident or waiting.
+  Urgency follows the :class:`~repro.serve.scheduling.SchedulingPolicy`
+  (arrival order, strict priority, or priority + earliest deadline);
+* a launch's service time is the perf model's prediction for the
   padded batch shape (plus a fixed host overhead), so the latency
   curves reflect the paper's modeled GPU timing while the numerics run
-  through the real NumPy kernels.
+  through the real NumPy kernels.  A multi-step (decode-sequence)
+  request charges one modeled launch per step: the dynamic path holds
+  the whole batch until its longest member finishes, while the
+  continuous path re-forms the rolling batch between steps.
 
 Everything advances on the simulated clock — two runs of the same trace
 produce identical reports.
@@ -29,11 +38,12 @@ from repro.backends.registry import backend_names
 from repro.core.api import NMSpMM, SparseHandle
 from repro.errors import ServeError
 from repro.gpu.spec import GPUSpec
-from repro.serve.batcher import BatchingPolicy, DynamicBatcher
+from repro.serve.batcher import BatchingPolicy, ContinuousBatcher, DynamicBatcher
 from repro.serve.cache import PlanCache
-from repro.serve.metrics import BatchRecord, ServingMetrics
+from repro.serve.metrics import BatchRecord, ServingMetrics, StepRecord
 from repro.serve.queue import RequestQueue
 from repro.serve.request import InferenceRequest, RequestRecord
+from repro.serve.scheduling import SchedulingPolicy, request_order_key
 from repro.sparsity.config import NMPattern
 
 __all__ = ["ModelEntry", "ServingReport", "InferenceServer"]
@@ -80,6 +90,8 @@ class ServingReport:
     model_names: list[str]
     numerics: bool
     backend: str = "auto"
+    scheduling: str = SchedulingPolicy.FIFO.value
+    continuous: bool = False
 
     @property
     def request_records(self) -> list[RequestRecord]:
@@ -99,11 +111,14 @@ class ServingReport:
                 "backend": self.backend,
                 "plan_cache": self.plan_cache_stats,
                 "policy": {
+                    "scheduling": self.scheduling,
+                    "continuous_batching": self.continuous,
                     "max_batch_requests": self.policy.max_batch_requests,
                     "max_batch_rows": self.policy.max_batch_rows,
                     "max_wait_ms": self.policy.max_wait_s * 1e3,
                     "pad_rows_quantum": self.policy.pad_rows_quantum,
                     "pow2_rows": self.policy.pow2_rows,
+                    "decode_rows_threshold": self.policy.decode_rows_threshold,
                 },
             }
         )
@@ -119,6 +134,12 @@ class ServingReport:
             f"({cache['hit_rate'] * 100:.1f}% hit rate, "
             f"{cache['evictions']} evictions)"
         )
+        text += f"\nscheduling: {self.scheduling}"
+        if self.continuous:
+            text += (
+                " + continuous batching (decode rows <= "
+                f"{self.policy.decode_rows_threshold})"
+            )
         text += f"\nmodels: {', '.join(self.model_names)}"
         return text
 
@@ -131,7 +152,9 @@ class InferenceServer:
     policy:
         Default batching policy (overridable per ``simulate`` call).
     plan_cache_capacity:
-        Entries in the shared ``(model, padded_m)`` plan LRU.
+        Entries in the shared plan LRU (keyed by model, padded row
+        count, GPU, and optimization version — see
+        :class:`~repro.serve.cache.PlanCache`).
     execute_numerics:
         When True each batch also runs through the NumPy kernels and
         every request record carries its output slice; when False only
@@ -148,6 +171,14 @@ class InferenceServer:
         crossover); the server only needs numerics and modeled timing,
         never recorded traces, so auto never lands on the structural
         executors.
+    scheduling:
+        Queue-order and queue-selection policy: ``"fifo"`` (arrival
+        order), ``"priority"`` (strict tiers), or ``"slo-edf"``
+        (strict tiers + earliest deadline first within a tier).
+    continuous_batching:
+        Route decode-shaped requests (rows <= the policy's
+        ``decode_rows_threshold``) to a rolling in-flight batch that
+        refills every engine step instead of waiting for a fresh cut.
     """
 
     def __init__(
@@ -158,6 +189,8 @@ class InferenceServer:
         execute_numerics: bool = True,
         host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S,
         backend: str = "auto",
+        scheduling: "str | SchedulingPolicy" = SchedulingPolicy.FIFO,
+        continuous_batching: bool = False,
     ):
         if host_overhead_s < 0:
             raise ServeError(
@@ -173,6 +206,8 @@ class InferenceServer:
         self.execute_numerics = execute_numerics
         self.host_overhead_s = host_overhead_s
         self.backend = backend
+        self.scheduling = SchedulingPolicy.parse(scheduling)
+        self.continuous_batching = continuous_batching
         self._models: dict[str, ModelEntry] = {}
         self._inbox: list[InferenceRequest] = []
 
@@ -249,6 +284,41 @@ class InferenceServer:
             )
 
     # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _queue_key(self, queue: RequestQueue) -> tuple:
+        """Ascending urgency of a prefill flush: the order key of the
+        exact request the queue would serve next, so queue selection
+        and pop order never disagree (a queue must not win on one
+        tier's priority and then serve a different tier's request)."""
+        return request_order_key(queue.peek(), self.scheduling)
+
+    def _decode_key(
+        self, queue: RequestQueue, batcher: ContinuousBatcher
+    ) -> tuple:
+        """Urgency of a continuous step: the most urgent request with a
+        stake in the next step — waiting, resident, or preempted.  A
+        resident high-priority sequence must not lose the GPU to lower
+        tiers just because a low-priority decode request is queued."""
+        keys = [
+            request_order_key(entry.request, self.scheduling)
+            for entry in batcher.resident
+        ]
+        keys.extend(
+            request_order_key(entry.request, self.scheduling)
+            for entry in batcher.preempted
+        )
+        if queue:
+            keys.append(self._queue_key(queue))
+        return min(keys)
+
+    def _is_decode(self, request: InferenceRequest, policy: BatchingPolicy) -> bool:
+        return (
+            self.continuous_batching
+            and request.rows <= policy.decode_rows_threshold
+        )
+
+    # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
     def simulate(
@@ -257,7 +327,7 @@ class InferenceServer:
         *,
         policy: "BatchingPolicy | None" = None,
     ) -> ServingReport:
-        """Replay a request trace through the dynamic batcher against a
+        """Replay a request trace through the batching layer against a
         single simulated GPU and return the full report."""
         if not requests:
             raise ServeError("simulate needs at least one request")
@@ -268,7 +338,21 @@ class InferenceServer:
         )
         stats_before = self.plan_cache.stats.snapshot()
         batcher = DynamicBatcher(policy or self.policy)
-        queues = {name: RequestQueue(name) for name in self._models}
+        run_policy = batcher.policy
+        prefill_queues = {
+            name: RequestQueue(name, self.scheduling) for name in self._models
+        }
+        decode_queues: dict[str, RequestQueue] = {}
+        continuous: dict[str, ContinuousBatcher] = {}
+        if self.continuous_batching:
+            decode_queues = {
+                name: RequestQueue(name, self.scheduling)
+                for name in self._models
+            }
+            continuous = {
+                name: ContinuousBatcher(run_policy, self.scheduling)
+                for name in self._models
+            }
         metrics = ServingMetrics()
         i, n = 0, len(pending)
         clock_s = 0.0
@@ -280,30 +364,57 @@ class InferenceServer:
             # batch, which is how batches grow under load).
             t = max(clock_s, gpu_free_s)
             while i < n and pending[i].arrival_s <= t:
-                queues[pending[i].model].push(pending[i])
+                request = pending[i]
+                if self._is_decode(request, run_policy):
+                    decode_queues[request.model].push(request)
+                else:
+                    prefill_queues[request.model].push(request)
                 i += 1
             drain = i >= n
-            flushable = [
-                q
-                for q in queues.values()
-                if batcher.should_flush(q, t, drain=drain)
-            ]
-            if flushable:
-                queue = min(
-                    flushable, key=lambda q: (q.oldest_arrival_s, q.model)
-                )
-                self._launch(queue, batcher, t, metrics)
-                gpu_free_s = metrics.batch_records[-1].finished_s
+            # (sort key, kind, model): the most urgent launchable work
+            # wins; model name and kind break exact ties.
+            candidates: list[tuple[tuple, str, str]] = []
+            for name in self._models:
+                queue = prefill_queues[name]
+                if batcher.should_flush(queue, t, drain=drain):
+                    candidates.append(
+                        (self._queue_key(queue) + (name, 0), "prefill", name)
+                    )
+                if self.continuous_batching:
+                    dq = decode_queues[name]
+                    cb = continuous[name]
+                    if dq or cb.has_work:
+                        candidates.append(
+                            (self._decode_key(dq, cb) + (name, 1),
+                             "decode", name)
+                        )
+            if candidates:
+                candidates.sort(key=lambda c: c[0])
+                _, kind, name = candidates[0]
+                if kind == "prefill":
+                    gpu_free_s = self._launch(
+                        prefill_queues[name], batcher, t, metrics
+                    )
+                else:
+                    gpu_free_s = self._launch_step(
+                        name,
+                        decode_queues[name],
+                        continuous[name],
+                        batcher,
+                        t,
+                        metrics,
+                    )
                 clock_s = t
                 continue
             # Nothing to launch: advance to the next event (arrival or
-            # deadline).  All candidate times are strictly after t, so
-            # the loop always progresses.
+            # prefill deadline; decode work launches immediately, so an
+            # idle decode side never needs a timer).  All candidate
+            # times are strictly after t, so the loop always progresses.
             events = []
             if i < n:
                 events.append(pending[i].arrival_s)
-            for q in queues.values():
-                deadline = batcher.deadline_s(q)
+            for queue in prefill_queues.values():
+                deadline = batcher.deadline_s(queue)
                 if deadline is not None:
                     events.append(deadline)
             if not events:
@@ -313,11 +424,13 @@ class InferenceServer:
         metrics.request_records.sort(key=lambda r: r.request.request_id)
         return ServingReport(
             metrics=metrics,
-            policy=batcher.policy,
+            policy=run_policy,
             plan_cache_stats=self.plan_cache.stats.since(stats_before).as_dict(),
             model_names=self.model_names,
             numerics=self.execute_numerics,
             backend=self.backend,
+            scheduling=self.scheduling.value,
+            continuous=self.continuous_batching,
         )
 
     def _launch(
@@ -326,9 +439,16 @@ class InferenceServer:
         batcher: DynamicBatcher,
         start_s: float,
         metrics: ServingMetrics,
-    ) -> None:
-        """Form a batch from ``queue``, execute it at ``start_s``, and
-        record per-request and per-batch results."""
+    ) -> float:
+        """Form a dynamic batch from ``queue``, execute it at
+        ``start_s``, record per-request and per-batch results, and
+        return when the GPU frees up.
+
+        The batch geometry is fixed at the cut: a multi-step request
+        charges one modeled launch per step, and the whole batch holds
+        the GPU until its longest member finishes (finished requests'
+        rows ride along as waste — the cost continuous batching
+        removes)."""
         entry = self.model(queue.model)
         # Stack directly at the weights' padded k so execute() consumes
         # the block without another copy.
@@ -338,8 +458,9 @@ class InferenceServer:
         plan_entry = self.plan_cache.lookup(
             batch.model, entry.op, entry.handle, batch.padded_rows
         )
-        modeled_gpu_s = plan_entry.modeled_seconds
-        finished_s = start_s + modeled_gpu_s + self.host_overhead_s
+        step_s = plan_entry.modeled_seconds + self.host_overhead_s
+        max_steps = max(request.steps for request in batch.requests)
+        finished_s = start_s + max_steps * step_s
 
         outputs: "list[np.ndarray] | None" = None
         if self.execute_numerics:
@@ -357,7 +478,7 @@ class InferenceServer:
                     request=request,
                     batch_id=batch.batch_id,
                     started_s=start_s,
-                    finished_s=finished_s,
+                    finished_s=start_s + request.steps * step_s,
                     output=None if outputs is None else outputs[idx],
                 )
             )
@@ -370,6 +491,71 @@ class InferenceServer:
                 padded_rows=batch.padded_rows,
                 started_s=start_s,
                 finished_s=finished_s,
+                modeled_gpu_s=max_steps * plan_entry.modeled_seconds,
+            )
+        )
+        return finished_s
+
+    def _launch_step(
+        self,
+        name: str,
+        queue: RequestQueue,
+        cb: ContinuousBatcher,
+        batcher: DynamicBatcher,
+        start_s: float,
+        metrics: ServingMetrics,
+    ) -> float:
+        """Run one continuous-batching engine step for ``name`` at
+        ``start_s``: refill the rolling batch, execute the resident
+        rows, evict finished sequences, and return when the GPU frees
+        up."""
+        entry = self.model(name)
+        joined, preempted = cb.refill(queue, start_s)
+        batch = cb.form_step(
+            batcher.allocate_batch_id(),
+            stack=self.execute_numerics,
+            pad_to_k=entry.handle.k,
+        )
+        plan_entry = self.plan_cache.lookup(
+            name, entry.op, entry.handle, batch.padded_rows
+        )
+        modeled_gpu_s = plan_entry.modeled_seconds
+        finished_s = start_s + modeled_gpu_s + self.host_overhead_s
+
+        outputs: "list[np.ndarray] | None" = None
+        if self.execute_numerics:
+            c = entry.op.execute(
+                batch.a,
+                entry.handle,
+                plan=plan_entry.plan,
+                backend=self.backend,
+            )
+            outputs = batch.split(c)
+
+        finished_entries = cb.advance()
+        for idx, inflight in finished_entries:
+            metrics.add_request(
+                RequestRecord(
+                    request=inflight.request,
+                    batch_id=batch.batch_id,
+                    started_s=inflight.joined_s,
+                    finished_s=finished_s,
+                    output=None if outputs is None else outputs[idx],
+                )
+            )
+        metrics.add_step(
+            StepRecord(
+                step_id=batch.batch_id,
+                model=name,
+                n_resident=batch.n_requests,
+                rows=batch.rows,
+                padded_rows=batch.padded_rows,
+                joined=joined,
+                evicted=len(finished_entries),
+                preempted=preempted,
+                started_s=start_s,
+                finished_s=finished_s,
                 modeled_gpu_s=modeled_gpu_s,
             )
         )
+        return finished_s

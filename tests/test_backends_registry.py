@@ -159,6 +159,29 @@ class TestDeprecatedShims:
         with pytest.raises(AttributeError):
             constants.NO_SUCH_CONSTANT
 
+    def test_shims_track_register_and_unregister(self):
+        """The shim is a live view of the registry, not a frozen copy:
+        it reflects both registration and unregistration, and every
+        read fires the DeprecationWarning."""
+        import repro.constants as constants
+        import repro.core.api as api
+
+        with pytest.warns(DeprecationWarning):
+            assert "toy" not in constants.EXECUTE_BACKENDS
+        register_backend(ToyBackend())
+        try:
+            for module in (constants, api):
+                with pytest.warns(DeprecationWarning, match="deprecated"):
+                    names = module.EXECUTE_BACKENDS
+                assert names == backend_names()
+                assert "toy" in names
+        finally:
+            unregister_backend("toy")
+        with pytest.warns(DeprecationWarning):
+            assert "toy" not in constants.EXECUTE_BACKENDS
+        with pytest.warns(DeprecationWarning):
+            assert "toy" not in api.EXECUTE_BACKENDS
+
 
 @pytest.fixture(scope="module")
 def op_handle():

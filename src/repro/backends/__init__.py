@@ -17,10 +17,11 @@ The execution layer's public API:
   :meth:`~repro.backends.auto.AutoSelector.explain` for inspectable
   decisions.
 
-Importing this package registers the three builtin backends in display
+Importing this package registers the builtin backends in display
 order: ``fast`` (batched gather-GEMM), ``structural`` (recorded-trace
-executors) and ``dense_scatter`` (scatter-to-dense + SGEMM for the
-tiny-L regime).
+executors), ``dense_scatter`` (scatter-to-dense + SGEMM for the tiny-L
+regime) and ``sharded`` (tensor-parallel execution across a simulated
+device group, from :mod:`repro.distributed`).
 """
 
 from repro.backends.auto import (
@@ -67,10 +68,20 @@ __all__ = [
     "FastBackend",
     "StructuralBackend",
     "DenseScatterBackend",
+    "ShardedBackend",
 ]
 
 # Builtin registrations (idempotent across re-imports because module
-# initialization runs once per process).
-for _backend in (FastBackend(), StructuralBackend(), DenseScatterBackend()):
+# initialization runs once per process).  The sharded backend lives in
+# repro.distributed and is imported last: it consumes this package's
+# already-bound base/registry/auto modules, which is safe mid-init.
+from repro.distributed.sharded import ShardedBackend  # noqa: E402
+
+for _backend in (
+    FastBackend(),
+    StructuralBackend(),
+    DenseScatterBackend(),
+    ShardedBackend(),
+):
     register_backend(_backend)
 del _backend

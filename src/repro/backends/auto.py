@@ -39,12 +39,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.backends.base import ExecutionRequest
-from repro.backends.registry import available_backends, backend_names
+from repro.backends.registry import (
+    available_backends,
+    backend_names,
+    registry_generation,
+)
 from repro.errors import ConfigurationError
+from repro.utils.cache import LRUCache
 
 __all__ = [
     "GATHER_FULL_EFFICIENCY_L",
     "SCATTER_MACS_PER_ELEMENT",
+    "DECISION_MEMO_CAPACITY",
     "SelectionDecision",
     "AutoSelector",
 ]
@@ -65,6 +71,9 @@ GATHER_FULL_EFFICIENCY_L = 16
 #: batch-size crossover: on a 2:4/L=4 2048x2048 layer dense_scatter
 #: loses below m~32 and wins above it.
 SCATTER_MACS_PER_ELEMENT = 256
+
+#: Bound on the selector's per-``(handle, m-bucket)`` decision memo.
+DECISION_MEMO_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -109,6 +118,22 @@ class AutoSelector:
         Modeled per-element cost of the dense scatter, amortized over
         the batch; 0 makes the selector ignore the scatter (the
         pre-calibration behavior).
+    memo_capacity:
+        Bound on the decision memo (below); 0 disables memoization.
+
+    Notes
+    -----
+    Decisions are memoized per ``(handle, m-bucket)``: serving replays
+    the same handle at a handful of padded batch sizes thousands of
+    times, and the full cost race (a registry walk plus per-backend
+    ``supports``/``estimated_cost`` calls) is pure overhead after the
+    first one.  The bucket is the power-of-two bucket of ``m`` (the
+    same bucketing the serving batcher pads rows to), so a memoized
+    decision is reused for every ``m`` in the bucket — costs inside
+    the returned :class:`SelectionDecision` reflect the bucket's first
+    request.  The memo key carries the registry's generation counter
+    (:func:`~repro.backends.registry.registry_generation`), so any
+    backend register/unregister invalidates every cached decision.
     """
 
     def __init__(
@@ -116,6 +141,7 @@ class AutoSelector:
         *,
         gather_full_efficiency_l: int = GATHER_FULL_EFFICIENCY_L,
         scatter_macs_per_element: float = SCATTER_MACS_PER_ELEMENT,
+        memo_capacity: int = DECISION_MEMO_CAPACITY,
     ):
         if gather_full_efficiency_l < 1:
             raise ConfigurationError(
@@ -127,8 +153,45 @@ class AutoSelector:
                 "scatter_macs_per_element must be >= 0, got "
                 f"{scatter_macs_per_element}"
             )
+        if memo_capacity < 0:
+            raise ConfigurationError(
+                f"memo_capacity must be >= 0, got {memo_capacity}"
+            )
         self.gather_full_efficiency_l = gather_full_efficiency_l
         self.scatter_macs_per_element = scatter_macs_per_element
+        self._memo: "LRUCache | None" = (
+            LRUCache(memo_capacity) if memo_capacity else None
+        )
+
+    # ------------------------------------------------------------------
+    # Decision memo
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _memo_key(request: ExecutionRequest) -> tuple:
+        handle = request.handle
+        # id() alone could alias a collected handle's reincarnation, so
+        # the key also pins the structural facts the decision reads;
+        # the registry generation invalidates on (un)registration.
+        return (
+            id(handle),
+            handle.pattern,
+            handle.k,
+            handle.n,
+            handle.compressed.w,
+            request.m.bit_length(),  # the power-of-two m-bucket
+            request.wants_trace,
+            registry_generation(),
+        )
+
+    @property
+    def memo_stats(self):
+        """Hit/miss/eviction counters of the decision memo (``None``
+        when memoization is disabled)."""
+        return self._memo.stats if self._memo is not None else None
+
+    def clear_memo(self) -> None:
+        if self._memo is not None:
+            self._memo.clear()
 
     # ------------------------------------------------------------------
     def select(self, request: ExecutionRequest) -> str:
@@ -152,7 +215,22 @@ class AutoSelector:
         }
 
     def explain(self, request: ExecutionRequest) -> SelectionDecision:
-        """Decide, and say why — every branch yields a reason."""
+        """Decide, and say why — every branch yields a reason.
+
+        Memoized per ``(handle, m-bucket)`` (see the class notes);
+        :meth:`explain_uncached` runs the race unconditionally.
+        """
+        if self._memo is None:
+            return self.explain_uncached(request)
+        return self._memo.get_or_build(
+            self._memo_key(request),
+            lambda: self.explain_uncached(request),
+        )
+
+    def explain_uncached(
+        self, request: ExecutionRequest
+    ) -> SelectionDecision:
+        """The actual decision procedure, bypassing the memo."""
         registered = backend_names(include_auto=False)
         if request.wants_trace:
             if "structural" not in registered:
@@ -288,5 +366,7 @@ class AutoSelector:
             f"{self.gather_full_efficiency_l})^2) MACs/output) and "
             "scatter-to-dense SGEMM (k * (1 + "
             f"{self.scatter_macs_per_element:g}/m)), ties to the "
-            "sparse path"
+            "sparse path; backends exposing estimated_cost (e.g. "
+            "sharded) join the race; decisions memoized per "
+            "(handle, m-bucket)"
         )

@@ -215,6 +215,7 @@ class AnalyticTraceBackend:
         plan = request.plan
         if request.wants_trace:
             plan = fill_analytic_trace(request)
+            request.trace.tag_backend(self.name)
         return ExecutionResult(
             output=out,
             backend=self.name,

@@ -31,6 +31,7 @@ __all__ = [
     "get_backend",
     "available_backends",
     "backend_names",
+    "registry_generation",
 ]
 
 #: The selector pseudo-backend accepted by every ``backend=`` argument.
@@ -38,6 +39,19 @@ AUTO_BACKEND = "auto"
 
 #: Registration order is preserved (it is the display/bench order).
 _REGISTRY: "dict[str, Backend]" = {}
+
+#: Monotonic counter bumped by every (un)registration.  Consumers that
+#: memoize decisions over the registry's contents — the
+#: :class:`~repro.backends.auto.AutoSelector`'s per-``(handle,
+#: m-bucket)`` memo — key on it, so a register/unregister invalidates
+#: every cached decision without a callback protocol.
+_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """The current registry generation (changes on every
+    register/unregister)."""
+    return _GENERATION
 
 
 def register_backend(backend: "Backend", *, replace: bool = False) -> "Backend":
@@ -67,18 +81,23 @@ def register_backend(backend: "Backend", *, replace: bool = False) -> "Backend":
             f"backend {name!r} is already registered "
             f"({_REGISTRY[name]!r}); pass replace=True to override"
         )
+    global _GENERATION
+    _GENERATION += 1
     _REGISTRY[name] = backend
     return backend
 
 
 def unregister_backend(name: str) -> "Backend":
     """Remove and return a registered backend (mainly for tests)."""
+    global _GENERATION
     try:
-        return _REGISTRY.pop(name)
+        removed = _REGISTRY.pop(name)
     except KeyError:
         raise ConfigurationError(
             f"unknown backend {name!r}; registered: {list(_REGISTRY)}"
         ) from None
+    _GENERATION += 1
+    return removed
 
 
 def get_backend(name: str) -> "Backend":

@@ -58,6 +58,8 @@ class StructuralBackend:
                 request.a, compressed, plan.params, trace=request.trace
             )
         seconds = time.perf_counter() - start
+        if request.trace is not None:
+            request.trace.tag_backend(self.name)
         return ExecutionResult(
             output=out,
             backend=self.name,

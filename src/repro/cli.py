@@ -20,6 +20,7 @@ import sys
 
 from repro._version import __version__
 from repro.backends import backend_names
+from repro.distributed import LINKS, SHARD_MODES
 from repro.workloads.llama import LLAMA_LAYER_KINDS
 
 __all__ = ["main", "build_parser"]
@@ -106,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=list(backend_names()),
                      help="execution backend batches run with (from the "
                           "backend registry; auto = cost-aware selection)")
+    pss.add_argument("--devices", type=int, default=1,
+                     help="simulated device count; > 1 shards every model "
+                          "tensor-parallel across the group")
+    pss.add_argument("--shard", choices=list(SHARD_MODES), default="column",
+                     help="tensor-parallel mode for --devices > 1: shard n "
+                          "and all-gather outputs (column) or shard k and "
+                          "all-reduce partials (row)")
+    pss.add_argument("--link", choices=sorted(LINKS), default="nvlink",
+                     help="interconnect of the simulated device group")
     pss.add_argument("--no-numerics", action="store_true",
                      help="modeled timing only; skip the NumPy kernels")
     pss.add_argument("--json", default=None, metavar="PATH",
@@ -235,6 +245,9 @@ def main(argv: "list[str] | None" = None) -> int:
                 scheduling=args.sched,
                 continuous=args.decode_fraction is not None,
                 decode_fraction=args.decode_fraction,
+                devices=args.devices,
+                shard=args.shard,
+                link=args.link,
             )
             report = scenario.run()
         except ReproError as exc:

@@ -1,0 +1,75 @@
+"""Distributed execution: tensor-parallel NM-SpMM across simulated
+multi-GPU topologies.
+
+The subsystem has three pieces, mirroring Kreutzer et al.'s recipe for
+scaling sparse kernels across devices (sparse format + explicit
+communication model):
+
+* :mod:`repro.distributed.topology` — :class:`DeviceGroup` /
+  :class:`Link` built from the Table III GPU catalog, with ring-cost
+  modeled collectives (:meth:`~DeviceGroup.all_gather`,
+  :meth:`~DeviceGroup.all_reduce`, :meth:`~DeviceGroup.reduce_scatter`);
+* :mod:`repro.distributed.shard` — column-parallel (shard ``n``,
+  all-gather outputs) and row-parallel (shard ``k``, all-reduce
+  partials) partitioners that slice the compressed ``(B', D)`` pair at
+  window boundaries so every shard stays a legal N:M layout;
+* :mod:`repro.distributed.sharded` — :func:`sharded_execute` (real
+  per-device numerics via the fast gather-GEMM kernel),
+  :func:`modeled_step` (per-device plan simulation + collective on the
+  simulated clock) and :class:`ShardedBackend`, registered in the
+  backend registry as ``"sharded"`` (importing :mod:`repro.backends`
+  registers it, so it is selectable — and auto-raced via its
+  ``estimated_cost`` hook — everywhere the registry is consumed).
+
+Serving integration lives in :class:`repro.serve.InferenceServer`
+(``devices=``/``shard=``/``link=``) and ``python -m repro serve-sim
+--devices N --shard {column,row}``.
+"""
+
+from repro.distributed.shard import (
+    SHARD_MODES,
+    DeviceShard,
+    ShardedHandle,
+    shard_column,
+    shard_extents,
+    shard_handle,
+    shard_row,
+    shard_shapes,
+)
+from repro.distributed.sharded import (
+    DEFAULT_DEVICES,
+    DistributedStep,
+    ShardedBackend,
+    modeled_shape_step,
+    modeled_step,
+    sharded_execute,
+)
+from repro.distributed.topology import (
+    LINKS,
+    CommEvent,
+    DeviceGroup,
+    Link,
+    get_link,
+)
+
+__all__ = [
+    "Link",
+    "LINKS",
+    "get_link",
+    "CommEvent",
+    "DeviceGroup",
+    "SHARD_MODES",
+    "DeviceShard",
+    "ShardedHandle",
+    "shard_column",
+    "shard_row",
+    "shard_handle",
+    "shard_extents",
+    "shard_shapes",
+    "DistributedStep",
+    "sharded_execute",
+    "modeled_step",
+    "modeled_shape_step",
+    "ShardedBackend",
+    "DEFAULT_DEVICES",
+]

@@ -18,6 +18,7 @@ __all__ = [
     "CalibrationError",
     "AutotuneError",
     "ServeError",
+    "ShardError",
 ]
 
 
@@ -60,3 +61,9 @@ class AutotuneError(ReproError):
 class ServeError(ReproError):
     """The serving runtime was misused (unknown model, bad request,
     inconsistent queue state or batching policy)."""
+
+
+class ShardError(ReproError):
+    """A tensor-parallel partition is impossible or inconsistent
+    (device count exceeds the shardable windows, unknown shard mode,
+    mismatched per-device outputs)."""

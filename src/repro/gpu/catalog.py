@@ -5,6 +5,12 @@ SM clock; §IV-E reports the resulting measured FP32 peak of 14.7 TFLOPS
 on the A100 (vs 19.5 at boost).  We set each part's locked clock to its
 base/TDP clock so the modelled locked peak matches that methodology
 (A100: 1065 MHz -> 14.72 TFLOPS).
+
+Each spec's ``extras["native_link"]`` names the interconnect a
+multi-device group of that part would natively use (A100: NVLink;
+the GeForce parts dropped NVLink for PCIe) — the distributed layer's
+:meth:`~repro.distributed.topology.DeviceGroup.build` resolves
+``link=None`` through it.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ __all__ = ["A100_80G", "RTX_3090", "RTX_4090", "get_gpu", "list_gpus", "resolve_
 
 A100_80G = GPUSpec(
     name="A100 80G",
+    extras={"native_link": "nvlink"},
     boost_clock_mhz=1410,
     peak_fp32_tflops=19.5,
     num_sms=108,
@@ -33,6 +40,7 @@ A100_80G = GPUSpec(
 
 RTX_3090 = GPUSpec(
     name="RTX 3090",
+    extras={"native_link": "pcie4"},
     boost_clock_mhz=1695,
     peak_fp32_tflops=35.6,
     num_sms=82,
@@ -49,6 +57,7 @@ RTX_3090 = GPUSpec(
 
 RTX_4090 = GPUSpec(
     name="RTX 4090",
+    extras={"native_link": "pcie4"},
     boost_clock_mhz=2520,
     peak_fp32_tflops=82.6,
     num_sms=128,

@@ -38,6 +38,14 @@ class KernelTrace:
     * ``lds_bytes`` — shared-memory loads by the inner kernel (Ls2r);
     * ``fma_ops``   — multiply-accumulate operations (2 FLOPs each);
     * ``stg_bytes`` — result write-back (Lr2g).
+
+    ``backend`` records which execution backend originated the counts
+    (``"structural"`` for recordings, the backend's registered name for
+    plan-derived analytic fills, ``"mixed"`` once traces from different
+    origins merge).  It is provenance, not an event count, so it is
+    excluded from equality: the analytic-equals-recorded assertions
+    compare event accounting while the tag still distinguishes e.g.
+    ``dense_scatter``'s plan-derived trace from a structural recording.
     """
 
     blocks: int = 0
@@ -51,6 +59,7 @@ class KernelTrace:
     fma_ops: int = 0
     stg_bytes: int = 0
     packed_widths: list[int] = field(default_factory=list)
+    backend: str = field(default="", compare=False)
 
     @property
     def ldg_bytes(self) -> int:
@@ -72,8 +81,18 @@ class KernelTrace:
         bytes_total = self.ldg_bytes + self.stg_bytes
         return self.flops / bytes_total if bytes_total else 0.0
 
+    def tag_backend(self, name: str) -> None:
+        """Stamp the originating backend; traces accumulated from
+        different origins degrade to ``"mixed"`` rather than lying."""
+        if not self.backend:
+            self.backend = name
+        elif name and self.backend != name:
+            self.backend = "mixed"
+
     def merge(self, other: "KernelTrace") -> None:
         """Accumulate another trace into this one."""
+        if other.backend:
+            self.tag_backend(other.backend)
         self.blocks += other.blocks
         self.main_loop_iterations += other.main_loop_iterations
         self.ldg_a_bytes += other.ldg_a_bytes

@@ -81,7 +81,14 @@ class LatencySummary:
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One launched batch, as the metrics layer sees it."""
+    """One launched batch, as the metrics layer sees it.
+
+    On a distributed (``devices > 1``) server, ``modeled_gpu_s`` is the
+    full tensor-parallel launch (slowest device + collective),
+    ``per_device_gpu_s`` holds each device's own compute seconds, and
+    ``comm_s`` the modeled collective time; single-device launches
+    leave the latter two at their defaults.
+    """
 
     batch_id: int
     model: str
@@ -91,6 +98,8 @@ class BatchRecord:
     started_s: float
     finished_s: float
     modeled_gpu_s: float
+    per_device_gpu_s: tuple[float, ...] = ()
+    comm_s: float = 0.0
 
     @property
     def padding_fraction(self) -> float:
@@ -99,7 +108,8 @@ class BatchRecord:
 
 @dataclass(frozen=True)
 class StepRecord:
-    """One engine step of the continuous (rolling) batcher."""
+    """One engine step of the continuous (rolling) batcher (same
+    distributed fields as :class:`BatchRecord`)."""
 
     step_id: int
     model: str
@@ -112,6 +122,8 @@ class StepRecord:
     started_s: float
     finished_s: float
     modeled_gpu_s: float
+    per_device_gpu_s: tuple[float, ...] = ()
+    comm_s: float = 0.0
 
 
 @dataclass
@@ -284,7 +296,9 @@ class ServingMetrics:
 
     @property
     def gpu_busy_s(self) -> float:
-        """Total modeled GPU time across batches and continuous steps."""
+        """Total modeled GPU time across batches and continuous steps
+        (on a distributed server this is critical-path time: slowest
+        device + collective per launch)."""
         return sum(b.modeled_gpu_s for b in self.batch_records) + sum(
             s.modeled_gpu_s for s in self.step_records
         )
@@ -293,6 +307,46 @@ class ServingMetrics:
     def gpu_utilization(self) -> float:
         span = self.makespan_s
         return self.gpu_busy_s / span if span > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Distributed execution
+    # ------------------------------------------------------------------
+    def _launch_records(self) -> list:
+        return list(self.batch_records) + list(self.step_records)
+
+    @property
+    def is_distributed(self) -> bool:
+        """Whether any launch carried per-device accounting."""
+        return any(r.per_device_gpu_s for r in self._launch_records())
+
+    @property
+    def comm_s(self) -> float:
+        """Total modeled collective (communication) time."""
+        return sum(r.comm_s for r in self._launch_records())
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the modeled GPU critical path spent communicating."""
+        busy = self.gpu_busy_s
+        return self.comm_s / busy if busy > 0 else 0.0
+
+    def device_busy_s(self) -> dict[int, float]:
+        """Per-device modeled compute seconds (device index -> busy)."""
+        busy: dict[int, float] = {}
+        for record in self._launch_records():
+            for device, seconds in enumerate(record.per_device_gpu_s):
+                busy[device] = busy.get(device, 0.0) + seconds
+        return dict(sorted(busy.items()))
+
+    def device_utilization(self) -> dict[int, float]:
+        """Per-device busy time over the run's makespan."""
+        span = self.makespan_s
+        if span <= 0:
+            return {device: 0.0 for device in self.device_busy_s()}
+        return {
+            device: busy / span
+            for device, busy in self.device_busy_s().items()
+        }
 
     @property
     def padding_overhead(self) -> float:
@@ -360,6 +414,20 @@ class ServingMetrics:
                 "preemptions": self.continuous_preemptions,
             },
         }
+        if self.is_distributed:
+            out["distributed"] = {
+                "devices": len(self.device_busy_s()),
+                "comm_s": round(self.comm_s, 9),
+                "comm_fraction": round(self.comm_fraction, 4),
+                "per_device_busy_s": {
+                    str(device): round(busy, 9)
+                    for device, busy in self.device_busy_s().items()
+                },
+                "per_device_utilization": {
+                    str(device): round(util, 4)
+                    for device, util in self.device_utilization().items()
+                },
+            }
         if extra:
             out.update(extra)
         return out
@@ -407,6 +475,17 @@ class ServingMetrics:
                     f"{self.continuous_preemptions} preemptions)",
                 ]
             )
+        if self.is_distributed:
+            table.add_row(
+                ["modeled comm time", f"{self.comm_s * 1e3:.3f} ms"]
+            )
+            table.add_row(
+                ["comm fraction", f"{self.comm_fraction * 100:.1f}%"]
+            )
+            for device, util in self.device_utilization().items():
+                table.add_row(
+                    [f"device {device} utilization", f"{util * 100:.1f}%"]
+                )
         return table.render()
 
     # ------------------------------------------------------------------

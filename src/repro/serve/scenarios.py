@@ -105,6 +105,11 @@ class LlamaServingScenario:
     tiers:
         Priority tiers of the traffic mix; empty serves one untagged
         source per model (the legacy behaviour).
+    devices / shard / link:
+        Simulated multi-GPU topology: shard every registered model
+        ``devices``-way (``"column"`` or ``"row"`` tensor parallel)
+        over the named interconnect.  ``devices=1`` is the
+        single-GPU server.
     """
 
     models: tuple[str, ...] = ("llama-7b",)
@@ -129,6 +134,9 @@ class LlamaServingScenario:
     continuous: bool = False
     decode_fraction: "float | None" = None
     tiers: tuple[TrafficTier, ...] = ()
+    devices: int = 1
+    shard: str = "column"
+    link: str = "nvlink"
     #: Per-launch host cost.  The scaled-down NumPy shapes make modeled
     #: GPU time microseconds, so scheduling studies that need real
     #: contention raise this instead of serving impractical QPS.
@@ -156,6 +164,9 @@ class LlamaServingScenario:
             scheduling=self.scheduling,
             continuous_batching=self.continuous,
             host_overhead_s=self.host_overhead_s,
+            devices=self.devices,
+            shard=self.shard,
+            link=self.link,
         )
         sources: list[TrafficSource] = []
         rng = np.random.default_rng(self.seed)
@@ -239,6 +250,11 @@ class LlamaServingScenario:
             text += f" decode={self.decode_fraction:g}"
         if self.tiers:
             text += " tiers=" + ",".join(t.label() for t in self.tiers)
+        if self.devices > 1:
+            text += (
+                f" devices={self.devices} shard={self.shard} "
+                f"link={self.link}"
+            )
         return text
 
     # ------------------------------------------------------------------

@@ -2,9 +2,12 @@
 
 :class:`InferenceServer` owns the registered models (each an
 :class:`~repro.core.api.NMSpMM` operator plus its prepared
-:class:`~repro.core.api.SparseHandle`), a shared plan cache, and a
-single simulated GPU.  ``simulate`` replays a seeded request trace
-through the batching layer with a discrete-event loop:
+:class:`~repro.core.api.SparseHandle`), per-device plan caches, and a
+simulated GPU — or, with ``devices > 1``, a simulated multi-GPU
+:class:`~repro.distributed.topology.DeviceGroup` that every model's
+weights are sharded tensor-parallel across at registration.
+``simulate`` replays a seeded request trace through the batching layer
+with a discrete-event loop:
 
 * requests are admitted to their model's queue at arrival time — to
   the *decode* queue (rolling continuous batch) when continuous
@@ -36,6 +39,9 @@ import numpy as np
 
 from repro.backends.registry import backend_names
 from repro.core.api import NMSpMM, SparseHandle
+from repro.distributed.shard import SHARD_MODES, ShardedHandle, shard_handle
+from repro.distributed.sharded import sharded_execute
+from repro.distributed.topology import DeviceGroup, Link, get_link
 from repro.errors import ServeError
 from repro.gpu.spec import GPUSpec
 from repro.serve.batcher import BatchingPolicy, ContinuousBatcher, DynamicBatcher
@@ -55,11 +61,18 @@ DEFAULT_HOST_OVERHEAD_S = 10e-6
 
 @dataclass(frozen=True)
 class ModelEntry:
-    """One registered weight matrix and its operator."""
+    """One registered weight matrix and its operator.
+
+    On a distributed server (``devices > 1``) the entry additionally
+    carries the tensor-parallel partition of its weights and the device
+    group they execute on; single-device entries leave both ``None``.
+    """
 
     name: str
     op: NMSpMM
     handle: SparseHandle
+    sharded: "ShardedHandle | None" = None
+    group: "DeviceGroup | None" = None
 
     @property
     def k(self) -> int:
@@ -72,12 +85,22 @@ class ModelEntry:
         """Output width requests receive (the weights' logical n)."""
         return self.handle.n_logical
 
+    @property
+    def distributed(self) -> bool:
+        return self.sharded is not None
+
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.name}: {self.op.pattern.label()} "
             f"k={self.k} n={self.n} gpu={self.op.gpu.name} "
             f"{self.op.version.value}"
         )
+        if self.distributed:
+            text += (
+                f" [{self.sharded.mode}-parallel x"
+                f"{self.sharded.devices} over {self.group.link.name}]"
+            )
+        return text
 
 
 @dataclass
@@ -92,6 +115,9 @@ class ServingReport:
     backend: str = "auto"
     scheduling: str = SchedulingPolicy.FIFO.value
     continuous: bool = False
+    devices: int = 1
+    shard: "str | None" = None
+    link: "str | None" = None
 
     @property
     def request_records(self) -> list[RequestRecord]:
@@ -122,6 +148,12 @@ class ServingReport:
                 },
             }
         )
+        if self.devices > 1:
+            out["topology"] = {
+                "devices": self.devices,
+                "shard": self.shard,
+                "link": self.link,
+            }
         if extra:
             out.update(extra)
         return out
@@ -139,6 +171,11 @@ class ServingReport:
             text += (
                 " + continuous batching (decode rows <= "
                 f"{self.policy.decode_rows_threshold})"
+            )
+        if self.devices > 1:
+            text += (
+                f"\ntopology: {self.devices} devices, "
+                f"{self.shard}-parallel over {self.link}"
             )
         text += f"\nmodels: {', '.join(self.model_names)}"
         return text
@@ -179,6 +216,25 @@ class InferenceServer:
         Route decode-shaped requests (rows <= the policy's
         ``decode_rows_threshold``) to a rolling in-flight batch that
         refills every engine step instead of waiting for a fresh cut.
+    devices:
+        Simulated device count.  ``1`` (the default) is the
+        single-GPU server; ``> 1`` shards every registered model's
+        weights tensor-parallel across a
+        :class:`~repro.distributed.topology.DeviceGroup` built from the
+        model's own GPU spec — each device gets its own plan cache, a
+        launch's modeled time is the slowest device plus the mode's
+        ring collective, and numerics (when enabled) run the real
+        per-device gather-GEMM kernels.  Distributed numerics always
+        take the sharded path; ``backend`` applies to single-device
+        entries only.
+    shard:
+        Tensor-parallel mode for ``devices > 1``: ``"column"`` (shard
+        n, all-gather outputs) or ``"row"`` (shard k, all-reduce
+        partials).
+    link:
+        Interconnect of the simulated group — a name from
+        :data:`~repro.distributed.topology.LINKS` or an explicit
+        :class:`~repro.distributed.topology.Link`.
     """
 
     def __init__(
@@ -191,6 +247,9 @@ class InferenceServer:
         backend: str = "auto",
         scheduling: "str | SchedulingPolicy" = SchedulingPolicy.FIFO,
         continuous_batching: bool = False,
+        devices: int = 1,
+        shard: str = "column",
+        link: "str | Link" = "nvlink",
     ):
         if host_overhead_s < 0:
             raise ServeError(
@@ -201,13 +260,29 @@ class InferenceServer:
                 f"unknown backend {backend!r}; expected one of "
                 f"{backend_names()}"
             )
+        if devices < 1:
+            raise ServeError(f"devices must be >= 1, got {devices}")
+        if shard not in SHARD_MODES:
+            raise ServeError(
+                f"unknown shard mode {shard!r}; expected one of "
+                f"{SHARD_MODES}"
+            )
         self.policy = policy or BatchingPolicy()
-        self.plan_cache = PlanCache(capacity=plan_cache_capacity)
+        #: One plan cache per simulated device (a shard's launch
+        #: geometry differs per device when windows divide unevenly, so
+        #: sharing one LRU would let devices evict each other's plans).
+        self.plan_caches: tuple[PlanCache, ...] = tuple(
+            PlanCache(capacity=plan_cache_capacity) for _ in range(devices)
+        )
+        self.plan_cache = self.plan_caches[0]
         self.execute_numerics = execute_numerics
         self.host_overhead_s = host_overhead_s
         self.backend = backend
         self.scheduling = SchedulingPolicy.parse(scheduling)
         self.continuous_batching = continuous_batching
+        self.devices = devices
+        self.shard = shard
+        self.link = get_link(link)
         self._models: dict[str, ModelEntry] = {}
         self._inbox: list[InferenceRequest] = []
 
@@ -233,12 +308,24 @@ class InferenceServer:
     def register_handle(
         self, name: str, op: NMSpMM, handle: SparseHandle
     ) -> ModelEntry:
-        """Register an already-prepared handle under ``name``."""
+        """Register an already-prepared handle under ``name``.  On a
+        distributed server this is where the offline phase pays the
+        tensor-parallel partition (plus the per-shard gather layouts),
+        so serving steps only execute and communicate."""
         if not name:
             raise ServeError("model name must be nonempty")
         if name in self._models:
             raise ServeError(f"model {name!r} is already registered")
-        entry = ModelEntry(name=name, op=op, handle=handle)
+        sharded = None
+        group = None
+        if self.devices > 1:
+            sharded = shard_handle(handle, self.devices, self.shard)
+            group = DeviceGroup(
+                gpu=op.gpu, devices=self.devices, link=self.link
+            )
+        entry = ModelEntry(
+            name=name, op=op, handle=handle, sharded=sharded, group=group
+        )
         self._models[name] = entry
         return entry
 
@@ -319,6 +406,63 @@ class InferenceServer:
         )
 
     # ------------------------------------------------------------------
+    # Launch accounting (shared by the dynamic and continuous paths)
+    # ------------------------------------------------------------------
+    def _modeled_launch(
+        self, entry: ModelEntry, padded_rows: int
+    ) -> "tuple[float, tuple[float, ...], float, object]":
+        """Model one ``padded_rows``-row launch of ``entry``:
+        ``(modeled_gpu_s, per_device_gpu_s, comm_s, plan)``.
+
+        Single-device entries go through the shared plan cache exactly
+        as before (plan returned for the numerics path).  Distributed
+        entries look up one plan per device shard in that device's own
+        cache; the launch's modeled time is the slowest device plus
+        the mode's ring collective.
+        """
+        if not entry.distributed:
+            plan_entry = self.plan_cache.lookup(
+                entry.name, entry.op, entry.handle, padded_rows
+            )
+            return plan_entry.modeled_seconds, (), 0.0, plan_entry.plan
+        per_device = tuple(
+            self.plan_caches[shard.device]
+            .lookup(entry.name, entry.op, shard.handle, padded_rows)
+            .modeled_seconds
+            for shard in entry.sharded.shards
+        )
+        comm_s = entry.sharded.collective(entry.group, padded_rows).seconds
+        return max(per_device) + comm_s, per_device, comm_s, None
+
+    def _execute_batch(self, entry: ModelEntry, batch, plan) -> list:
+        """Run one batch's numerics and split per-request outputs."""
+        if entry.distributed:
+            c = sharded_execute(batch.a, entry.sharded)
+            return batch.split(c[:, : entry.handle.n_logical])
+        c = entry.op.execute(
+            batch.a, entry.handle, plan=plan, backend=self.backend
+        )
+        return batch.split(c)
+
+    def _plan_cache_snapshot(self) -> list:
+        return [cache.stats.snapshot() for cache in self.plan_caches]
+
+    def _plan_cache_stats_since(self, snapshots: list) -> dict:
+        """Aggregate per-device plan-cache deltas into one stats dict
+        (devices see identical lookup streams, so the sum keeps the
+        single-device schema)."""
+        total = None
+        for cache, before in zip(self.plan_caches, snapshots):
+            delta = cache.stats.since(before)
+            if total is None:
+                total = delta
+            else:
+                total.hits += delta.hits
+                total.misses += delta.misses
+                total.evictions += delta.evictions
+        return total.as_dict()
+
+    # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
     def simulate(
@@ -336,7 +480,7 @@ class InferenceServer:
         pending = sorted(
             requests, key=lambda r: (r.arrival_s, r.request_id)
         )
-        stats_before = self.plan_cache.stats.snapshot()
+        stats_before = self._plan_cache_snapshot()
         batcher = DynamicBatcher(policy or self.policy)
         run_policy = batcher.policy
         prefill_queues = {
@@ -425,12 +569,15 @@ class InferenceServer:
         return ServingReport(
             metrics=metrics,
             policy=run_policy,
-            plan_cache_stats=self.plan_cache.stats.since(stats_before).as_dict(),
+            plan_cache_stats=self._plan_cache_stats_since(stats_before),
             model_names=self.model_names,
             numerics=self.execute_numerics,
             backend=self.backend,
             scheduling=self.scheduling.value,
             continuous=self.continuous_batching,
+            devices=self.devices,
+            shard=self.shard if self.devices > 1 else None,
+            link=self.link.name if self.devices > 1 else None,
         )
 
     def _launch(
@@ -455,22 +602,16 @@ class InferenceServer:
         batch = batcher.form_batch(
             queue, stack=self.execute_numerics, pad_to_k=entry.handle.k
         )
-        plan_entry = self.plan_cache.lookup(
-            batch.model, entry.op, entry.handle, batch.padded_rows
+        modeled_s, per_device, comm_s, plan = self._modeled_launch(
+            entry, batch.padded_rows
         )
-        step_s = plan_entry.modeled_seconds + self.host_overhead_s
+        step_s = modeled_s + self.host_overhead_s
         max_steps = max(request.steps for request in batch.requests)
         finished_s = start_s + max_steps * step_s
 
         outputs: "list[np.ndarray] | None" = None
         if self.execute_numerics:
-            c = entry.op.execute(
-                batch.a,
-                entry.handle,
-                plan=plan_entry.plan,
-                backend=self.backend,
-            )
-            outputs = batch.split(c)
+            outputs = self._execute_batch(entry, batch, plan)
 
         for idx, request in enumerate(batch.requests):
             metrics.add_request(
@@ -491,7 +632,11 @@ class InferenceServer:
                 padded_rows=batch.padded_rows,
                 started_s=start_s,
                 finished_s=finished_s,
-                modeled_gpu_s=max_steps * plan_entry.modeled_seconds,
+                modeled_gpu_s=max_steps * modeled_s,
+                per_device_gpu_s=tuple(
+                    max_steps * seconds for seconds in per_device
+                ),
+                comm_s=max_steps * comm_s,
             )
         )
         return finished_s
@@ -516,21 +661,14 @@ class InferenceServer:
             stack=self.execute_numerics,
             pad_to_k=entry.handle.k,
         )
-        plan_entry = self.plan_cache.lookup(
-            name, entry.op, entry.handle, batch.padded_rows
+        modeled_gpu_s, per_device, comm_s, plan = self._modeled_launch(
+            entry, batch.padded_rows
         )
-        modeled_gpu_s = plan_entry.modeled_seconds
         finished_s = start_s + modeled_gpu_s + self.host_overhead_s
 
         outputs: "list[np.ndarray] | None" = None
         if self.execute_numerics:
-            c = entry.op.execute(
-                batch.a,
-                entry.handle,
-                plan=plan_entry.plan,
-                backend=self.backend,
-            )
-            outputs = batch.split(c)
+            outputs = self._execute_batch(entry, batch, plan)
 
         finished_entries = cb.advance()
         for idx, inflight in finished_entries:
@@ -556,6 +694,8 @@ class InferenceServer:
                 started_s=start_s,
                 finished_s=finished_s,
                 modeled_gpu_s=modeled_gpu_s,
+                per_device_gpu_s=per_device,
+                comm_s=comm_s,
             )
         )
         return finished_s

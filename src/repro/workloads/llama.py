@@ -40,6 +40,7 @@ __all__ = [
     "LLAMA_MODELS",
     "get_llama_model",
     "llama_layer_shapes",
+    "llama_layer_shape",
     "LLAMA_LAYER_KINDS",
     "DataPoint",
     "build_paper_dataset",
@@ -122,6 +123,24 @@ def llama_layer_shapes(model: LlamaModel) -> list[tuple[str, int, int]]:
         ("mlp-down", h, f),
         ("lm-head", v, h),
     ]
+
+
+def llama_layer_shape(model: "str | LlamaModel", layer: str) -> tuple[int, int]:
+    """The ``(n, k)`` weight shape of one named layer of one model
+    (a keyed view of :func:`llama_layer_shapes`, for consumers that
+    address a single layer — e.g. the distributed benchmark).
+
+    >>> llama_layer_shape("llama-7b", "attn-qkvo")
+    (4096, 4096)
+    """
+    if isinstance(model, str):
+        model = get_llama_model(model)
+    for name, n, k in llama_layer_shapes(model):
+        if name == layer:
+            return n, k
+    raise ConfigurationError(
+        f"unknown layer {layer!r}; known: {sorted(LLAMA_LAYER_KINDS)}"
+    )
 
 
 #: The five layer kinds every Llama checkpoint exposes — derived from

@@ -123,9 +123,12 @@ class TestExplainContents:
     def test_cost_race_exposes_costs_and_rejections(self, rng):
         op, _, request = _request((2, 4), 4, False, rng)
         decision = op.selector.explain(request)
-        assert set(decision.costs) == {"fast", "dense_scatter"}
+        # The builtins race on the calibrated model; `sharded` enters
+        # through its estimated_cost hook.
+        assert set(decision.costs) == {"fast", "dense_scatter", "sharded"}
         assert decision.costs["dense_scatter"] < decision.costs["fast"]
-        assert decision.costs == op.selector.modeled_costs(request)
+        builtin = op.selector.modeled_costs(request)
+        assert all(decision.costs[name] == builtin[name] for name in builtin)
         rejected_names = {name for name, _ in decision.rejected}
         assert "fast" in rejected_names
         assert all(why.strip() for _, why in decision.rejected)
@@ -138,7 +141,7 @@ class TestExplainContents:
         decision = op.selector.explain(request)
         rejected_names = {name for name, _ in decision.rejected}
         assert "dense_scatter" not in rejected_names
-        assert rejected_names == {"fast"}
+        assert rejected_names == {"fast", "sharded"}
 
     def test_trace_decision_has_no_cost_race(self, rng):
         op, _, request = _request((2, 4), 4, True, rng)
@@ -277,6 +280,112 @@ class TestSelectorConfiguration:
             AutoSelector(gather_full_efficiency_l=0)
 
 
+class TestDecisionMemo:
+    """The selector memoizes decisions per (handle, m-bucket) and
+    invalidates on backend register/unregister (ROADMAP open item)."""
+
+    def test_repeat_explain_hits_the_memo(self, rng):
+        op, _, request = _request((8, 32), 32, False, rng)
+        first = op.selector.explain(request)
+        assert op.selector.memo_stats.misses == 1
+        assert op.selector.explain(request) is first
+        assert op.selector.memo_stats.hits == 1
+
+    def test_same_pow2_bucket_reuses_the_decision(self, rng):
+        op, handle, request = _request((8, 32), 32, False, rng)
+        decision = op.selector.explain(request)
+        # m=356 shares the power-of-two bucket of TABLE_M=256
+        # (bit_length 9 covers 256..511), so the decision is reused.
+        other = op.build_request(
+            random_dense(TABLE_M + 100, handle.k, rng), handle
+        )
+        assert op.selector.explain(other) is decision
+        assert op.selector.memo_stats.hits == 1
+
+    def test_different_bucket_misses(self, rng):
+        op, handle, request = _request((8, 32), 32, False, rng)
+        op.selector.explain(request)
+        small = op.build_request(random_dense(1, handle.k, rng), handle)
+        op.selector.explain(small)
+        assert op.selector.memo_stats.misses == 2
+
+    def test_registration_invalidates(self, registry_snapshot, rng):
+        from repro.backends import ExecutionResult, register_backend
+
+        op, handle, request = _request((8, 32), 32, False, rng)
+        assert op.selector.explain(request).backend == "fast"
+
+        class Cheapest:
+            name = "cheapest"
+
+            def supports(self, request):
+                return True
+
+            def estimated_cost(self, request):
+                return 1e-9
+
+            def run(self, request):  # pragma: no cover
+                return ExecutionResult(output=request.a, backend=self.name)
+
+        register_backend(Cheapest())
+        # Same request object: a stale memo would return "fast".
+        assert op.selector.explain(request).backend == "cheapest"
+        unregister_backend("cheapest")
+        assert op.selector.explain(request).backend == "fast"
+
+    def test_trace_and_numerics_do_not_collide(self, rng):
+        op, handle, request = _request((8, 32), 32, False, rng)
+        assert op.selector.explain(request).backend == "fast"
+        traced = op.build_request(
+            random_dense(TABLE_M, handle.k, rng), handle,
+            trace=KernelTrace(),
+        )
+        assert op.selector.explain(traced).backend == "structural"
+
+    def test_memo_disabled_by_capacity_zero(self, rng):
+        selector = AutoSelector(memo_capacity=0)
+        op, _, request = _request((8, 32), 32, False, rng)
+        selector.explain(request)
+        assert selector.memo_stats is None
+
+    def test_clear_memo(self, rng):
+        op, _, request = _request((8, 32), 32, False, rng)
+        op.selector.explain(request)
+        op.selector.clear_memo()
+        op.selector.explain(request)
+        assert op.selector.memo_stats.misses == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError, match="memo_capacity"):
+            AutoSelector(memo_capacity=-1)
+
+    def test_repeated_serving_steps_hit_the_memo(self):
+        """The motivating workload: a server replaying bucketed batch
+        sizes against the same handle runs the cost race once per
+        bucket, not once per launch."""
+        from repro.serve.scenarios import LlamaServingScenario
+
+        scenario = LlamaServingScenario(
+            qps=200.0, duration_s=0.3, execute_numerics=True
+        )
+        server, sources = scenario.build_server()
+        from repro.serve.loadgen import generate_requests
+
+        report = server.simulate(
+            generate_requests(
+                sources, scenario.qps, scenario.duration_s, seed=0,
+                synthesize_activations=True,
+            )
+        )
+        launches = len(report.metrics.batch_records)
+        assert launches > 2
+        stats = server.model(server.model_names[0]).op.selector.memo_stats
+        assert stats.hits + stats.misses == launches
+        assert stats.hits > 0
+        # One cost race per padded-row bucket, the rest are memo hits.
+        assert stats.misses <= len(report.metrics.padded_rows_histogram())
+
+
 class TestFallbacks:
     def test_scatter_unregistered_falls_back_to_fast(
         self, registry_snapshot, rng
@@ -293,6 +402,7 @@ class TestFallbacks:
         op, _, request = _request((2, 4), 4, False, rng)
         unregister_backend("fast")
         unregister_backend("dense_scatter")
+        unregister_backend("sharded")
         decision = op.selector.explain(request)
         assert decision.backend == "structural"
 

@@ -71,13 +71,13 @@ def toy_backend():
 class TestRegistry:
     def test_builtins_registered_in_display_order(self):
         assert backend_names() == (
-            "auto", "fast", "structural", "dense_scatter",
+            "auto", "fast", "structural", "dense_scatter", "sharded",
         )
         assert backend_names(include_auto=False) == (
-            "fast", "structural", "dense_scatter",
+            "fast", "structural", "dense_scatter", "sharded",
         )
         assert [b.name for b in available_backends()] == [
-            "fast", "structural", "dense_scatter",
+            "fast", "structural", "dense_scatter", "sharded",
         ]
 
     def test_get_backend_unknown_name(self):
@@ -343,6 +343,10 @@ class TestDenseScatterTraces:
         op.execute(a, handle, trace=recorded, backend="structural")
         op.execute(a, handle, trace=analytic, backend="dense_scatter")
         assert analytic == recorded
+        # The tag makes dense_scatter's plan-derived trace
+        # distinguishable from the structural recording.
+        assert recorded.backend == "structural"
+        assert analytic.backend == "dense_scatter"
 
     def test_capabilities_describe_the_backend(self):
         caps = DenseScatterBackend().capabilities()

@@ -119,7 +119,24 @@ class TestAnalyticTraceThroughExecute:
         recorded, analytic = KernelTrace(), KernelTrace()
         op.execute(a, handle, trace=recorded, backend="structural")
         op.execute(a, handle, trace=analytic, backend="fast")
+        # Event accounting identical; provenance tags distinguish the
+        # recorded trace from the plan-derived one (excluded from ==).
         assert analytic == recorded
+        assert recorded.backend == "structural"
+        assert analytic.backend == "fast"
+
+    def test_trace_accumulated_across_backends_tags_mixed(
+        self, op_handle, rng
+    ):
+        """One trace fed two different origins is provenance-honest:
+        it degrades to "mixed" instead of keeping the first tag."""
+        op, handle = op_handle
+        a = random_dense(8, handle.k, rng)
+        trace = KernelTrace()
+        op.execute(a, handle, trace=trace, backend="fast")
+        assert trace.backend == "fast"
+        op.execute(a, handle, trace=trace, backend="structural")
+        assert trace.backend == "mixed"
 
     def test_fast_trace_accumulates(self, op_handle, rng):
         op, handle = op_handle

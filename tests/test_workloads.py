@@ -17,6 +17,7 @@ from repro.workloads.llama import (
     LLAMA_MODELS,
     PAPER_M_VALUES,
     build_paper_dataset,
+    llama_layer_shape,
     llama_layer_shapes,
 )
 from repro.workloads.synthetic import (
@@ -55,6 +56,17 @@ class TestLlamaDataset:
         for model in LLAMA_MODELS:
             shapes = llama_layer_shapes(model)
             assert len({(n, k) for _, n, k in shapes}) == 5
+
+    def test_layer_shape_lookup(self):
+        assert llama_layer_shape("llama-7b", "attn-qkvo") == (4096, 4096)
+        assert llama_layer_shape(LLAMA_MODELS[3], "lm-head") == (32000, 8192)
+        for model in LLAMA_MODELS:
+            for name, n, k in llama_layer_shapes(model):
+                assert llama_layer_shape(model, name) == (n, k)
+
+    def test_layer_shape_unknown_layer(self):
+        with pytest.raises(ConfigurationError, match="unknown layer"):
+            llama_layer_shape("llama-7b", "embeddings")
 
     def test_indices_sequential(self):
         points = build_paper_dataset()

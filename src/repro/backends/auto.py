@@ -218,14 +218,48 @@ class AutoSelector:
         """Decide, and say why — every branch yields a reason.
 
         Memoized per ``(handle, m-bucket)`` (see the class notes);
-        :meth:`explain_uncached` runs the race unconditionally.
+        :meth:`explain_uncached` runs the race unconditionally.  When
+        the request carries a tracer, the decision (and whether the
+        memo answered it) is emitted as a ``backend.select`` event.
         """
         if self._memo is None:
-            return self.explain_uncached(request)
-        return self._memo.get_or_build(
+            decision = self.explain_uncached(request)
+            self._emit_decision(request, decision, memo="off")
+            return decision
+        hits_before = self._memo.stats.hits
+        decision = self._memo.get_or_build(
             self._memo_key(request),
             lambda: self.explain_uncached(request),
         )
+        memo = "hit" if self._memo.stats.hits > hits_before else "miss"
+        self._emit_decision(request, decision, memo=memo)
+        return decision
+
+    def _emit_decision(
+        self,
+        request: ExecutionRequest,
+        decision: SelectionDecision,
+        *,
+        memo: str,
+    ) -> None:
+        """Record one selection on the request's tracer (no-op without
+        one): an instant event on the ``host`` track plus a decision
+        counter labeled by chosen backend and memo outcome."""
+        tracer = request.tracer
+        if tracer is None:
+            return
+        tracer.event(
+            "backend.select",
+            track="host",
+            backend=decision.backend,
+            m=request.m,
+            memo=memo,
+            generation=registry_generation(),
+            reason=decision.reason,
+        )
+        tracer.metrics.counter(
+            "backend_select_total", "auto-selector decisions"
+        ).inc(backend=decision.backend, memo=memo)
 
     def explain_uncached(
         self, request: ExecutionRequest

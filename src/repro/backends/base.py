@@ -83,6 +83,11 @@ class ExecutionRequest:
         Callable building a plan for this request on demand; attached
         by :meth:`~repro.core.api.NMSpMM.build_request` so backends
         stay decoupled from the operator.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  When set, the
+        dispatch layer records a per-backend ``run()`` span and the
+        auto-selector emits its decision (and memo hit/miss) as trace
+        events; ``None`` (the default) keeps execution trace-free.
     """
 
     a: np.ndarray
@@ -93,6 +98,7 @@ class ExecutionRequest:
     use_plan_cache: bool = False
     backend: str = "auto"
     planner: "Callable[[ExecutionRequest], ExecutionPlan] | None" = None
+    tracer: "Any | None" = None
 
     @property
     def m(self) -> int:
@@ -188,12 +194,15 @@ def fill_analytic_trace(request: ExecutionRequest) -> "ExecutionPlan":
 
 
 class AnalyticTraceBackend:
-    """Base for backends whose numerics run off the structural path and
-    whose traces therefore derive from the plan: the shared trace guard
-    in :meth:`supports`, and a :meth:`run` that times
-    :meth:`_compute`, fills a requested trace analytically, and wraps
-    the provenance.  Subclasses set ``name`` and implement
-    ``_compute(request) -> np.ndarray``."""
+    """Base for backends whose numerics run off the structural path:
+    the shared trace guard in :meth:`supports`, and a :meth:`run` that
+    times :meth:`_compute`, fills a requested trace via the
+    :meth:`_fill_trace` hook, and wraps the provenance.  Subclasses
+    set ``name`` and implement ``_compute(request) -> np.ndarray``;
+    the default :meth:`_fill_trace` derives the trace analytically
+    from the plan, and a subclass whose data movement differs from the
+    blocked executor's (e.g. ``dense_scatter``) overrides it to
+    account its *own* memory/compute events instead."""
 
     name: str
 
@@ -208,14 +217,20 @@ class AnalyticTraceBackend:
     def _compute(self, request: ExecutionRequest) -> np.ndarray:
         raise NotImplementedError  # pragma: no cover
 
+    def _fill_trace(self, request: ExecutionRequest) -> "ExecutionPlan | None":
+        """Account the launch's events into ``request.trace`` and
+        return the plan consulted (if any)."""
+        plan = fill_analytic_trace(request)
+        request.trace.tag_backend(self.name)
+        return plan
+
     def run(self, request: ExecutionRequest) -> ExecutionResult:
         start = time.perf_counter()
         out = self._compute(request)
         seconds = time.perf_counter() - start
         plan = request.plan
         if request.wants_trace:
-            plan = fill_analytic_trace(request)
-            request.trace.tag_backend(self.name)
+            plan = self._fill_trace(request)
         return ExecutionResult(
             output=out,
             backend=self.name,

@@ -26,6 +26,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backends.base import AnalyticTraceBackend, ExecutionRequest
+from repro.constants import FP32_BYTES
+from repro.kernels.blocked import KernelTrace
 from repro.sparsity.compress import decompress
 
 __all__ = ["DenseScatterBackend"]
@@ -41,9 +43,47 @@ class DenseScatterBackend(AnalyticTraceBackend):
             "description": "scatter compressed values into a dense B, "
             "then one SGEMM at full BLAS rate (wins below the "
             "gather-GEMM's vector-length efficiency crossover)",
-            "traces": "analytic",
+            "traces": "own events (scatter + SGEMM data movement)",
             "needs_plan": False,
+            "trace_vocabulary": ("scatter", "sgemm"),
         }
+
+    def supports(self, request: ExecutionRequest) -> "bool | str":
+        # Unlike the plan-derived analytic fills, this backend accounts
+        # its own scatter+SGEMM data movement, so a trace never needs
+        # an ExecutionPlan.
+        return True
 
     def _compute(self, request: ExecutionRequest) -> np.ndarray:
         return request.a @ decompress(request.handle.compressed)
+
+    def _fill_trace(self, request: ExecutionRequest):
+        """Account the backend's *real* memory events — the scatter
+        pass (read ``B'`` + ``D``, write the dense ``(k, n)`` matrix)
+        followed by one dense SGEMM (read A and the scattered B, pay
+        the full ``m*n*k`` MACs, write C) — instead of deriving a
+        blocked-executor trace from a plan this backend never runs.
+        No shared-memory staging happens on this path, so ``sts``/
+        ``lds`` stay zero; the whole launch is one logical block with
+        one pass over the operands."""
+        comp = request.handle.compressed
+        m, k, n = request.m, comp.k, comp.n
+        scatter = KernelTrace(
+            blocks=1,
+            main_loop_iterations=1,
+            ldg_b_bytes=comp.values_bytes(),
+            ldg_d_bytes=comp.indices_bytes(),
+            stg_bytes=k * n * FP32_BYTES,
+        )
+        sgemm = KernelTrace(
+            blocks=1,
+            main_loop_iterations=1,
+            ldg_a_bytes=m * k * FP32_BYTES,
+            ldg_b_bytes=k * n * FP32_BYTES,
+            fma_ops=m * n * k,
+            stg_bytes=m * n * FP32_BYTES,
+        )
+        request.trace.merge(scatter)
+        request.trace.merge(sgemm)
+        request.trace.tag_backend(self.name)
+        return request.plan

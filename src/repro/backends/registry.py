@@ -31,6 +31,7 @@ __all__ = [
     "get_backend",
     "available_backends",
     "backend_names",
+    "backend_trace_vocabulary",
     "registry_generation",
 ]
 
@@ -113,6 +114,20 @@ def get_backend(name: str) -> "Backend":
 def available_backends() -> "tuple[Backend, ...]":
     """Every registered backend, in registration order."""
     return tuple(_REGISTRY.values())
+
+
+def backend_trace_vocabulary(name: str) -> tuple[str, ...]:
+    """The trace-record names a backend's own accounting can emit
+    (the ``trace_vocabulary`` capability) — empty for backends whose
+    traces are purely plan-derived.  Trace consumers use this to
+    interpret per-backend events (``dense_scatter`` speaks
+    scatter/SGEMM, ``sharded`` speaks device-compute/ring-collective)
+    without hardcoding backend knowledge."""
+    backend = get_backend(name)
+    capabilities = getattr(backend, "capabilities", None)
+    if capabilities is None:
+        return ()
+    return tuple(capabilities().get("trace_vocabulary", ()))
 
 
 def backend_names(*, include_auto: bool = True) -> tuple[str, ...]:

@@ -10,6 +10,7 @@ the same rows/series the paper reports::
     python -m repro table1          # autotuner vs Table I
     python -m repro serve-sim       # dynamic-batching serving simulation
     python -m repro backends        # registered execution backends
+    python -m repro trace summarize # top-k table from a serve-sim trace
     python -m repro all             # everything
 """
 
@@ -120,11 +121,38 @@ def build_parser() -> argparse.ArgumentParser:
                      help="modeled timing only; skip the NumPy kernels")
     pss.add_argument("--json", default=None, metavar="PATH",
                      help="also write the summary as JSON")
+    pss.add_argument("--trace", default=None, metavar="PATH",
+                     help="record the run's span tree and write it here")
+    pss.add_argument("--trace-format", choices=["perfetto", "jsonl"],
+                     default="perfetto",
+                     help="trace file format: Chrome trace-event JSON "
+                          "(loadable in Perfetto/chrome://tracing) or a "
+                          "line-per-record JSONL event log")
+    pss.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write the run's metrics in Prometheus text "
+                          "exposition format")
 
     sub.add_parser(
         "backends",
         help="list registered execution backends and their capabilities",
     )
+
+    ptr = sub.add_parser(
+        "trace", help="inspect trace files written by serve-sim --trace"
+    )
+    trace_sub = ptr.add_subparsers(dest="trace_command", required=True)
+    ptrs = trace_sub.add_parser(
+        "summarize",
+        help="aggregate a trace's spans into a top-k self/total table",
+    )
+    ptrs.add_argument("file", help="trace file (either format)")
+    ptrs.add_argument("--top", type=int, default=10,
+                      help="rows to print (sorted by total time)")
+    ptrv = trace_sub.add_parser(
+        "validate",
+        help="schema-check a Chrome trace-event JSON file",
+    )
+    ptrv.add_argument("file", help="Chrome trace-event JSON file")
 
     pall = sub.add_parser("all", help="run every experiment")
     pall.add_argument("--gpu", default="A100")
@@ -222,6 +250,11 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.serve.batcher import BatchingPolicy
         from repro.serve.scenarios import LlamaServingScenario, parse_pattern
 
+        tracer = None
+        if args.trace or args.metrics:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
         try:
             scenario = LlamaServingScenario(
                 models=tuple(args.models),
@@ -248,6 +281,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 devices=args.devices,
                 shard=args.shard,
                 link=args.link,
+                tracer=tracer,
             )
             report = scenario.run()
         except ReproError as exc:
@@ -257,6 +291,46 @@ def main(argv: "list[str] | None" = None) -> int:
             with open(args.json, "w") as fh:
                 json_module.dump(report.summary(), fh, indent=2, sort_keys=True)
             print(f"\nwrote {args.json}")
+        if args.trace:
+            from repro.obs import write_chrome_trace, write_jsonl
+
+            if args.trace_format == "jsonl":
+                write_jsonl(tracer, args.trace)
+            else:
+                write_chrome_trace(tracer, args.trace)
+            print(f"wrote {args.trace} ({args.trace_format})")
+        if args.metrics:
+            from repro.obs import prometheus_text
+
+            with open(args.metrics, "w") as fh:
+                fh.write(prometheus_text(tracer.metrics))
+            print(f"wrote {args.metrics} (prometheus)")
+    elif args.experiment == "trace":
+        from repro.errors import ObsError
+        from repro.obs import summarize_file, validate_chrome_trace
+
+        if args.trace_command == "summarize":
+            try:
+                print(summarize_file(args.file, top=args.top))
+            except (OSError, ObsError) as exc:
+                raise SystemExit(f"trace summarize: {exc}")
+        else:
+            import json as json_module
+
+            try:
+                with open(args.file) as fh:
+                    data = json_module.load(fh)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"trace validate: {exc}")
+            problems = validate_chrome_trace(data)
+            if problems:
+                for problem in problems:
+                    print(f"invalid: {problem}")
+                return 1
+            print(
+                f"{args.file}: valid Chrome trace "
+                f"({len(data['traceEvents'])} events)"
+            )
     elif args.experiment == "backends":
         print(render_backends())
     elif args.experiment == "all":

@@ -273,6 +273,7 @@ class NMSpMM:
         plan: ExecutionPlan | None = None,
         use_plan_cache: bool = False,
         backend: str = AUTO_BACKEND,
+        tracer=None,
     ) -> ExecutionRequest:
         """Validate operands and bundle one execution's inputs into an
         :class:`~repro.backends.base.ExecutionRequest`.
@@ -284,7 +285,9 @@ class NMSpMM:
         handle's pattern; when none is given the request carries a
         planner so backends that need one (the structural executors,
         analytic traces) can build it lazily — trace-less fast paths
-        never pay plan construction.
+        never pay plan construction.  A ``tracer``
+        (:class:`~repro.obs.tracer.Tracer`) rides along on the request
+        so dispatch and selection report spans/events.
         """
         a = as_f32(check_matrix("a", a))
         if a.shape[1] == handle.k_logical and handle.k_logical != handle.k:
@@ -326,6 +329,7 @@ class NMSpMM:
             planner=lambda req: self.plan_for(
                 req.m, req.handle, req.params, use_cache=req.use_plan_cache
             ),
+            tracer=tracer,
         )
         if use_plan_cache and plan is None:
             # The caller explicitly wants the handle's plan cache warmed
@@ -337,7 +341,15 @@ class NMSpMM:
         """Dispatch a request to its backend and return the full
         :class:`~repro.backends.base.ExecutionResult` (output plus
         backend provenance, plan, timing, and — under ``"auto"`` — the
-        selector's decision)."""
+        selector's decision).
+
+        With a tracer on the request, the backend's ``run()`` is
+        recorded as a ``backend.<name>.run`` span on the ``host``
+        track.  Host execution time is wall-clock (the NumPy kernels
+        really run), so these spans are *measured*, unlike the
+        modeled-clock engine/device spans — deterministic trace tests
+        run with numerics off, where no backend ever executes.
+        """
         name = request.backend
         decision = None
         if name == AUTO_BACKEND:
@@ -351,6 +363,23 @@ class NMSpMM:
                 f"backend {name!r} cannot run this request: {reason}"
             )
         result = backend.run(request)
+        tracer = request.tracer
+        if tracer is not None:
+            tracer.add_span(
+                f"backend.{name}.run",
+                tracer.now,
+                tracer.now + result.seconds,
+                track="host",
+                parent=None,
+                backend=name,
+                m=request.m,
+                k=request.k,
+                n=request.handle.n,
+                measured=True,
+            )
+            tracer.metrics.counter(
+                "backend_runs_total", "backend dispatches by name"
+            ).inc(backend=name)
         result.decision = decision
         return result
 
@@ -364,6 +393,7 @@ class NMSpMM:
         plan: ExecutionPlan | None = None,
         use_plan_cache: bool = False,
         backend: str = AUTO_BACKEND,
+        tracer=None,
     ) -> np.ndarray:
         """Compute ``C = A (*) (B', D)``.
 
@@ -401,6 +431,7 @@ class NMSpMM:
             plan=plan,
             use_plan_cache=use_plan_cache,
             backend=backend,
+            tracer=tracer,
         )
         out = self.run(request).output
         # Trim the columns compression padded onto B (they are zero, so

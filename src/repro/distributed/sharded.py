@@ -204,8 +204,14 @@ class ShardedBackend:
                 f"{self.group.describe()}; composes per-device plans "
                 "with ring-modeled collectives"
             ),
-            "traces": "analytic (composed per device)",
+            "traces": "analytic (composed per device) + wire-bytes "
+            "comm events",
             "needs_plan": False,
+            "trace_vocabulary": (
+                "device.compute",
+                "comm.all-gather",
+                "comm.all-reduce",
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -274,7 +280,12 @@ class ShardedBackend:
         """Compose per-device analytic traces into the request's trace:
         each shard contributes the trace its own launch geometry
         implies, so the total FMA count still equals ``m * n * w`` and
-        the byte counts reflect the sharded tiles.
+        the byte counts reflect the sharded tiles.  The mode's
+        collective is accounted as a comm event carrying the modeled
+        *wire* bytes (the ring traffic actually shipped), so a sharded
+        trace exposes its communication bill alongside its memory
+        hierarchy — the per-backend vocabulary ``capabilities()``
+        declares.
 
         The per-device plans take their optimization version from an
         *explicitly passed* plan; otherwise V3 (the default).  The
@@ -302,5 +313,10 @@ class ShardedBackend:
                     ),
                 )
             )
+        comm = sharded.collective(self.group, request.m)
+        request.trace.add_comm(
+            comm.collective, comm.payload_bytes, comm.wire_bytes,
+            comm.seconds,
+        )
         request.trace.tag_backend(self.name)
         return plan

@@ -109,6 +109,17 @@ class CommEvent:
     steps: int
     wire_bytes: int = 0
 
+    def trace_attrs(self) -> dict:
+        """The attributes a ``comm.<collective>`` trace span carries
+        (consumed by the serving engine's tracer and by
+        :meth:`~repro.kernels.blocked.KernelTrace.add_comm` callers)."""
+        return {
+            "collective": self.collective,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "ring_steps": self.steps,
+        }
+
 
 @dataclass(frozen=True)
 class DeviceGroup:

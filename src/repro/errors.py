@@ -19,6 +19,7 @@ __all__ = [
     "AutotuneError",
     "ServeError",
     "ShardError",
+    "ObsError",
 ]
 
 
@@ -67,3 +68,8 @@ class ShardError(ReproError):
     """A tensor-parallel partition is impossible or inconsistent
     (device count exceeds the shardable windows, unknown shard mode,
     mismatched per-device outputs)."""
+
+
+class ObsError(ReproError):
+    """The observability layer was misused (unbalanced span stack,
+    span-tree invariant violation, malformed trace file)."""

@@ -1,0 +1,57 @@
+"""Observability: simulated-clock tracing, metrics, and exporters.
+
+The layer every serving/distributed run reports through:
+
+* :class:`Tracer` / :class:`Span` — span-tree tracing on the
+  simulated clock (deterministic, assertable);
+* :class:`MetricsRegistry` — counters, gauges, histograms;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
+  JSONL exporters plus the loader/validator;
+* :func:`prometheus_text` — Prometheus-style text exposition;
+* :func:`summarize_spans` — flamegraph-style self/total aggregation
+  (``python -m repro trace summarize``).
+
+Wire a tracer in with ``InferenceServer(tracer=Tracer())`` (or
+``serve-sim --trace FILE``); tracing is off by default and the
+disabled path is a single ``is None`` check per instrumentation site.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    jsonl_records,
+    load_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.prometheus import prometheus_text
+from repro.obs.summarize import render_summary, summarize_file, summarize_spans
+from repro.obs.tracer import Span, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_records",
+    "write_jsonl",
+    "load_trace",
+    "validate_chrome_trace",
+    "prometheus_text",
+    "summarize_spans",
+    "render_summary",
+    "summarize_file",
+]

@@ -1,0 +1,313 @@
+"""Trace exporters and loaders.
+
+Two file formats for one :class:`~repro.obs.tracer.Tracer`:
+
+* **Chrome trace-event JSON** (:func:`chrome_trace`) — loads directly
+  in Perfetto / ``chrome://tracing``.  Tracks ("engine", "queue",
+  "device0"...) map to threads of one process, so a 2-device serving
+  run renders as parallel device swimlanes under the engine lane.
+  Spans are complete (``ph: "X"``) events with microsecond ``ts`` /
+  ``dur``; instants are ``ph: "i"``; thread names ship as ``ph: "M"``
+  metadata.  ``span_id``/``parent_id`` ride in ``args`` so a loaded
+  file still supports self-time aggregation.
+* **JSONL event log** (:func:`jsonl_records`) — one JSON object per
+  line (a ``meta`` header, then ``span`` / ``event`` records with
+  plain seconds), the grep-and-jq-friendly form.
+
+:func:`load_trace` sniffs either format back into one normalized
+``{"spans": [...], "events": [...]}`` dict — the summarizer's input —
+and :func:`validate_chrome_trace` is the schema check behind
+``python -m repro trace validate`` (and the CI trace-smoke step).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ObsError
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_records",
+    "write_jsonl",
+    "load_trace",
+    "validate_chrome_trace",
+]
+
+#: ``pid`` of every exported event (one simulated process).
+TRACE_PID = 0
+
+
+def _tracks(tracer: Tracer) -> list[str]:
+    """Track names in order of first appearance, so ``tid`` assignment
+    is deterministic for a deterministic run."""
+    tracks: list[str] = []
+    for record in [*tracer.spans, *tracer.events]:
+        if record.track not in tracks:
+            tracks.append(record.track)
+    return tracks
+
+
+def chrome_trace(tracer: Tracer) -> dict:
+    """The tracer's content as a Chrome trace-event JSON object."""
+    tracks = _tracks(tracer)
+    tid = {track: i for i, track in enumerate(tracks)}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": TRACE_PID,
+            "tid": tid[track],
+            "args": {"name": track},
+        }
+        for track in tracks
+    ]
+    for span in tracer.spans:
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.track,
+                "pid": TRACE_PID,
+                "tid": tid[span.track],
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attrs,
+                },
+            }
+        )
+    for ev in tracer.events:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": ev.name,
+                "cat": ev.track,
+                "pid": TRACE_PID,
+                "tid": tid[ev.track],
+                "ts": ev.t_s * 1e6,
+                "args": dict(ev.attrs),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "source": "repro.obs"},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer), fh, sort_keys=True)
+
+
+def jsonl_records(tracer: Tracer) -> list[dict]:
+    """The tracer's content as a list of JSONL records (header first)."""
+    records: list[dict] = [
+        {
+            "type": "meta",
+            "clock": "simulated",
+            "source": "repro.obs",
+            "spans": len(tracer.spans),
+            "events": len(tracer.events),
+        }
+    ]
+    for span in tracer.spans:
+        records.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "track": span.track,
+                "start_s": span.start_s,
+                "end_s": span.end_s,
+                "attrs": dict(span.attrs),
+            }
+        )
+    for ev in tracer.events:
+        records.append(
+            {
+                "type": "event",
+                "name": ev.name,
+                "track": ev.track,
+                "t_s": ev.t_s,
+                "attrs": dict(ev.attrs),
+            }
+        )
+    return records
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as fh:
+        for record in jsonl_records(tracer):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def _span_dict(name, span_id, parent_id, track, start_s, duration_s, attrs):
+    return {
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "track": track,
+        "start_s": start_s,
+        "duration_s": duration_s,
+        "attrs": attrs,
+    }
+
+
+def _load_chrome(data: dict) -> dict:
+    spans: list[dict] = []
+    events: list[dict] = []
+    for ev in data.get("traceEvents", []):
+        ph = ev.get("ph")
+        args = ev.get("args", {}) or {}
+        if ph == "X":
+            attrs = {
+                k: v
+                for k, v in args.items()
+                if k not in ("span_id", "parent_id")
+            }
+            spans.append(
+                _span_dict(
+                    ev.get("name", ""),
+                    args.get("span_id"),
+                    args.get("parent_id"),
+                    ev.get("cat", "engine"),
+                    ev.get("ts", 0.0) / 1e6,
+                    ev.get("dur", 0.0) / 1e6,
+                    attrs,
+                )
+            )
+        elif ph == "i":
+            events.append(
+                {
+                    "name": ev.get("name", ""),
+                    "track": ev.get("cat", "engine"),
+                    "t_s": ev.get("ts", 0.0) / 1e6,
+                    "attrs": args,
+                }
+            )
+    return {"spans": spans, "events": events}
+
+
+def _load_jsonl(lines: list[str]) -> dict:
+    spans: list[dict] = []
+    events: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"bad JSONL at line {lineno}: {exc}") from None
+        kind = record.get("type")
+        if kind == "span":
+            end_s = record.get("end_s", 0.0)
+            start_s = record.get("start_s", 0.0)
+            spans.append(
+                _span_dict(
+                    record.get("name", ""),
+                    record.get("span_id"),
+                    record.get("parent_id"),
+                    record.get("track", "engine"),
+                    start_s,
+                    end_s - start_s,
+                    record.get("attrs", {}),
+                )
+            )
+        elif kind == "event":
+            events.append(
+                {
+                    "name": record.get("name", ""),
+                    "track": record.get("track", "engine"),
+                    "t_s": record.get("t_s", 0.0),
+                    "attrs": record.get("attrs", {}),
+                }
+            )
+        elif kind != "meta":
+            raise ObsError(
+                f"unknown JSONL record type {kind!r} at line {lineno}"
+            )
+    return {"spans": spans, "events": events}
+
+
+def load_trace(path: str) -> dict:
+    """Load either export format back into normalized ``{"spans",
+    "events"}`` lists (span times in plain seconds)."""
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ObsError(f"trace file {path!r} is empty")
+    if stripped.startswith("{") and '"traceEvents"' in stripped:
+        try:
+            return _load_chrome(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise ObsError(f"bad Chrome trace {path!r}: {exc}") from None
+    return _load_jsonl(text.splitlines())
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_chrome_trace(data: object) -> list[str]:
+    """Schema-check a Chrome trace-event object; returns the list of
+    problems (empty means valid).  Checks the subset of the format the
+    exporter emits and Perfetto requires: the ``traceEvents`` array,
+    per-phase required fields, numeric non-negative timestamps, and
+    thread-name metadata for every referenced ``tid``."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing 'traceEvents' array"]
+    if not events:
+        problems.append("'traceEvents' is empty")
+    named_tids: set = set()
+    used_tids: set = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int) or not isinstance(
+            ev.get("tid"), int
+        ):
+            problems.append(f"{where}: pid/tid must be integers")
+            continue
+        if ph == "M":
+            if ev.get("name") == "thread_name":
+                named_tids.add((ev["pid"], ev["tid"]))
+            continue
+        used_tids.add((ev["pid"], ev["tid"]))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a number >= 0, got {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: dur must be a number >= 0, got {dur!r}"
+                )
+    for pid, tid in sorted(used_tids - named_tids):
+        problems.append(
+            f"tid {tid} (pid {pid}) has events but no thread_name metadata"
+        )
+    return problems

@@ -1,0 +1,73 @@
+"""Prometheus-style text exposition of a :class:`MetricsRegistry`.
+
+The output follows the text-based exposition format: ``# HELP`` /
+``# TYPE`` headers per metric, one sample line per label set, and for
+histograms the cumulative ``_bucket{le=...}`` series closed with
+``le="+Inf"`` plus the ``_sum`` / ``_count`` pair.  Metric names are
+sanitized to the Prometheus charset (dots and dashes become
+underscores).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["prometheus_text"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels(pairs, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    items = [*pairs, *extra]
+    if not items:
+        return ""
+    inner = ",".join(f'{_sanitize(k)}="{_escape(str(v))}"' for k, v in items)
+    return "{" + inner + "}"
+
+
+def _format(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every metric in the registry as text exposition."""
+    lines: list[str] = []
+    for metric in registry:
+        name = _sanitize(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            samples = metric.samples() or [((), 0.0)]
+            for key, value in samples:
+                lines.append(f"{name}{_labels(key)} {_format(value)}")
+        elif isinstance(metric, Histogram):
+            for key, counts, total in metric.samples():
+                for bound, count in zip(metric.buckets, counts):
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels(key, (('le', repr(float(bound))),))} "
+                        f"{count}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_labels(key, (('le', '+Inf'),))} "
+                    f"{counts[-1]}"
+                )
+                lines.append(f"{name}_sum{_labels(key)} {_format(total)}")
+                lines.append(f"{name}_count{_labels(key)} {counts[-1]}")
+    return "\n".join(lines) + "\n"

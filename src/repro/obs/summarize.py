@@ -1,0 +1,101 @@
+"""Flamegraph-style span aggregation: the ``trace summarize`` view.
+
+Groups a trace's spans by name and reports, per name, the call count,
+total (inclusive) time, self time (total minus the time of *direct*
+children — the flamegraph decomposition), and mean duration, sorted
+by total time.  Works on live :class:`~repro.obs.tracer.Tracer`
+spans and on spans loaded back from either export format
+(:func:`~repro.obs.export.load_trace`), since both carry
+``span_id``/``parent_id``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ObsError
+from repro.utils.tables import TextTable
+
+__all__ = ["summarize_spans", "render_summary", "summarize_file"]
+
+
+def _as_dict(span) -> dict:
+    if isinstance(span, dict):
+        return span
+    # A live Span object.
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "duration_s": span.duration_s,
+    }
+
+
+def summarize_spans(spans) -> list[dict]:
+    """Aggregate spans by name.
+
+    Returns rows ``{"name", "count", "total_s", "self_s", "mean_s"}``
+    sorted by total time descending (name breaks ties), so ``rows[0]``
+    is where the simulated time went.
+    """
+    normalized = [_as_dict(s) for s in spans]
+    child_time: dict = {}
+    for span in normalized:
+        parent = span.get("parent_id")
+        if parent is not None:
+            child_time[parent] = (
+                child_time.get(parent, 0.0) + span["duration_s"]
+            )
+    rows: dict[str, dict] = {}
+    for span in normalized:
+        row = rows.setdefault(
+            span["name"],
+            {"name": span["name"], "count": 0, "total_s": 0.0, "self_s": 0.0},
+        )
+        row["count"] += 1
+        row["total_s"] += span["duration_s"]
+        row["self_s"] += span["duration_s"] - child_time.get(
+            span.get("span_id"), 0.0
+        )
+    out = []
+    for row in rows.values():
+        # Clamp float dust: self time is >= 0 by construction (children
+        # nest inside their parent on the simulated clock).
+        row["self_s"] = max(0.0, row["self_s"])
+        row["mean_s"] = row["total_s"] / row["count"]
+        out.append(row)
+    out.sort(key=lambda r: (-r["total_s"], r["name"]))
+    return out
+
+
+def render_summary(
+    rows: list[dict], *, top: int = 10, title: str = "trace summary"
+) -> str:
+    """The top-``k`` table ``python -m repro trace summarize`` prints."""
+    if not rows:
+        raise ObsError("no spans to summarize")
+    table = TextTable(
+        ["span", "count", "total", "self", "mean"], title=title
+    )
+    for row in rows[: max(1, top)]:
+        table.add_row(
+            [
+                row["name"],
+                str(row["count"]),
+                f"{row['total_s'] * 1e3:.3f} ms",
+                f"{row['self_s'] * 1e3:.3f} ms",
+                f"{row['mean_s'] * 1e3:.3f} ms",
+            ]
+        )
+    if len(rows) > top:
+        table.add_row([f"... {len(rows) - top} more", "", "", "", ""])
+    return table.render()
+
+
+def summarize_file(path: str, *, top: int = 10) -> str:
+    """Load a trace file (either format) and render its top-``k``."""
+    from repro.obs.export import load_trace
+
+    loaded = load_trace(path)
+    rows = summarize_spans(loaded["spans"])
+    if not rows:
+        raise ObsError(f"trace file {path!r} contains no spans")
+    return render_summary(rows, top=top, title=f"trace summary: {path}")

@@ -1,0 +1,268 @@
+"""Span-tree tracing on the simulated clock.
+
+The serving/distributed stack advances a *simulated* clock (modeled
+GPU seconds drive latency; the wall clock is never read), so a trace
+of one seeded run is fully deterministic: every span's start and end
+are assertable numbers, and two runs of the same scenario export
+byte-identical trace files.  That determinism is what lets tier-1
+tests reconcile span totals against :class:`~repro.serve.metrics.
+ServingMetrics` aggregates instead of merely eyeballing a timeline.
+
+Two record kinds:
+
+* :class:`Span` — an interval ``[start_s, end_s]`` on a named track
+  (``engine``, ``queue``, ``device0``...), optionally parented to
+  another span.  Spans form trees: children must nest inside their
+  parent on the clock (:meth:`Tracer.check_invariants`).
+* :class:`TraceEvent` — an instant (admission, plan-cache hit,
+  selector decision) with free-form attributes.
+
+Because the engine is a discrete-event loop rather than a call stack,
+most spans are recorded *retroactively* with :meth:`Tracer.add_span`
+(both endpoints known at launch accounting time).  The context-manager
+:meth:`Tracer.span` covers the synchronous-nesting case (tests, host
+code) using the tracer's current clock at enter/exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.errors import ObsError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Span", "TraceEvent", "Tracer"]
+
+#: Sentinel for "parent is the innermost open span" in add_span.
+_INHERIT = object()
+
+
+@dataclass
+class Span:
+    """One traced interval on the simulated clock."""
+
+    span_id: int
+    name: str
+    start_s: float
+    end_s: "float | None" = None
+    parent_id: "int | None" = None
+    track: str = "engine"
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            raise ObsError(
+                f"span {self.name!r} (#{self.span_id}) is still open"
+            )
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instantaneous trace event."""
+
+    name: str
+    t_s: float
+    track: str = "engine"
+    attrs: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects spans/events against a manually advanced clock.
+
+    The clock (:attr:`now`) is *pushed* by the instrumented code —
+    the serving engine calls :meth:`advance` as its discrete-event
+    loop moves — and only the context-manager path reads it; spans
+    recorded via :meth:`add_span` carry explicit timestamps and may
+    lie anywhere at or before the current clock (the engine accounts
+    for a launch after deciding it).
+
+    ``tracer.metrics`` is the run's :class:`~repro.obs.metrics.
+    MetricsRegistry`; instruments update both through the one handle
+    the server threads everywhere (``InferenceServer(tracer=)``).
+    """
+
+    def __init__(self, *, metrics: "MetricsRegistry | None" = None):
+        self.now: float = 0.0
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def advance(self, t_s: float) -> None:
+        """Move the simulated clock forward (never backward)."""
+        if t_s > self.now:
+            self.now = t_s
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _allocate(
+        self,
+        name: str,
+        start_s: float,
+        track: str,
+        parent_id: "int | None",
+        attrs: dict,
+    ) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            start_s=float(start_s),
+            parent_id=parent_id,
+            track=track,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def begin(self, name: str, *, track: str = "engine", **attrs) -> Span:
+        """Open a span at the current clock and push it on the stack;
+        spans opened while it is open become its children."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = self._allocate(name, self.now, track, parent, attrs)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: "Span | None" = None) -> Span:
+        """Close the innermost open span at the current clock.  An
+        explicit ``span`` must *be* the innermost one — spans close in
+        LIFO order or the tree would interleave."""
+        if not self._stack:
+            raise ObsError("end() with no open span")
+        top = self._stack[-1]
+        if span is not None and span is not top:
+            raise ObsError(
+                f"cannot end span {span.name!r} while {top.name!r} is "
+                "still open (spans close innermost-first)"
+            )
+        self._stack.pop()
+        top.end_s = max(self.now, top.start_s)
+        return top
+
+    @contextlib.contextmanager
+    def span(self, name: str, *, track: str = "engine", **attrs):
+        """Context manager: open at the clock on entry, close at the
+        clock on exit (advance the clock inside the block to give the
+        span duration)."""
+        opened = self.begin(name, track=track, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def add_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        *,
+        track: str = "engine",
+        parent: "Span | None | object" = _INHERIT,
+        **attrs,
+    ) -> Span:
+        """Record a completed span with explicit endpoints (the
+        engine's retroactive accounting path).  ``parent`` is a
+        :class:`Span`, ``None`` for a root, or omitted to inherit the
+        innermost open span."""
+        if end_s < start_s:
+            raise ObsError(
+                f"span {name!r} ends at {end_s} before it starts at "
+                f"{start_s}"
+            )
+        if parent is _INHERIT:
+            parent_id = self._stack[-1].span_id if self._stack else None
+        elif parent is None:
+            parent_id = None
+        else:
+            parent_id = parent.span_id  # type: ignore[union-attr]
+        span = self._allocate(name, start_s, track, parent_id, attrs)
+        span.end_s = float(end_s)
+        self.advance(end_s)
+        return span
+
+    def event(
+        self,
+        name: str,
+        *,
+        t_s: "float | None" = None,
+        track: str = "engine",
+        **attrs,
+    ) -> TraceEvent:
+        """Record an instant event (defaults to the current clock; an
+        explicit ``t_s`` may lie in the past — e.g. an admission event
+        stamped at the request's arrival)."""
+        ev = TraceEvent(
+            name=name,
+            t_s=self.now if t_s is None else float(t_s),
+            track=track,
+            attrs=attrs,
+        )
+        self.events.append(ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def find(self, name: str) -> list[Span]:
+        """All spans with this name, in recording order."""
+        return [s for s in self.spans if s.name == name]
+
+    def total_s(self, name: str) -> float:
+        """Summed duration of every finished span with this name."""
+        return sum(s.duration_s for s in self.find(name))
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert the span tree is well-formed: every span closed,
+        every ``parent_id`` resolvable (no orphans), and every child
+        nested inside its parent on the simulated clock.  Raises
+        :class:`~repro.errors.ObsError` on the first violation."""
+        if self._stack:
+            open_names = [s.name for s in self._stack]
+            raise ObsError(f"spans still open: {open_names}")
+        by_id = {s.span_id: s for s in self.spans}
+        for span in self.spans:
+            if span.end_s is None:
+                raise ObsError(
+                    f"span {span.name!r} (#{span.span_id}) never closed"
+                )
+            if span.end_s < span.start_s:
+                raise ObsError(
+                    f"span {span.name!r} (#{span.span_id}) ends before "
+                    "it starts"
+                )
+            if span.parent_id is None:
+                continue
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                raise ObsError(
+                    f"span {span.name!r} (#{span.span_id}) is orphaned: "
+                    f"parent #{span.parent_id} does not exist"
+                )
+            eps = 1e-12
+            if (
+                span.start_s < parent.start_s - eps
+                or span.end_s > (parent.end_s or 0.0) + eps
+            ):
+                raise ObsError(
+                    f"span {span.name!r} [{span.start_s}, {span.end_s}] "
+                    f"escapes its parent {parent.name!r} "
+                    f"[{parent.start_s}, {parent.end_s}]"
+                )

@@ -128,6 +128,17 @@ class Batch:
     def padding_rows(self) -> int:
         return self.padded_rows - self.rows
 
+    def trace_attrs(self) -> dict:
+        """The batch's identity as span attributes (what a trace
+        viewer needs to tie a launch back to its requests)."""
+        return {
+            "batch_id": self.batch_id,
+            "model": self.model,
+            "requests": self.n_requests,
+            "rows": self.rows,
+            "padded_rows": self.padded_rows,
+        }
+
     def split(self, c: np.ndarray) -> list[np.ndarray]:
         """Slice the batched product back into per-request outputs,
         dropping the zero-padding rows."""

@@ -54,7 +54,13 @@ class PlanCache:
         self, model: str, op: NMSpMM, handle: SparseHandle, m: int
     ) -> PlanEntry:
         """The plan + modeled report for an ``m``-row launch of
-        ``model``, building both on first use."""
+        ``model``, building both on first use.
+
+        Hit/miss accounting lives in :attr:`stats`; a tracing server
+        reads the stats delta around this call to emit
+        ``plan_cache.hit``/``plan_cache.miss`` events (see
+        ``InferenceServer._cached_plan``), so the cache itself stays
+        observability-free."""
         key = (model, m, op.gpu.name, op.version.value)
 
         def build() -> PlanEntry:

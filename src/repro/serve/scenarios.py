@@ -137,6 +137,10 @@ class LlamaServingScenario:
     devices: int = 1
     shard: str = "column"
     link: str = "nvlink"
+    #: Optional :class:`~repro.obs.tracer.Tracer` threaded into the
+    #: server — the scenario's seeded run then records a full span
+    #: tree and metrics (``serve-sim --trace`` builds one here).
+    tracer: "object | None" = None
     #: Per-launch host cost.  The scaled-down NumPy shapes make modeled
     #: GPU time microseconds, so scheduling studies that need real
     #: contention raise this instead of serving impractical QPS.
@@ -167,6 +171,7 @@ class LlamaServingScenario:
             devices=self.devices,
             shard=self.shard,
             link=self.link,
+            tracer=self.tracer,
         )
         sources: list[TrafficSource] = []
         rng = np.random.default_rng(self.seed)

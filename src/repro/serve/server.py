@@ -41,8 +41,9 @@ from repro.backends.registry import backend_names
 from repro.core.api import NMSpMM, SparseHandle
 from repro.distributed.shard import SHARD_MODES, ShardedHandle, shard_handle
 from repro.distributed.sharded import sharded_execute
-from repro.distributed.topology import DeviceGroup, Link, get_link
+from repro.distributed.topology import CommEvent, DeviceGroup, Link, get_link
 from repro.errors import ServeError
+from repro.obs.tracer import Tracer
 from repro.gpu.spec import GPUSpec
 from repro.serve.batcher import BatchingPolicy, ContinuousBatcher, DynamicBatcher
 from repro.serve.cache import PlanCache
@@ -235,6 +236,16 @@ class InferenceServer:
         Interconnect of the simulated group — a name from
         :data:`~repro.distributed.topology.LINKS` or an explicit
         :class:`~repro.distributed.topology.Link`.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  When set, every
+        simulated run records spans on the simulated clock — request
+        admission and queue waits, batch/step launches with nested
+        per-device compute and ring-collective children, plan-cache
+        hits/misses, continuous-batching join/evict/preempt — plus the
+        matching counters/histograms in ``tracer.metrics``.  ``None``
+        (the default) keeps serving observation-free; the only cost of
+        the disabled path is a ``None`` check per instrumentation
+        site.
     """
 
     def __init__(
@@ -250,6 +261,7 @@ class InferenceServer:
         devices: int = 1,
         shard: str = "column",
         link: "str | Link" = "nvlink",
+        tracer: "Tracer | None" = None,
     ):
         if host_overhead_s < 0:
             raise ServeError(
@@ -283,6 +295,7 @@ class InferenceServer:
         self.devices = devices
         self.shard = shard
         self.link = get_link(link)
+        self.tracer = tracer
         self._models: dict[str, ModelEntry] = {}
         self._inbox: list[InferenceRequest] = []
 
@@ -408,31 +421,118 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Launch accounting (shared by the dynamic and continuous paths)
     # ------------------------------------------------------------------
+    def _cached_plan(self, cache: PlanCache, device: int, entry: ModelEntry,
+                     handle: SparseHandle, padded_rows: int):
+        """One plan-cache lookup, surfaced (when tracing) as a
+        ``plan_cache.hit``/``plan_cache.miss`` event plus a counter —
+        the outcome read off the cache's own stats delta, so the event
+        stream and ``plan_cache_stats`` can never disagree."""
+        tr = self.tracer
+        if tr is None:
+            return cache.lookup(entry.name, entry.op, handle, padded_rows)
+        hits_before = cache.stats.hits
+        plan_entry = cache.lookup(entry.name, entry.op, handle, padded_rows)
+        outcome = "hit" if cache.stats.hits > hits_before else "miss"
+        tr.event(
+            f"plan_cache.{outcome}",
+            track="engine",
+            model=entry.name,
+            padded_rows=padded_rows,
+            device=device,
+        )
+        tr.metrics.counter(
+            "serve_plan_cache_total", "plan-cache lookups by outcome"
+        ).inc(outcome=outcome)
+        return plan_entry
+
     def _modeled_launch(
         self, entry: ModelEntry, padded_rows: int
-    ) -> "tuple[float, tuple[float, ...], float, object]":
+    ) -> "tuple[float, tuple[float, ...], CommEvent | None, object]":
         """Model one ``padded_rows``-row launch of ``entry``:
-        ``(modeled_gpu_s, per_device_gpu_s, comm_s, plan)``.
+        ``(modeled_gpu_s, per_device_gpu_s, comm_event, plan)``.
 
         Single-device entries go through the shared plan cache exactly
-        as before (plan returned for the numerics path).  Distributed
-        entries look up one plan per device shard in that device's own
-        cache; the launch's modeled time is the slowest device plus
-        the mode's ring collective.
+        as before (plan returned for the numerics path, no comm
+        event).  Distributed entries look up one plan per device shard
+        in that device's own cache; the launch's modeled time is the
+        slowest device plus the mode's ring collective, returned as
+        the full :class:`~repro.distributed.topology.CommEvent` so the
+        trace can attribute wire bytes, not just seconds.
         """
         if not entry.distributed:
-            plan_entry = self.plan_cache.lookup(
-                entry.name, entry.op, entry.handle, padded_rows
+            plan_entry = self._cached_plan(
+                self.plan_cache, 0, entry, entry.handle, padded_rows
             )
-            return plan_entry.modeled_seconds, (), 0.0, plan_entry.plan
+            return plan_entry.modeled_seconds, (), None, plan_entry.plan
         per_device = tuple(
-            self.plan_caches[shard.device]
-            .lookup(entry.name, entry.op, shard.handle, padded_rows)
-            .modeled_seconds
+            self._cached_plan(
+                self.plan_caches[shard.device], shard.device, entry,
+                shard.handle, padded_rows,
+            ).modeled_seconds
             for shard in entry.sharded.shards
         )
-        comm_s = entry.sharded.collective(entry.group, padded_rows).seconds
-        return max(per_device) + comm_s, per_device, comm_s, None
+        comm = entry.sharded.collective(entry.group, padded_rows)
+        return max(per_device) + comm.seconds, per_device, comm, None
+
+    def _trace_launch(
+        self,
+        tr: Tracer,
+        parent: "object | None",
+        start_s: float,
+        steps: int,
+        modeled_s: float,
+        per_device: "tuple[float, ...]",
+        comm: "CommEvent | None",
+        model: str,
+    ):
+        """Record one launch's GPU-side spans: ``gpu.launch`` covering
+        the full modeled busy time (so summed launch durations equal
+        ``ServingMetrics.gpu_busy_s`` exactly), one nested
+        ``device.compute`` child per device shard, and — when the
+        launch communicates — a ``comm.<collective>`` child occupying
+        the launch's tail (compute gates the ring, so the collective
+        finishes the launch), carrying the modeled wire bytes."""
+        launch_end = start_s + steps * modeled_s
+        launch = tr.add_span(
+            "gpu.launch", start_s, launch_end,
+            track="gpu", parent=parent, model=model, steps=steps,
+        )
+        for device, seconds in enumerate(per_device):
+            tr.add_span(
+                "device.compute", start_s, start_s + steps * seconds,
+                track=f"device{device}", parent=launch,
+                device=device, model=model,
+            )
+        if comm is not None and comm.seconds > 0:
+            tr.add_span(
+                f"comm.{comm.collective}",
+                launch_end - steps * comm.seconds, launch_end,
+                track="comm", parent=launch, model=model,
+                **comm.trace_attrs(),
+            )
+        tr.metrics.counter(
+            "serve_launches_total", "batch/step launches"
+        ).inc(model=model)
+        tr.metrics.histogram(
+            "serve_launch_seconds", "modeled GPU seconds per launch"
+        ).observe(steps * modeled_s, model=model)
+        return launch
+
+    def _trace_queue_wait(
+        self, tr: Tracer, request: InferenceRequest, started_s: float,
+        queue: str,
+    ) -> None:
+        """One request's time-in-queue as a span on the ``queue``
+        track (admission to service start) plus a wait histogram."""
+        tr.add_span(
+            "queue.wait", request.arrival_s, started_s,
+            track="queue", parent=None,
+            request_id=request.request_id, model=request.model,
+            priority=request.priority, queue=queue,
+        )
+        tr.metrics.histogram(
+            "serve_queue_wait_seconds", "queue wait per request"
+        ).observe(started_s - request.arrival_s, queue=queue)
 
     def _execute_batch(self, entry: ModelEntry, batch, plan) -> list:
         """Run one batch's numerics and split per-request outputs."""
@@ -440,7 +540,8 @@ class InferenceServer:
             c = sharded_execute(batch.a, entry.sharded)
             return batch.split(c[:, : entry.handle.n_logical])
         c = entry.op.execute(
-            batch.a, entry.handle, plan=plan, backend=self.backend
+            batch.a, entry.handle, plan=plan, backend=self.backend,
+            tracer=self.tracer,
         )
         return batch.split(c)
 
@@ -498,6 +599,7 @@ class InferenceServer:
                 for name in self._models
             }
         metrics = ServingMetrics()
+        tracer = self.tracer
         i, n = 0, len(pending)
         clock_s = 0.0
         gpu_free_s = 0.0
@@ -509,10 +611,26 @@ class InferenceServer:
             t = max(clock_s, gpu_free_s)
             while i < n and pending[i].arrival_s <= t:
                 request = pending[i]
-                if self._is_decode(request, run_policy):
+                decode = self._is_decode(request, run_policy)
+                if decode:
                     decode_queues[request.model].push(request)
                 else:
                     prefill_queues[request.model].push(request)
+                if tracer is not None:
+                    queue_name = "decode" if decode else "prefill"
+                    tracer.event(
+                        "request.admit",
+                        t_s=request.arrival_s,
+                        track="queue",
+                        request_id=request.request_id,
+                        model=request.model,
+                        queue=queue_name,
+                        priority=request.priority,
+                        rows=request.rows,
+                    )
+                    tracer.metrics.counter(
+                        "serve_requests_admitted_total", "admitted requests"
+                    ).inc(queue=queue_name)
                 i += 1
             drain = i >= n
             # (sort key, kind, model): the most urgent launchable work
@@ -597,14 +715,18 @@ class InferenceServer:
         rows ride along as waste — the cost continuous batching
         removes)."""
         entry = self.model(queue.model)
+        tr = self.tracer
+        if tr is not None:
+            tr.advance(start_s)
         # Stack directly at the weights' padded k so execute() consumes
         # the block without another copy.
         batch = batcher.form_batch(
             queue, stack=self.execute_numerics, pad_to_k=entry.handle.k
         )
-        modeled_s, per_device, comm_s, plan = self._modeled_launch(
+        modeled_s, per_device, comm, plan = self._modeled_launch(
             entry, batch.padded_rows
         )
+        comm_s = 0.0 if comm is None else comm.seconds
         step_s = modeled_s + self.host_overhead_s
         max_steps = max(request.steps for request in batch.requests)
         finished_s = start_s + max_steps * step_s
@@ -612,6 +734,19 @@ class InferenceServer:
         outputs: "list[np.ndarray] | None" = None
         if self.execute_numerics:
             outputs = self._execute_batch(entry, batch, plan)
+
+        if tr is not None:
+            batch_span = tr.add_span(
+                "serve.batch", start_s, finished_s,
+                track="engine", parent=None, kind="prefill",
+                steps=max_steps, **batch.trace_attrs(),
+            )
+            for request in batch.requests:
+                self._trace_queue_wait(tr, request, start_s, "prefill")
+            self._trace_launch(
+                tr, batch_span, start_s, max_steps, modeled_s,
+                per_device, comm, batch.model,
+            )
 
         for idx, request in enumerate(batch.requests):
             metrics.add_request(
@@ -655,15 +790,19 @@ class InferenceServer:
         rows, evict finished sequences, and return when the GPU frees
         up."""
         entry = self.model(name)
+        tr = self.tracer
+        if tr is not None:
+            tr.advance(start_s)
         joined, preempted = cb.refill(queue, start_s)
         batch = cb.form_step(
             batcher.allocate_batch_id(),
             stack=self.execute_numerics,
             pad_to_k=entry.handle.k,
         )
-        modeled_gpu_s, per_device, comm_s, plan = self._modeled_launch(
+        modeled_gpu_s, per_device, comm, plan = self._modeled_launch(
             entry, batch.padded_rows
         )
+        comm_s = 0.0 if comm is None else comm.seconds
         finished_s = start_s + modeled_gpu_s + self.host_overhead_s
 
         outputs: "list[np.ndarray] | None" = None
@@ -671,6 +810,36 @@ class InferenceServer:
             outputs = self._execute_batch(entry, batch, plan)
 
         finished_entries = cb.advance()
+        if tr is not None:
+            step_span = tr.add_span(
+                "serve.step", start_s, finished_s,
+                track="engine", parent=None, kind="decode",
+                joined=joined, evicted=len(finished_entries),
+                preempted=preempted, **batch.trace_attrs(),
+            )
+            if joined:
+                tr.event(
+                    "cb.join", t_s=start_s, track="engine",
+                    model=name, count=joined,
+                )
+            if preempted:
+                tr.event(
+                    "cb.preempt", t_s=start_s, track="engine",
+                    model=name, count=preempted,
+                )
+            if finished_entries:
+                tr.event(
+                    "cb.evict", t_s=finished_s, track="engine",
+                    model=name, count=len(finished_entries),
+                )
+            for _, inflight in finished_entries:
+                self._trace_queue_wait(
+                    tr, inflight.request, inflight.joined_s, "decode"
+                )
+            self._trace_launch(
+                tr, step_span, start_s, 1, modeled_gpu_s,
+                per_device, comm, name,
+            )
         for idx, inflight in finished_entries:
             metrics.add_request(
                 RequestRecord(

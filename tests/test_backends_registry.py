@@ -335,22 +335,48 @@ class TestDenseScatterTraces:
         NMPattern(2, 8, vector_length=4),   # 75% sparse: packs under V3
         NMPattern(4, 8, vector_length=4),   # 50%: non-packing
     ], ids=["packing", "non-packing"])
-    def test_analytic_trace_matches_recorded(self, strategy_pattern, rng):
+    def test_trace_accounts_scatter_plus_sgemm(self, strategy_pattern, rng):
+        """dense_scatter fills a trace from its *own* data movement —
+        the scatter pass plus one dense SGEMM — so the FMA count is the
+        full dense ``m*n*k``, not the structural path's ``m*n*w``."""
         op = NMSpMM(strategy_pattern)
         handle = op.prepare(random_dense(64, 48, rng))
         a = random_dense(16, handle.k, rng)
-        recorded, analytic = KernelTrace(), KernelTrace()
+        trace = KernelTrace()
+        op.execute(a, handle, trace=trace, backend="dense_scatter")
+        comp = handle.compressed
+        m, k, n = 16, comp.k, comp.n
+        fp32 = 4
+        assert trace.fma_ops == m * n * k
+        assert trace.ldg_a_bytes == m * k * fp32
+        assert trace.ldg_b_bytes == comp.values_bytes() + k * n * fp32
+        assert trace.ldg_d_bytes == comp.indices_bytes()
+        assert trace.stg_bytes == k * n * fp32 + m * n * fp32
+        # No shared-memory staging on the scatter+SGEMM path.
+        assert trace.sts_bytes == 0 and trace.lds_bytes == 0
+        # Two logical launches: the scatter and the SGEMM.
+        assert trace.blocks == 2
+        assert trace.backend == "dense_scatter"
+
+    def test_trace_differs_from_structural_recording(self, rng):
+        """The backend pays dense FLOPs, so its trace must *not* match
+        the structural executor's sparse recording (it did before this
+        backend accounted its own events)."""
+        pattern = NMPattern(2, 8, vector_length=4)
+        op = NMSpMM(pattern)
+        handle = op.prepare(random_dense(64, 48, rng))
+        a = random_dense(16, handle.k, rng)
+        recorded, own = KernelTrace(), KernelTrace()
         op.execute(a, handle, trace=recorded, backend="structural")
-        op.execute(a, handle, trace=analytic, backend="dense_scatter")
-        assert analytic == recorded
-        # The tag makes dense_scatter's plan-derived trace
-        # distinguishable from the structural recording.
+        op.execute(a, handle, trace=own, backend="dense_scatter")
         assert recorded.backend == "structural"
-        assert analytic.backend == "dense_scatter"
+        assert own.backend == "dense_scatter"
+        assert own.fma_ops > recorded.fma_ops  # dense vs 75%-sparse
 
     def test_capabilities_describe_the_backend(self):
         caps = DenseScatterBackend().capabilities()
-        assert caps["traces"] == "analytic"
+        assert "scatter" in caps["traces"]
+        assert caps["trace_vocabulary"] == ("scatter", "sgemm")
         assert not caps["needs_plan"]
         assert "SGEMM" in caps["description"]
 

@@ -124,6 +124,35 @@ class TestComposedTraces:
         op.execute(a, handle, backend="sharded", trace=trace)
         assert trace.backend == "sharded"
 
+    def test_trace_carries_wire_bytes_comm_event(self, rng):
+        """A sharded trace exposes its communication bill: the mode's
+        collective lands in the trace as a comm event whose wire bytes
+        and seconds match the modeled ring collective exactly."""
+        op, handle, a = _prepared(rng)
+        trace = KernelTrace()
+        op.execute(a, handle, backend="sharded", trace=trace)
+        backend = get_backend("sharded")
+        sharded = shard_handle(handle, backend.group.devices, backend.shard)
+        comm = sharded.collective(backend.group, a.shape[0])
+        assert trace.comm_collectives == [comm.collective]
+        assert trace.comm_payload_bytes == comm.payload_bytes > 0
+        assert trace.comm_wire_bytes == comm.wire_bytes > 0
+        assert trace.comm_seconds == pytest.approx(comm.seconds)
+
+    def test_single_device_traces_carry_no_comm(self, rng):
+        op, handle, a = _prepared(rng)
+        trace = KernelTrace()
+        op.execute(a, handle, backend="fast", trace=trace)
+        assert trace.comm_collectives == []
+        assert trace.comm_wire_bytes == 0 and trace.comm_seconds == 0.0
+
+    def test_vocabulary_declared(self):
+        from repro.backends.registry import backend_trace_vocabulary
+
+        assert backend_trace_vocabulary("sharded") == (
+            "device.compute", "comm.all-gather", "comm.all-reduce",
+        )
+
 
 class TestModeledSteps:
     def test_modeled_step_composes_compute_and_comm(self, rng):

@@ -249,6 +249,29 @@ class TestPriorityQueueing:
             assert len(q) == len(live)
         assert q.total_rows == sum(live.values())
 
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=0, max_value=512),
+        padding=st.integers(min_value=0, max_value=128),
+    )
+    def test_padding_fraction_total_and_in_range(self, rows, padding):
+        """Satellite property test: ``padding_fraction`` is a true
+        fraction for any record shape — including the zero-row record
+        that used to raise ``ZeroDivisionError``."""
+        from repro.serve.metrics import BatchRecord
+
+        record = BatchRecord(
+            batch_id=0, model="m", n_requests=1, rows=rows,
+            padded_rows=rows + padding, started_s=0.0, finished_s=1.0,
+            modeled_gpu_s=1.0,
+        )
+        fraction = record.padding_fraction
+        assert 0.0 <= fraction <= 1.0
+        if record.padded_rows > 0:
+            assert fraction == pytest.approx(padding / record.padded_rows)
+        else:
+            assert fraction == 0.0  # nothing launched pads nothing
+
 
 # ---------------------------------------------------------------------------
 # Continuous batcher

@@ -117,17 +117,32 @@ def build_parser() -> argparse.ArgumentParser:
                           "all-reduce partials (row)")
     pss.add_argument("--link", choices=sorted(LINKS), default="nvlink",
                      help="interconnect of the simulated device group")
+    pss.add_argument("--faults", default=None, metavar="SPEC",
+                     help="inject seeded chaos: ';'-separated clauses "
+                          "like 'launch:p=0.2,start=1,end=3', "
+                          "'devfail:device=1,at=2.5', "
+                          "'slow:device=0,factor=3', or "
+                          "'link:factor=0.1,extra-lat=2e-4,"
+                          "period=0.25,duty=0.5'")
+    pss.add_argument("--resilience", action="store_true",
+                     help="enable the resilience machinery (retries "
+                          "with backoff, request timeouts, circuit "
+                          "breakers + re-sharding onto survivors, "
+                          "admission load shedding)")
     pss.add_argument("--no-numerics", action="store_true",
                      help="modeled timing only; skip the NumPy kernels")
     pss.add_argument("--json", default=None, metavar="PATH",
                      help="also write the summary as JSON")
     pss.add_argument("--trace", default=None, metavar="PATH",
                      help="record the run's span tree and write it here")
-    pss.add_argument("--trace-format", choices=["perfetto", "jsonl"],
+    pss.add_argument("--trace-format",
+                     choices=["perfetto", "jsonl", "jsonl-stream"],
                      default="perfetto",
                      help="trace file format: Chrome trace-event JSON "
-                          "(loadable in Perfetto/chrome://tracing) or a "
-                          "line-per-record JSONL event log")
+                          "(loadable in Perfetto/chrome://tracing), a "
+                          "line-per-record JSONL event log, or the same "
+                          "JSONL written incrementally while the run "
+                          "executes (bounded tracer memory)")
     pss.add_argument("--metrics", default=None, metavar="PATH",
                      help="write the run's metrics in Prometheus text "
                           "exposition format")
@@ -251,10 +266,17 @@ def main(argv: "list[str] | None" = None) -> int:
         from repro.serve.scenarios import LlamaServingScenario, parse_pattern
 
         tracer = None
+        stream_writer = None
         if args.trace or args.metrics:
             from repro.obs import Tracer
 
-            tracer = Tracer()
+            if args.trace and args.trace_format == "jsonl-stream":
+                from repro.obs import StreamingJsonlWriter
+
+                stream_writer = StreamingJsonlWriter(args.trace)
+                tracer = Tracer(sink=stream_writer)
+            else:
+                tracer = Tracer()
         try:
             scenario = LlamaServingScenario(
                 models=tuple(args.models),
@@ -282,9 +304,13 @@ def main(argv: "list[str] | None" = None) -> int:
                 shard=args.shard,
                 link=args.link,
                 tracer=tracer,
+                faults=args.faults,
+                resilience=args.resilience or None,
             )
             report = scenario.run()
         except ReproError as exc:
+            if stream_writer is not None:
+                stream_writer.close()
             raise SystemExit(f"serve-sim: {exc}")
         print(report.render(title=f"serve-sim: {scenario.describe()}"))
         if args.json:
@@ -294,7 +320,9 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.trace:
             from repro.obs import write_chrome_trace, write_jsonl
 
-            if args.trace_format == "jsonl":
+            if stream_writer is not None:
+                stream_writer.close()
+            elif args.trace_format == "jsonl":
                 write_jsonl(tracer, args.trace)
             else:
                 write_chrome_trace(tracer, args.trace)

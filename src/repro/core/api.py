@@ -348,7 +348,11 @@ class NMSpMM:
         track.  Host execution time is wall-clock (the NumPy kernels
         really run), so these spans are *measured*, unlike the
         modeled-clock engine/device spans — deterministic trace tests
-        run with numerics off, where no backend ever executes.
+        run with numerics off, where no backend ever executes.  A
+        tracer constructed with ``modeled_host_spans=True`` opts out:
+        the span is stamped with the plan's *modeled* seconds
+        (``measured=False``), so even a numerics-on chaos run exports
+        a byte-identical trace per seed.
         """
         name = request.backend
         decision = None
@@ -365,17 +369,23 @@ class NMSpMM:
         result = backend.run(request)
         tracer = request.tracer
         if tracer is not None:
+            if getattr(tracer, "modeled_host_spans", False):
+                span_s = request.resolve_plan().simulate().seconds
+                measured = False
+            else:
+                span_s = result.seconds
+                measured = True
             tracer.add_span(
                 f"backend.{name}.run",
                 tracer.now,
-                tracer.now + result.seconds,
+                tracer.now + span_s,
                 track="host",
                 parent=None,
                 backend=name,
                 m=request.m,
                 k=request.k,
                 n=request.handle.n,
-                measured=True,
+                measured=measured,
             )
             tracer.metrics.counter(
                 "backend_runs_total", "backend dispatches by name"

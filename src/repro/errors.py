@@ -20,6 +20,7 @@ __all__ = [
     "ServeError",
     "ShardError",
     "ObsError",
+    "FaultError",
 ]
 
 
@@ -73,3 +74,8 @@ class ShardError(ReproError):
 class ObsError(ReproError):
     """The observability layer was misused (unbalanced span stack,
     span-tree invariant violation, malformed trace file)."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan is malformed (bad ``--faults`` spec,
+    out-of-range probability or window, unknown fault kind)."""

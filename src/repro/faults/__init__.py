@@ -1,0 +1,32 @@
+"""Seeded fault injection for the simulated serving stack.
+
+* :mod:`repro.faults.plan` — declarative fault models
+  (:class:`FaultPlan` and its four fault kinds) plus the
+  ``serve-sim --faults`` spec parser;
+* :mod:`repro.faults.injector` — the per-run seeded
+  :class:`FaultInjector` the serving engine queries at every launch.
+
+The resilience machinery that survives these faults (retries,
+timeouts, circuit breaking, health-aware re-sharding, load shedding)
+lives in :mod:`repro.serve.resilience` and the serving engine itself.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    DeviceFailStop,
+    DeviceSlowdown,
+    FaultPlan,
+    LaunchFaultWindow,
+    LinkDegradation,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FaultPlan",
+    "LaunchFaultWindow",
+    "DeviceFailStop",
+    "DeviceSlowdown",
+    "LinkDegradation",
+    "parse_fault_spec",
+    "FaultInjector",
+]

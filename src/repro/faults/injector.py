@@ -1,0 +1,148 @@
+"""Runtime fault injection for one simulated serving run.
+
+A :class:`FaultInjector` is the *stateful* face of a declarative
+:class:`~repro.faults.plan.FaultPlan`: the serving engine creates one
+per ``simulate()`` call and queries it at every launch.  All
+probabilistic decisions (does this launch fail? which device does a
+storm failure land on?) come from one ``numpy`` generator seeded from
+the plan, so a deterministic query sequence — which the simulated-clock
+engine guarantees — yields the identical fault schedule every run.
+
+The injector also owns the ``fault.inject`` observability surface:
+every injected launch failure, every link-state transition, and every
+slowdown-window activation is emitted as a tracer event plus a
+``serve_faults_total{kind}`` counter, so chaos runs stay assertable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributed.topology import DeviceGroup, Link
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Seeded runtime oracle over one :class:`FaultPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The chaos schedule.
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`; when set, every
+        injection emits a ``fault.inject`` event and bumps the
+        ``serve_faults_total`` counter.
+    """
+
+    def __init__(self, plan: FaultPlan, *, tracer=None):
+        self.plan = plan
+        self.tracer = tracer
+        # Independent child streams so adding a fault kind never
+        # perturbs another kind's draws.
+        self._rng = np.random.default_rng([plan.seed, 0xFA])
+        self.launch_faults_injected = 0
+        self._link_degraded = False
+        self._slowdowns_seen: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, t_s: float, **attrs) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.event(
+            "fault.inject", t_s=t_s, track="faults", kind=kind, **attrs
+        )
+        self.tracer.metrics.counter(
+            "serve_faults_total", "injected faults by kind"
+        ).inc(kind=kind)
+
+    # ------------------------------------------------------------------
+    # Launch failures
+    # ------------------------------------------------------------------
+    def launch_fails(
+        self, model: str, t_s: float, devices: int
+    ) -> "int | None":
+        """Whether a launch of ``model`` at ``t_s`` on a
+        ``devices``-wide group suffers a transient failure.  Returns
+        the device index the failure is attributed to (for the
+        serving layer's per-device circuit breaker), or ``None`` for
+        a healthy launch."""
+        for window in self.plan.launch_faults:
+            if not window.active(model, t_s):
+                continue
+            if float(self._rng.random()) < window.p:
+                if window.device is not None:
+                    device = window.device % max(devices, 1)
+                else:
+                    device = int(self._rng.integers(max(devices, 1)))
+                self.launch_faults_injected += 1
+                self._emit(
+                    "launch", t_s, model=model, device=device, p=window.p
+                )
+                return device
+        return None
+
+    # ------------------------------------------------------------------
+    # Device health
+    # ------------------------------------------------------------------
+    def failed_devices(self, t_s: float) -> frozenset[int]:
+        """Devices the plan has fail-stopped by ``t_s`` (the serving
+        layer merges these with its own circuit-breaker openings)."""
+        return self.plan.failed_devices(t_s)
+
+    def note_failstop(self, device: int, t_s: float) -> None:
+        """Record a plan-scheduled device fail-stop as a
+        ``fault.inject`` event (called by the serving layer exactly
+        once per failure, when the event loop reaches ``at_s``)."""
+        self._emit("devfail", t_s, device=device)
+
+    def device_factor(self, device: int, t_s: float) -> float:
+        """The straggler clock multiplier of ``device`` at ``t_s``
+        (active slowdown factors compose multiplicatively)."""
+        factor = 1.0
+        for index, slow in enumerate(self.plan.slowdowns):
+            if slow.device == device and slow.active(t_s):
+                factor *= slow.factor
+                if index not in self._slowdowns_seen:
+                    self._slowdowns_seen.add(index)
+                    self._emit(
+                        "device-slow", t_s,
+                        device=device, factor=slow.factor,
+                    )
+        return factor
+
+    # ------------------------------------------------------------------
+    # Link state
+    # ------------------------------------------------------------------
+    def degraded_group(
+        self, group: DeviceGroup, t_s: float
+    ) -> DeviceGroup:
+        """The device group as the fault plan sees it at ``t_s``: the
+        original group when the link is healthy, or a group on a
+        bandwidth-cut / latency-spiked link while a degradation window
+        (or flap phase) is active.  Link-state *transitions* emit
+        ``fault.inject`` events (observed at launch times — the link
+        has no state between launches on the simulated clock)."""
+        factor = 1.0
+        extra_latency = 0.0
+        for fault in self.plan.link_faults:
+            if fault.active(t_s):
+                factor *= fault.bandwidth_factor
+                extra_latency += fault.extra_latency_s
+        degraded = factor < 1.0 or extra_latency > 0.0
+        if degraded != self._link_degraded:
+            self._link_degraded = degraded
+            self._emit(
+                "link-degrade" if degraded else "link-recover", t_s,
+                bandwidth_factor=factor, extra_latency_s=extra_latency,
+            )
+        if not degraded:
+            return group
+        link = Link(
+            name=f"{group.link.name}:degraded",
+            bandwidth_gb_s=group.link.bandwidth_gb_s * factor,
+            latency_s=group.link.latency_s + extra_latency,
+        )
+        return DeviceGroup(gpu=group.gpu, devices=group.devices, link=link)

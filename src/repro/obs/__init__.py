@@ -17,6 +17,7 @@ disabled path is a single ``is None`` check per instrumentation site.
 """
 
 from repro.obs.export import (
+    StreamingJsonlWriter,
     chrome_trace,
     jsonl_records,
     load_trace,
@@ -48,6 +49,7 @@ __all__ = [
     "write_chrome_trace",
     "jsonl_records",
     "write_jsonl",
+    "StreamingJsonlWriter",
     "load_trace",
     "validate_chrome_trace",
     "prometheus_text",

@@ -14,6 +14,14 @@ Two file formats for one :class:`~repro.obs.tracer.Tracer`:
   line (a ``meta`` header, then ``span`` / ``event`` records with
   plain seconds), the grep-and-jq-friendly form.
 
+:class:`StreamingJsonlWriter` is the *incremental* variant of the
+JSONL form: attached as ``Tracer(sink=...)`` it appends each finished
+span and each event the moment the tracer records it, so a long chaos
+run streams its trace to disk instead of buffering every record until
+exit.  The produced file is plain JSONL — :func:`load_trace` and
+``trace summarize`` read it unchanged (its ``meta`` header just
+carries no record counts, which aren't known up front).
+
 :func:`load_trace` sniffs either format back into one normalized
 ``{"spans": [...], "events": [...]}`` dict — the summarizer's input —
 and :func:`validate_chrome_trace` is the schema check behind
@@ -32,6 +40,7 @@ __all__ = [
     "write_chrome_trace",
     "jsonl_records",
     "write_jsonl",
+    "StreamingJsonlWriter",
     "load_trace",
     "validate_chrome_trace",
 ]
@@ -147,6 +156,80 @@ def write_jsonl(tracer: Tracer, path: str) -> None:
     with open(path, "w") as fh:
         for record in jsonl_records(tracer):
             fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class StreamingJsonlWriter:
+    """Incremental JSONL trace sink for :class:`Tracer` (``sink=``).
+
+    Records stream in *completion* order: a span is written when it
+    closes, not when it opens, so retroactively-accounted engine spans
+    may appear out of start-time order — JSONL consumers (``trace
+    summarize``, :func:`load_trace`) don't require ordering.  Combine
+    with ``Tracer(retain=False)`` to cap tracer memory on long runs.
+
+    Usable as a context manager; :meth:`close` is idempotent.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w")
+        self.spans_written = 0
+        self.events_written = 0
+        self._write(
+            {
+                "type": "meta",
+                "clock": "simulated",
+                "source": "repro.obs",
+                "streaming": True,
+            }
+        )
+
+    def _write(self, record: dict) -> None:
+        if self._fh is None:
+            raise ObsError(
+                f"streaming trace writer for {self.path!r} is closed"
+            )
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def on_span(self, span) -> None:
+        """Called by the tracer when a span finishes."""
+        self._write(
+            {
+                "type": "span",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "track": span.track,
+                "start_s": span.start_s,
+                "end_s": span.end_s,
+                "attrs": dict(span.attrs),
+            }
+        )
+        self.spans_written += 1
+
+    def on_event(self, ev) -> None:
+        """Called by the tracer when an instant event is recorded."""
+        self._write(
+            {
+                "type": "event",
+                "name": ev.name,
+                "track": ev.track,
+                "t_s": ev.t_s,
+                "attrs": dict(ev.attrs),
+            }
+        )
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "StreamingJsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------

@@ -86,13 +86,47 @@ class Tracer:
     ``tracer.metrics`` is the run's :class:`~repro.obs.metrics.
     MetricsRegistry`; instruments update both through the one handle
     the server threads everywhere (``InferenceServer(tracer=)``).
+
+    Parameters
+    ----------
+    sink:
+        Optional streaming exporter (e.g. :class:`~repro.obs.export.
+        StreamingJsonlWriter`): its ``on_span`` is called the moment a
+        span finishes and ``on_event`` the moment an event is
+        recorded, so long runs can write trace files incrementally.
+    retain:
+        When ``False`` (requires a ``sink``), finished records are
+        *not* kept in ``spans``/``events`` — memory stays bounded on
+        long chaos runs, at the price of in-process queries
+        (``find``/``total_s``/``check_invariants``) seeing only the
+        spans still open.
+    modeled_host_spans:
+        When ``True``, instrumented *host* code (``SparseHandle.run``)
+        stamps its ``backend.<name>.run`` span with the plan's modeled
+        seconds instead of measured wall time, keeping the whole trace
+        deterministic under seeded chaos.
     """
 
-    def __init__(self, *, metrics: "MetricsRegistry | None" = None):
+    def __init__(
+        self,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        sink=None,
+        retain: bool = True,
+        modeled_host_spans: bool = False,
+    ):
+        if not retain and sink is None:
+            raise ObsError(
+                "retain=False would silently drop every record; "
+                "attach a sink"
+            )
         self.now: float = 0.0
         self.spans: list[Span] = []
         self.events: list[TraceEvent] = []
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sink = sink
+        self.retain = retain
+        self.modeled_host_spans = modeled_host_spans
         self._stack: list[Span] = []
         self._next_id = 0
 
@@ -124,8 +158,13 @@ class Tracer:
             attrs=attrs,
         )
         self._next_id += 1
-        self.spans.append(span)
+        if self.retain:
+            self.spans.append(span)
         return span
+
+    def _finished(self, span: Span) -> None:
+        if self.sink is not None:
+            self.sink.on_span(span)
 
     def begin(self, name: str, *, track: str = "engine", **attrs) -> Span:
         """Open a span at the current clock and push it on the stack;
@@ -149,6 +188,7 @@ class Tracer:
             )
         self._stack.pop()
         top.end_s = max(self.now, top.start_s)
+        self._finished(top)
         return top
 
     @contextlib.contextmanager
@@ -189,6 +229,7 @@ class Tracer:
             parent_id = parent.span_id  # type: ignore[union-attr]
         span = self._allocate(name, start_s, track, parent_id, attrs)
         span.end_s = float(end_s)
+        self._finished(span)
         self.advance(end_s)
         return span
 
@@ -209,7 +250,10 @@ class Tracer:
             track=track,
             attrs=attrs,
         )
-        self.events.append(ev)
+        if self.retain:
+            self.events.append(ev)
+        if self.sink is not None:
+            self.sink.on_event(ev)
         return ev
 
     # ------------------------------------------------------------------

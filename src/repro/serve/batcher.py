@@ -459,6 +459,29 @@ class ContinuousBatcher:
             pad_to_k=pad_to_k,
         )
 
+    def cancel_where(
+        self, predicate
+    ) -> list[InFlightEntry]:
+        """Remove every in-flight or preemption-parked sequence whose
+        request matches ``predicate`` (timeout/cancellation path).
+
+        The cancelled entries release their rows immediately — the next
+        :meth:`form_step` simply no longer includes them — and are
+        returned so the engine can account them as evictions in the
+        step/metrics records.
+        """
+        cancelled: list[InFlightEntry] = []
+        for pool_name in ("_inflight", "_preempted"):
+            pool = getattr(self, pool_name)
+            kept = []
+            for entry in pool:
+                if predicate(entry.request):
+                    cancelled.append(entry)
+                else:
+                    kept.append(entry)
+            setattr(self, pool_name, kept)
+        return cancelled
+
     def advance(self) -> list[tuple[int, InFlightEntry]]:
         """Account one executed step: decrement every resident
         sequence and evict the finished ones.  Returns ``(index,

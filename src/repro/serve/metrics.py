@@ -23,8 +23,16 @@ __all__ = [
     "LatencySummary",
     "BatchRecord",
     "StepRecord",
+    "DropRecord",
+    "ReshardRecord",
+    "DROP_OUTCOMES",
     "ServingMetrics",
 ]
+
+#: Terminal outcomes of a request that did *not* complete.  Together
+#: with ``completed`` these partition every submitted request — the
+#: zero-silent-loss invariant :meth:`ServingMetrics.reconcile` checks.
+DROP_OUTCOMES = ("shed", "timed-out", "failed")
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -100,6 +108,9 @@ class BatchRecord:
     modeled_gpu_s: float
     per_device_gpu_s: tuple[float, ...] = ()
     comm_s: float = 0.0
+    #: The launch suffered an injected fault: the GPU time was spent
+    #: but no request finished (its requests retried or failed).
+    failed: bool = False
 
     @property
     def padding_fraction(self) -> float:
@@ -129,6 +140,49 @@ class StepRecord:
     modeled_gpu_s: float
     per_device_gpu_s: tuple[float, ...] = ()
     comm_s: float = 0.0
+    #: The step's launch suffered an injected fault: no sequence
+    #: advanced (the GPU time was still spent).
+    failed: bool = False
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """Terminal record of a request that did not complete.
+
+    ``outcome`` is one of :data:`DROP_OUTCOMES`:
+
+    * ``shed`` — rejected at admission by load shedding;
+    * ``timed-out`` — cancelled after its timeout deadline passed
+      (whether queued, backing off, or resident in the rolling batch);
+    * ``failed`` — gave up after exhausting its launch-failure retries
+      (or, with resilience off, on the first fault).
+    """
+
+    request: "object"  # InferenceRequest (kept untyped to avoid a cycle)
+    outcome: str
+    at_s: float
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.outcome not in DROP_OUTCOMES:
+            raise ServeError(
+                f"drop outcome must be one of {DROP_OUTCOMES}, got "
+                f"{self.outcome!r}"
+            )
+        if self.retries < 0:
+            raise ServeError(f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass(frozen=True)
+class ReshardRecord:
+    """One health-driven re-partition of a model onto the surviving
+    devices after a fail-stop."""
+
+    model: str
+    failed_device: int
+    survivors: int
+    at_s: float
+    recovery_s: float
 
 
 @dataclass
@@ -138,6 +192,21 @@ class ServingMetrics:
     request_records: list[RequestRecord] = field(default_factory=list)
     batch_records: list[BatchRecord] = field(default_factory=list)
     step_records: list[StepRecord] = field(default_factory=list)
+    drop_records: list[DropRecord] = field(default_factory=list)
+    reshard_records: list[ReshardRecord] = field(default_factory=list)
+    #: Requests handed to ``simulate()`` (0 on runs predating the
+    #: resilience layer / built outside the engine).  When set, the
+    #: zero-silent-loss reconciliation is available.
+    submitted: int = 0
+    #: Injected transient launch failures observed by the engine.
+    launch_faults: int = 0
+    #: Per-device circuit-breaker openings.
+    circuit_opens: int = 0
+    #: In-flight continuous-batch sequences evicted by timeout
+    #: cancellation (outside any step record; counted into
+    #: :attr:`continuous_evictions` so the rolling batch's row
+    #: accounting reconciles).
+    cancelled_evictions: int = 0
     _launch_shapes_cache: "tuple[tuple[int, int], list] | None" = field(
         init=False, default=None, repr=False, compare=False
     )
@@ -150,6 +219,12 @@ class ServingMetrics:
 
     def add_step(self, record: StepRecord) -> None:
         self.step_records.append(record)
+
+    def add_drop(self, record: DropRecord) -> None:
+        self.drop_records.append(record)
+
+    def add_reshard(self, record: ReshardRecord) -> None:
+        self.reshard_records.append(record)
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -236,6 +311,92 @@ class ServingMetrics:
         }
 
     # ------------------------------------------------------------------
+    # Resilience: outcomes, goodput, reconciliation
+    # ------------------------------------------------------------------
+    def drops_by_outcome(self) -> dict[str, int]:
+        """``outcome -> count`` over the drop records (all outcomes of
+        :data:`DROP_OUTCOMES` present, zero-filled)."""
+        counts = {outcome: 0 for outcome in DROP_OUTCOMES}
+        for drop in self.drop_records:
+            counts[drop.outcome] += 1
+        return counts
+
+    def outcome_counts(self) -> dict[str, int]:
+        """Every terminal outcome: ``completed`` plus the drop kinds."""
+        counts = {"completed": self.completed}
+        counts.update(self.drops_by_outcome())
+        return counts
+
+    def reconcile(self) -> dict[str, int]:
+        """Assert zero silent request loss and return the outcome counts.
+
+        Every submitted request must terminate exactly once — as
+        completed, shed, timed-out, or failed.  Raises
+        :class:`~repro.errors.ServeError` when the counts do not add up
+        to :attr:`submitted` (only meaningful when the engine recorded
+        the submitted count).
+        """
+        counts = self.outcome_counts()
+        total = sum(counts.values())
+        if self.submitted and total != self.submitted:
+            raise ServeError(
+                f"request accounting does not reconcile: {total} terminal "
+                f"outcomes ({counts}) for {self.submitted} submitted "
+                "requests"
+            )
+        seen = [r.request.request_id for r in self.request_records] + [
+            d.request.request_id for d in self.drop_records
+        ]
+        if len(seen) != len(set(seen)):
+            raise ServeError(
+                "request accounting does not reconcile: a request "
+                "terminated more than once"
+            )
+        return counts
+
+    @property
+    def total_retries(self) -> int:
+        """Launch-failure retries across completed and dropped requests."""
+        return sum(r.retries for r in self.request_records) + sum(
+            d.retries for d in self.drop_records
+        )
+
+    @property
+    def failed_launches(self) -> int:
+        """Launches (batches + steps) that suffered an injected fault."""
+        return sum(1 for b in self.batch_records if b.failed) + sum(
+            1 for s in self.step_records if s.failed
+        )
+
+    @property
+    def slo_submitted(self) -> int:
+        """SLO-carrying requests among everything that terminated —
+        completed *and* dropped.  The goodput denominator: a shed or
+        timed-out request with an SLO is a missed SLO, not a
+        statistical no-show."""
+        return self.slo_requests + sum(
+            1 for d in self.drop_records if d.request.slo_ms is not None
+        )
+
+    @property
+    def slo_goodput(self) -> "float | None":
+        """Fraction of *submitted* SLO-carrying requests that completed
+        inside their deadline.  Unlike :attr:`slo_attainment` (which is
+        conditioned on completion), goodput charges drops against the
+        SLO — the honest resilience metric: a server that sheds or
+        loses every late request would otherwise score 100%."""
+        total = self.slo_submitted
+        if not total:
+            return None
+        return self.slo_attained / total
+
+    @property
+    def recovery_s(self) -> float:
+        """Total modeled re-shard recovery pause (weight redistribution
+        over the group link)."""
+        return sum(r.recovery_s for r in self.reshard_records)
+
+    # ------------------------------------------------------------------
     # Continuous batching
     # ------------------------------------------------------------------
     @property
@@ -248,7 +409,12 @@ class ServingMetrics:
 
     @property
     def continuous_evictions(self) -> int:
-        return sum(s.evicted for s in self.step_records)
+        """Sequences that left the rolling batch: step-completion and
+        failure evictions plus timeout cancellations."""
+        return (
+            sum(s.evicted for s in self.step_records)
+            + self.cancelled_evictions
+        )
 
     @property
     def continuous_preemptions(self) -> int:
@@ -419,6 +585,26 @@ class ServingMetrics:
                 "preemptions": self.continuous_preemptions,
             },
         }
+        if self.submitted:
+            drops = self.drops_by_outcome()
+            out["resilience"] = {
+                "submitted": self.submitted,
+                "outcomes": self.outcome_counts(),
+                "shed": drops["shed"],
+                "timed_out": drops["timed-out"],
+                "failed": drops["failed"],
+                "retries": self.total_retries,
+                "launch_faults": self.launch_faults,
+                "failed_launches": self.failed_launches,
+                "circuit_opens": self.circuit_opens,
+                "reshards": len(self.reshard_records),
+                "recovery_s": round(self.recovery_s, 9),
+                "slo_goodput": (
+                    None
+                    if self.slo_goodput is None
+                    else round(self.slo_goodput, 4)
+                ),
+            }
         if self.is_distributed:
             out["distributed"] = {
                 "devices": len(self.device_busy_s()),
@@ -470,6 +656,43 @@ class ServingMetrics:
                     f"({self.slo_attained}/{self.slo_requests})",
                 ]
             )
+        if self.submitted:
+            drops = self.drops_by_outcome()
+            table.add_row(
+                [
+                    "request outcomes",
+                    f"{self.completed} completed, {drops['shed']} shed, "
+                    f"{drops['timed-out']} timed-out, "
+                    f"{drops['failed']} failed "
+                    f"(of {self.submitted} submitted)",
+                ]
+            )
+            if self.launch_faults or self.total_retries:
+                table.add_row(
+                    [
+                        "faults / retries",
+                        f"{self.launch_faults} launch faults, "
+                        f"{self.total_retries} retries, "
+                        f"{self.circuit_opens} circuit opens",
+                    ]
+                )
+            if self.reshard_records:
+                table.add_row(
+                    [
+                        "reshards",
+                        f"{len(self.reshard_records)} "
+                        f"(recovery {self.recovery_s * 1e3:.3f} ms)",
+                    ]
+                )
+            if self.slo_goodput is not None:
+                table.add_row(
+                    [
+                        "SLO goodput",
+                        f"{self.slo_goodput * 100:.1f}% "
+                        f"({self.slo_attained}/{self.slo_submitted} "
+                        "submitted)",
+                    ]
+                )
         if self.step_records:
             table.add_row(
                 [

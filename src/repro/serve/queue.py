@@ -19,6 +19,9 @@ cannot be stacked — see ``DynamicBatcher.form_batch``).
 
 from __future__ import annotations
 
+from bisect import insort
+from typing import Callable, Iterator
+
 from repro.errors import ServeError
 from repro.serve.request import InferenceRequest
 from repro.serve.scheduling import SchedulingPolicy, request_order_key
@@ -105,6 +108,66 @@ class RequestQueue:
         self._total_rows += request.rows
         self._count += 1
         self._k = request.k
+
+    def requeue(self, request: InferenceRequest) -> None:
+        """Re-admit a retried request.
+
+        A retry carries its *original* arrival time, which is usually
+        older than the tier's tail — so the time-ordered admission
+        guard of :meth:`push` would reject it.  ``requeue`` instead
+        bisect-inserts the request by arrival time within its tier,
+        preserving the per-tier time ordering that ``push`` enforces
+        for fresh arrivals.  The ``k``-homogeneity guard still applies.
+        """
+        if request.model != self.model:
+            raise ServeError(
+                f"request for model {request.model!r} requeued onto the "
+                f"{self.model!r} queue"
+            )
+        if self._k is not None and request.k != self._k:
+            raise ServeError(
+                f"retried request {request.request_id} has k={request.k} "
+                f"but the {self.model!r} queue holds k={self._k} requests"
+            )
+        tier = self._tier_of(request)
+        items = self._tiers.get(tier)
+        if items is None:
+            items = self._tiers[tier] = []
+        insort(items, request, key=lambda r: (r.arrival_s, r.request_id))
+        self._total_rows += request.rows
+        self._count += 1
+        self._k = request.k
+
+    def remove_where(
+        self, predicate: Callable[[InferenceRequest], bool]
+    ) -> list[InferenceRequest]:
+        """Remove and return every queued request matching
+        ``predicate``, unwinding the row/count accounting (used for
+        timeout cancellation)."""
+        removed: list[InferenceRequest] = []
+        for tier in list(self._tiers):
+            items = self._tiers[tier]
+            kept = []
+            for request in items:
+                if predicate(request):
+                    removed.append(request)
+                else:
+                    kept.append(request)
+            if kept:
+                self._tiers[tier] = kept
+            else:
+                del self._tiers[tier]
+        for request in removed:
+            self._total_rows -= request.rows
+            self._count -= 1
+        if not self._count:
+            self._k = None
+        return removed
+
+    def iter_requests(self) -> Iterator[InferenceRequest]:
+        """All queued requests (tier-major, time order within a tier)."""
+        for tier in sorted(self._tiers, reverse=True):
+            yield from self._tiers[tier]
 
     def _select(self) -> tuple[int, int]:
         """The (tier, index) the scheduling policy serves next."""

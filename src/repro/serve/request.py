@@ -149,8 +149,13 @@ class RequestRecord:
     started_s: float
     finished_s: float
     output: "np.ndarray | None" = None
+    #: Launch-failure retries this request survived before completing
+    #: (0 on a healthy run; populated by the resilience machinery).
+    retries: int = 0
 
     def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ServeError(f"retries must be >= 0, got {self.retries}")
         if self.finished_s < self.started_s:
             raise ServeError(
                 f"finished_s={self.finished_s} precedes started_s="

@@ -145,6 +145,15 @@ class LlamaServingScenario:
     #: GPU time microseconds, so scheduling studies that need real
     #: contention raise this instead of serving impractical QPS.
     host_overhead_s: float = DEFAULT_HOST_OVERHEAD_S
+    #: Chaos schedule: a :class:`~repro.faults.FaultPlan`, a fault-spec
+    #: string (``"devfail:device=1,at=0.5"``...), or ``None`` for a
+    #: healthy run.
+    faults: "object | str | None" = None
+    #: Resilience machinery: a
+    #: :class:`~repro.serve.resilience.ResiliencePolicy`, ``True`` for
+    #: the defaults, or ``None``/``False`` to serve without retries,
+    #: timeouts, re-sharding, or shedding.
+    resilience: "object | bool | None" = None
 
     def __post_init__(self) -> None:
         if not self.models:
@@ -172,6 +181,8 @@ class LlamaServingScenario:
             shard=self.shard,
             link=self.link,
             tracer=self.tracer,
+            faults=self.faults,
+            resilience=self.resilience,
         )
         sources: list[TrafficSource] = []
         rng = np.random.default_rng(self.seed)
@@ -260,6 +271,15 @@ class LlamaServingScenario:
                 f" devices={self.devices} shard={self.shard} "
                 f"link={self.link}"
             )
+        if self.faults is not None:
+            spec = (
+                self.faults
+                if isinstance(self.faults, str)
+                else self.faults.describe()
+            )
+            text += f" faults=[{spec}]"
+        if self.resilience:
+            text += " resilience"
         return text
 
     # ------------------------------------------------------------------

@@ -27,13 +27,29 @@ with a discrete-event loop:
   the whole batch until its longest member finishes, while the
   continuous path re-forms the rolling batch between steps.
 
+With a :class:`~repro.faults.FaultPlan` attached, the run is subjected
+to seeded chaos — transient launch failures, device fail-stop and
+slow-down, link degradation — and with a
+:class:`~repro.serve.resilience.ResiliencePolicy` the engine survives
+it: failed launches retry with exponential backoff on the simulated
+clock, requests past their timeout are cancelled wherever they live,
+a per-device circuit breaker benches a device that fails repeatedly
+(half-open: it rejoins after a cooldown, or fail-stops for good when
+the cooldown is disabled), dead devices trigger re-sharding of the
+affected models onto the survivors, and admission control sheds
+low-priority load under
+backlog.  Every submitted request terminates exactly once — completed,
+shed, timed-out, or failed — and the run's
+:meth:`~repro.serve.metrics.ServingMetrics.reconcile` proves it.
+
 Everything advances on the simulated clock — two runs of the same trace
 produce identical reports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -43,13 +59,21 @@ from repro.distributed.shard import SHARD_MODES, ShardedHandle, shard_handle
 from repro.distributed.sharded import sharded_execute
 from repro.distributed.topology import CommEvent, DeviceGroup, Link, get_link
 from repro.errors import ServeError
+from repro.faults import FaultInjector, FaultPlan, parse_fault_spec
 from repro.obs.tracer import Tracer
 from repro.gpu.spec import GPUSpec
 from repro.serve.batcher import BatchingPolicy, ContinuousBatcher, DynamicBatcher
 from repro.serve.cache import PlanCache
-from repro.serve.metrics import BatchRecord, ServingMetrics, StepRecord
+from repro.serve.metrics import (
+    BatchRecord,
+    DropRecord,
+    ReshardRecord,
+    ServingMetrics,
+    StepRecord,
+)
 from repro.serve.queue import RequestQueue
 from repro.serve.request import InferenceRequest, RequestRecord
+from repro.serve.resilience import ResiliencePolicy
 from repro.serve.scheduling import SchedulingPolicy, request_order_key
 from repro.sparsity.config import NMPattern
 
@@ -105,6 +129,46 @@ class ModelEntry:
 
 
 @dataclass
+class _RunState:
+    """Chaos/resilience state of one ``simulate()`` call.
+
+    Everything fault-related is run-local: the injector is rebuilt (and
+    its seeded stream rewound) per run, re-sharded model entries live in
+    an overlay over the immutable registry, and breaker/retry/timeout
+    bookkeeping starts empty — so back-to-back runs of the same trace
+    stay byte-identical.
+    """
+
+    metrics: ServingMetrics
+    injector: "FaultInjector | None" = None
+    resilience: "ResiliencePolicy | None" = None
+    rng: "np.random.Generator | None" = None  # backoff jitter stream
+    #: model -> re-sharded ModelEntry (shadowing the registry).
+    overlay: dict = field(default_factory=dict)
+    #: model -> tuple of *physical* device ids its shards run on.
+    device_map: dict = field(default_factory=dict)
+    #: fail-stopped physical devices (plan-scheduled, or breaker-opened
+    #: permanently under ``breaker_cooldown_s=None``).
+    dead: set = field(default_factory=set)
+    #: physical device -> circuit-close (revival) time of a half-open
+    #: breaker; models touching the device hold launches until then.
+    breaker_down: dict = field(default_factory=dict)
+    #: physical device -> consecutive attributed launch failures.
+    breaker_streak: dict = field(default_factory=dict)
+    #: request_id -> failed launch attempts so far.
+    attempts: dict = field(default_factory=dict)
+    #: (ready_s, request_id, request) backoff heap of pending retries.
+    retry_heap: list = field(default_factory=list)
+    #: request_id -> absolute cancellation deadline.
+    deadlines: dict = field(default_factory=dict)
+    #: model -> consecutive failed continuous steps.
+    cb_streak: dict = field(default_factory=dict)
+    #: model -> no continuous step before this time (decode backoff).
+    holdoff: dict = field(default_factory=dict)
+    resharded: bool = False
+
+
+@dataclass
 class ServingReport:
     """Everything one simulated run produced."""
 
@@ -119,6 +183,8 @@ class ServingReport:
     devices: int = 1
     shard: "str | None" = None
     link: "str | None" = None
+    faults: "str | None" = None
+    resilience: "str | None" = None
 
     @property
     def request_records(self) -> list[RequestRecord]:
@@ -155,6 +221,11 @@ class ServingReport:
                 "shard": self.shard,
                 "link": self.link,
             }
+        if self.faults is not None or self.resilience is not None:
+            out["chaos"] = {
+                "faults": self.faults,
+                "resilience": self.resilience,
+            }
         if extra:
             out.update(extra)
         return out
@@ -178,6 +249,10 @@ class ServingReport:
                 f"\ntopology: {self.devices} devices, "
                 f"{self.shard}-parallel over {self.link}"
             )
+        if self.faults is not None:
+            text += f"\nfaults: {self.faults}"
+        if self.resilience is not None:
+            text += f"\nresilience: {self.resilience}"
         text += f"\nmodels: {', '.join(self.model_names)}"
         return text
 
@@ -246,6 +321,18 @@ class InferenceServer:
         (the default) keeps serving observation-free; the only cost of
         the disabled path is a ``None`` check per instrumentation
         site.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` (or a ``--faults``
+        spec string) applied to every simulated run: transient launch
+        failures, device fail-stop/slow-down, link degradation.  The
+        plan's seed drives one run-local random stream, so the same
+        plan and trace produce the identical fault schedule.
+    resilience:
+        Optional :class:`~repro.serve.resilience.ResiliencePolicy`
+        (``True`` for the defaults): retries with backoff, timeouts,
+        circuit breaking, re-sharding onto survivors, load shedding.
+        ``None`` (the default) serves without a safety net — any
+        injected launch failure permanently fails its requests.
     """
 
     def __init__(
@@ -262,6 +349,8 @@ class InferenceServer:
         shard: str = "column",
         link: "str | Link" = "nvlink",
         tracer: "Tracer | None" = None,
+        faults: "FaultPlan | str | None" = None,
+        resilience: "ResiliencePolicy | bool | None" = None,
     ):
         if host_overhead_s < 0:
             raise ServeError(
@@ -296,6 +385,14 @@ class InferenceServer:
         self.shard = shard
         self.link = get_link(link)
         self.tracer = tracer
+        if isinstance(faults, str):
+            faults = parse_fault_spec(faults)
+        self.faults = faults
+        if resilience is True:
+            resilience = ResiliencePolicy()
+        elif resilience is False:
+            resilience = None
+        self.resilience = resilience
         self._models: dict[str, ModelEntry] = {}
         self._inbox: list[InferenceRequest] = []
 
@@ -353,6 +450,25 @@ class InferenceServer:
             raise ServeError(
                 f"unknown model {name!r}; registered: {self.model_names}"
             ) from None
+
+    def _entry(self, name: str, state: "_RunState | None") -> ModelEntry:
+        """The model entry a launch executes with: the run-local
+        re-sharded overlay entry when a fail-stop re-partitioned the
+        model, else the registered one."""
+        if state is not None and name in state.overlay:
+            return state.overlay[name]
+        return self.model(name)
+
+    def _phys_devices(
+        self, entry: ModelEntry, state: "_RunState | None"
+    ) -> tuple[int, ...]:
+        """The physical device ids ``entry`` occupies, in shard-slot
+        order.  Identity until a re-shard maps the survivors."""
+        if state is not None and entry.name in state.device_map:
+            return state.device_map[entry.name]
+        if entry.distributed:
+            return tuple(range(self.devices))
+        return (0,)
 
     # ------------------------------------------------------------------
     # Request intake
@@ -446,7 +562,11 @@ class InferenceServer:
         return plan_entry
 
     def _modeled_launch(
-        self, entry: ModelEntry, padded_rows: int
+        self,
+        entry: ModelEntry,
+        padded_rows: int,
+        state: "_RunState | None" = None,
+        t_s: float = 0.0,
     ) -> "tuple[float, tuple[float, ...], CommEvent | None, object]":
         """Model one ``padded_rows``-row launch of ``entry``:
         ``(modeled_gpu_s, per_device_gpu_s, comm_event, plan)``.
@@ -458,21 +578,40 @@ class InferenceServer:
         slowest device plus the mode's ring collective, returned as
         the full :class:`~repro.distributed.topology.CommEvent` so the
         trace can attribute wire bytes, not just seconds.
+
+        With a fault injector active, each device's modeled seconds is
+        multiplied by its straggler clock factor at ``t_s`` and the
+        collective is priced against the (possibly degraded) link — so
+        a slowdown on one device gates the whole tensor-parallel
+        launch, exactly as the topology model prescribes.
         """
+        injector = None if state is None else state.injector
+        phys = self._phys_devices(entry, state)
         if not entry.distributed:
+            device = phys[0]
             plan_entry = self._cached_plan(
-                self.plan_cache, 0, entry, entry.handle, padded_rows
+                self.plan_caches[device], device, entry, entry.handle,
+                padded_rows,
             )
-            return plan_entry.modeled_seconds, (), None, plan_entry.plan
-        per_device = tuple(
-            self._cached_plan(
-                self.plan_caches[shard.device], shard.device, entry,
+            seconds = plan_entry.modeled_seconds
+            if injector is not None:
+                seconds *= injector.device_factor(device, t_s)
+            return seconds, (), None, plan_entry.plan
+        per_device = []
+        for shard in entry.sharded.shards:
+            device = phys[shard.device]
+            seconds = self._cached_plan(
+                self.plan_caches[device], device, entry,
                 shard.handle, padded_rows,
             ).modeled_seconds
-            for shard in entry.sharded.shards
-        )
-        comm = entry.sharded.collective(entry.group, padded_rows)
-        return max(per_device) + comm.seconds, per_device, comm, None
+            if injector is not None:
+                seconds *= injector.device_factor(device, t_s)
+            per_device.append(seconds)
+        group = entry.group
+        if injector is not None:
+            group = injector.degraded_group(group, t_s)
+        comm = entry.sharded.collective(group, padded_rows)
+        return max(per_device) + comm.seconds, tuple(per_device), comm, None
 
     def _trace_launch(
         self,
@@ -484,6 +623,8 @@ class InferenceServer:
         per_device: "tuple[float, ...]",
         comm: "CommEvent | None",
         model: str,
+        device_ids: "tuple[int, ...] | None" = None,
+        failed: bool = False,
     ):
         """Record one launch's GPU-side spans: ``gpu.launch`` covering
         the full modeled busy time (so summed launch durations equal
@@ -493,11 +634,13 @@ class InferenceServer:
         the launch's tail (compute gates the ring, so the collective
         finishes the launch), carrying the modeled wire bytes."""
         launch_end = start_s + steps * modeled_s
+        extra = {"failed": True} if failed else {}
         launch = tr.add_span(
             "gpu.launch", start_s, launch_end,
-            track="gpu", parent=parent, model=model, steps=steps,
+            track="gpu", parent=parent, model=model, steps=steps, **extra,
         )
-        for device, seconds in enumerate(per_device):
+        for slot, seconds in enumerate(per_device):
+            device = device_ids[slot] if device_ids else slot
             tr.add_span(
                 "device.compute", start_s, start_s + steps * seconds,
                 track=f"device{device}", parent=launch,
@@ -564,6 +707,388 @@ class InferenceServer:
         return total.as_dict()
 
     # ------------------------------------------------------------------
+    # Chaos & resilience
+    # ------------------------------------------------------------------
+    def _new_run_state(self, metrics: ServingMetrics) -> _RunState:
+        plan = self.faults
+        injector = None
+        if plan is not None and not plan.empty:
+            injector = FaultInjector(plan, tracer=self.tracer)
+        # Backoff jitter draws come from their own child stream so the
+        # injector's fault schedule never shifts when retries happen.
+        seed = plan.seed if plan is not None else 0
+        rng = np.random.default_rng([seed, 0xB0])
+        return _RunState(
+            metrics=metrics,
+            injector=injector,
+            resilience=self.resilience,
+            rng=rng,
+        )
+
+    def _launch_fault(
+        self, entry: ModelEntry, t_s: float, state: _RunState
+    ) -> "int | None":
+        """The physical device a launch of ``entry`` at ``t_s`` fails
+        on — a dead device it still touches (pre-reshard, or resilience
+        off), or a transient injected failure — or ``None``."""
+        if state.injector is None:
+            return None
+        phys = self._phys_devices(entry, state)
+        for device in phys:
+            if device in state.dead:
+                return device
+            if state.breaker_down.get(device, 0.0) > t_s:
+                return device
+        slot = state.injector.launch_fails(entry.name, t_s, len(phys))
+        if slot is None:
+            return None
+        return phys[slot]
+
+    def _note_launch_ok(self, entry: ModelEntry, state: _RunState) -> None:
+        if state.injector is None:
+            return
+        for device in self._phys_devices(entry, state):
+            state.breaker_streak[device] = 0
+
+    def _note_launch_failed(
+        self, fail_device: int, t_s: float, state: _RunState
+    ) -> float:
+        """Advance the circuit breaker after a failure attributed to
+        ``fail_device``.  With a cooldown the opened circuit is
+        half-open (the device sits out ``breaker_cooldown_s`` and then
+        rejoins); without one the device fail-stops and (when enabled)
+        re-shards.  Returns the time the GPU is blocked until by any
+        recovery, else 0."""
+        res = state.resilience
+        if (
+            res is None
+            or res.breaker_threshold is None
+            or fail_device in state.dead
+            or state.breaker_down.get(fail_device, 0.0) > t_s
+        ):
+            return 0.0
+        streak = state.breaker_streak.get(fail_device, 0) + 1
+        state.breaker_streak[fail_device] = streak
+        if streak < res.breaker_threshold:
+            return 0.0
+        state.breaker_streak[fail_device] = 0
+        state.metrics.circuit_opens += 1
+        tr = self.tracer
+        if tr is not None:
+            tr.event(
+                "device.circuit_open", t_s=t_s, track="faults",
+                device=fail_device, streak=streak,
+                permanent=res.breaker_cooldown_s is None,
+            )
+            tr.metrics.counter(
+                "serve_circuit_opens_total", "circuit-breaker openings"
+            ).inc()
+        if res.breaker_cooldown_s is not None:
+            state.breaker_down[fail_device] = t_s + res.breaker_cooldown_s
+            return 0.0
+        state.dead.add(fail_device)
+        return self._handle_device_death(fail_device, t_s, state)
+
+    def _revive_devices(self, t_s: float, state: _RunState) -> None:
+        """Close every half-open circuit whose cooldown expired."""
+        for device in sorted(state.breaker_down):
+            until = state.breaker_down[device]
+            if until <= t_s:
+                del state.breaker_down[device]
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "device.circuit_close", t_s=until, track="faults",
+                        device=device,
+                    )
+
+    def _down_until(
+        self, entry: ModelEntry, t_s: float, state: _RunState
+    ) -> float:
+        """When every half-open device ``entry`` touches has revived
+        (``t_s`` when it is launchable now)."""
+        until = t_s
+        for device in self._phys_devices(entry, state):
+            until = max(until, state.breaker_down.get(device, 0.0))
+        return until
+
+    def _process_device_failures(
+        self, t_s: float, state: _RunState
+    ) -> float:
+        """Apply plan-scheduled fail-stops due at or before ``t_s``.
+        Returns the time the GPU is blocked until by re-shard recovery,
+        else 0."""
+        if state.injector is None:
+            return 0.0
+        blocked = 0.0
+        for failure in state.injector.plan.device_failures:
+            if failure.at_s <= t_s and failure.device not in state.dead:
+                state.dead.add(failure.device)
+                state.injector.note_failstop(failure.device, failure.at_s)
+                blocked = max(
+                    blocked,
+                    self._handle_device_death(
+                        failure.device, failure.at_s, state
+                    ),
+                )
+        return blocked
+
+    def _handle_device_death(
+        self, device: int, t_s: float, state: _RunState
+    ) -> float:
+        """Gracefully degrade after ``device`` fail-stops: re-shard
+        every model it carried onto the surviving devices and keep
+        serving.  The recovery pause (redistributing each model's
+        compressed weights over the group link) blocks the GPU; the
+        returned time is when it frees up (0 when nothing re-shards —
+        resilience off, re-sharding disabled, or no survivors, in
+        which case launches touching the device keep failing)."""
+        res = state.resilience
+        survivors = [
+            d for d in range(self.devices) if d not in state.dead
+        ]
+        if (
+            res is None
+            or not res.reshard
+            or not survivors
+            or self.devices == 1
+        ):
+            return 0.0
+        tr = self.tracer
+        blocked = t_s
+        for name in sorted(self._models):
+            entry = self._entry(name, state)
+            if not entry.distributed:
+                continue
+            if device not in self._phys_devices(entry, state):
+                continue
+            handle = entry.handle
+            if len(survivors) >= 2:
+                sharded = shard_handle(handle, len(survivors), self.shard)
+                group = DeviceGroup(
+                    gpu=entry.op.gpu, devices=len(survivors), link=self.link
+                )
+                new_entry = ModelEntry(
+                    name=name, op=entry.op, handle=handle,
+                    sharded=sharded, group=group,
+                )
+            else:
+                new_entry = ModelEntry(name=name, op=entry.op, handle=handle)
+            state.overlay[name] = new_entry
+            state.device_map[name] = tuple(survivors)
+            payload = (
+                handle.compressed.values.nbytes
+                + handle.compressed.indices.nbytes
+            )
+            recovery_s = (
+                payload / len(survivors) / self.link.bytes_per_s
+                + self.link.latency_s
+            )
+            state.metrics.add_reshard(
+                ReshardRecord(
+                    model=name,
+                    failed_device=device,
+                    survivors=len(survivors),
+                    at_s=blocked,
+                    recovery_s=recovery_s,
+                )
+            )
+            if tr is not None:
+                tr.add_span(
+                    "reshard", blocked, blocked + recovery_s,
+                    track="engine", parent=None, model=name,
+                    failed_device=device, survivors=len(survivors),
+                )
+                tr.event(
+                    "reshard", t_s=blocked, track="engine", model=name,
+                    failed_device=device, survivors=len(survivors),
+                )
+                tr.metrics.counter(
+                    "serve_reshards_total", "health-driven re-shards"
+                ).inc(model=name)
+            blocked += recovery_s
+        # The plan caches key by (model, rows, gpu, version) — not by
+        # handle — so plans built for the old shard geometry are stale.
+        for cache in self.plan_caches:
+            cache.clear()
+        state.resharded = True
+        return blocked
+
+    def _drop(
+        self,
+        request: InferenceRequest,
+        outcome: str,
+        at_s: float,
+        state: _RunState,
+        **attrs,
+    ) -> None:
+        """Terminate ``request`` without completion: record the drop
+        (reconciliation counts it) and emit the matching event."""
+        state.metrics.add_drop(
+            DropRecord(
+                request=request,
+                outcome=outcome,
+                at_s=at_s,
+                retries=state.attempts.get(request.request_id, 0),
+            )
+        )
+        tr = self.tracer
+        if tr is None:
+            return
+        event_name = {
+            "shed": "admission.shed",
+            "timed-out": "request.timeout",
+            "failed": "request.failed",
+        }[outcome]
+        tr.event(
+            event_name, t_s=at_s, track="queue",
+            request_id=request.request_id, model=request.model,
+            priority=request.priority, **attrs,
+        )
+        tr.metrics.counter(
+            "serve_drops_total", "dropped requests by outcome"
+        ).inc(outcome=outcome)
+
+    def _retry_or_fail(
+        self, request: InferenceRequest, t_s: float, state: _RunState
+    ) -> None:
+        """After a failed launch: schedule a backoff retry for
+        ``request`` or, with the retry budget exhausted (or resilience
+        off), fail it terminally."""
+        attempts = state.attempts.get(request.request_id, 0) + 1
+        state.attempts[request.request_id] = attempts
+        res = state.resilience
+        if res is not None and attempts <= res.max_retries:
+            u = float(state.rng.random())
+            ready_s = t_s + res.backoff_s(attempts, u)
+            heapq.heappush(
+                state.retry_heap, (ready_s, request.request_id, request)
+            )
+        else:
+            state.attempts[request.request_id] = attempts - 1
+            self._drop(request, "failed", t_s, state, attempts=attempts)
+
+    def _admit_retries(
+        self,
+        t_s: float,
+        prefill_queues: dict,
+        decode_queues: dict,
+        run_policy: BatchingPolicy,
+        state: _RunState,
+    ) -> None:
+        """Re-queue every retry whose backoff expired by ``t_s``."""
+        tr = self.tracer
+        while state.retry_heap and state.retry_heap[0][0] <= t_s:
+            _, request_id, request = heapq.heappop(state.retry_heap)
+            decode = self._is_decode(request, run_policy)
+            queues = decode_queues if decode else prefill_queues
+            queues[request.model].requeue(request)
+            if tr is not None:
+                tr.event(
+                    "retry.attempt", t_s=t_s, track="queue",
+                    request_id=request_id, model=request.model,
+                    attempt=state.attempts.get(request_id, 0),
+                )
+                tr.metrics.counter(
+                    "serve_retries_total", "launch-failure retries"
+                ).inc(model=request.model)
+
+    def _cancel_timed_out(
+        self,
+        t_s: float,
+        prefill_queues: dict,
+        decode_queues: dict,
+        continuous: dict,
+        state: _RunState,
+    ) -> None:
+        """Cancel every request whose deadline passed by ``t_s``,
+        wherever it lives: queued, backing off in the retry heap, or
+        resident in (or preempted out of) the rolling decode batch.
+        Queue and continuous-batch row accounting unwinds through the
+        dedicated removal paths."""
+        if state.resilience is None or not state.deadlines:
+            return
+
+        def expired(request: InferenceRequest) -> bool:
+            deadline = state.deadlines.get(request.request_id)
+            return deadline is not None and deadline <= t_s
+
+        for queues, where in (
+            (prefill_queues, "prefill"),
+            (decode_queues, "decode"),
+        ):
+            for queue in queues.values():
+                for request in queue.remove_where(expired):
+                    self._drop(
+                        request, "timed-out",
+                        state.deadlines[request.request_id],
+                        state, where=where,
+                    )
+        if state.retry_heap and any(
+            expired(item[2]) for item in state.retry_heap
+        ):
+            kept = []
+            for item in state.retry_heap:
+                if expired(item[2]):
+                    self._drop(
+                        item[2], "timed-out",
+                        state.deadlines[item[2].request_id],
+                        state, where="retry",
+                    )
+                else:
+                    kept.append(item)
+            state.retry_heap = kept
+            heapq.heapify(state.retry_heap)
+        tr = self.tracer
+        for name, cb in continuous.items():
+            cancelled = cb.cancel_where(expired)
+            state.metrics.cancelled_evictions += len(cancelled)
+            for inflight in cancelled:
+                self._drop(
+                    inflight.request, "timed-out",
+                    state.deadlines[inflight.request.request_id],
+                    state, where="inflight",
+                )
+            if cancelled and tr is not None:
+                tr.event(
+                    "cb.evict", t_s=t_s, track="engine", model=name,
+                    count=len(cancelled), reason="timeout",
+                )
+
+    def _next_timeout_deadline(
+        self,
+        t_s: float,
+        prefill_queues: dict,
+        decode_queues: dict,
+        continuous: dict,
+        state: _RunState,
+    ) -> "float | None":
+        """The earliest pending cancellation deadline strictly after
+        ``t_s`` among live (queued / retrying / resident) requests, so
+        an idle engine wakes up to cancel on time."""
+        if state.resilience is None or not state.deadlines:
+            return None
+        best: "float | None" = None
+
+        def consider(request: InferenceRequest) -> None:
+            nonlocal best
+            deadline = state.deadlines.get(request.request_id)
+            if deadline is not None and deadline > t_s:
+                best = deadline if best is None else min(best, deadline)
+
+        for queues in (prefill_queues, decode_queues):
+            for queue in queues.values():
+                for request in queue.iter_requests():
+                    consider(request)
+        for item in state.retry_heap:
+            consider(item[2])
+        for cb in continuous.values():
+            for entry in cb.resident:
+                consider(entry.request)
+            for entry in cb.preempted:
+                consider(entry.request)
+        return best
+
+    # ------------------------------------------------------------------
     # Simulation
     # ------------------------------------------------------------------
     def simulate(
@@ -598,7 +1123,13 @@ class InferenceServer:
                 name: ContinuousBatcher(run_policy, self.scheduling)
                 for name in self._models
             }
-        metrics = ServingMetrics()
+        metrics = ServingMetrics(submitted=len(pending))
+        state = self._new_run_state(metrics)
+        if state.resilience is not None:
+            for request in pending:
+                deadline = state.resilience.deadline_s(request)
+                if deadline is not None:
+                    state.deadlines[request.request_id] = deadline
         tracer = self.tracer
         i, n = 0, len(pending)
         clock_s = 0.0
@@ -609,13 +1140,35 @@ class InferenceServer:
             # then (requests landing during a busy period join the next
             # batch, which is how batches grow under load).
             t = max(clock_s, gpu_free_s)
+            # Chaos bookkeeping first: plan-scheduled fail-stops (whose
+            # re-shard recovery blocks the GPU), then cancellations,
+            # then expired retry backoffs rejoining their queues.
+            blocked = self._process_device_failures(t, state)
+            if blocked > gpu_free_s:
+                gpu_free_s = blocked
+                t = max(clock_s, gpu_free_s)
+            self._revive_devices(t, state)
+            self._cancel_timed_out(
+                t, prefill_queues, decode_queues, continuous, state
+            )
+            self._admit_retries(
+                t, prefill_queues, decode_queues, run_policy, state
+            )
             while i < n and pending[i].arrival_s <= t:
                 request = pending[i]
+                i += 1
                 decode = self._is_decode(request, run_policy)
-                if decode:
-                    decode_queues[request.model].push(request)
-                else:
-                    prefill_queues[request.model].push(request)
+                queues = decode_queues if decode else prefill_queues
+                target = queues[request.model]
+                if state.resilience is not None and state.resilience.shed(
+                    request, target.total_rows
+                ):
+                    self._drop(
+                        request, "shed", request.arrival_s, state,
+                        queued_rows=target.total_rows,
+                    )
+                    continue
+                target.push(request)
                 if tracer is not None:
                     queue_name = "decode" if decode else "prefill"
                     tracer.event(
@@ -631,21 +1184,33 @@ class InferenceServer:
                     tracer.metrics.counter(
                         "serve_requests_admitted_total", "admitted requests"
                     ).inc(queue=queue_name)
-                i += 1
             drain = i >= n
             # (sort key, kind, model): the most urgent launchable work
             # wins; model name and kind break exact ties.
             candidates: list[tuple[tuple, str, str]] = []
             for name in self._models:
+                # A model touching a half-open (breaker-cooldown)
+                # device holds its launches until the circuit closes.
+                launchable = (
+                    not state.breaker_down
+                    or self._down_until(self._entry(name, state), t, state)
+                    <= t
+                )
                 queue = prefill_queues[name]
-                if batcher.should_flush(queue, t, drain=drain):
+                if launchable and batcher.should_flush(
+                    queue, t, drain=drain
+                ):
                     candidates.append(
                         (self._queue_key(queue) + (name, 0), "prefill", name)
                     )
                 if self.continuous_batching:
                     dq = decode_queues[name]
                     cb = continuous[name]
-                    if dq or cb.has_work:
+                    if (
+                        launchable
+                        and (dq or cb.has_work)
+                        and t >= state.holdoff.get(name, 0.0)
+                    ):
                         candidates.append(
                             (self._decode_key(dq, cb) + (name, 1),
                              "decode", name)
@@ -655,7 +1220,7 @@ class InferenceServer:
                 _, kind, name = candidates[0]
                 if kind == "prefill":
                     gpu_free_s = self._launch(
-                        prefill_queues[name], batcher, t, metrics
+                        prefill_queues[name], batcher, t, state
                     )
                 else:
                     gpu_free_s = self._launch_step(
@@ -664,26 +1229,53 @@ class InferenceServer:
                         continuous[name],
                         batcher,
                         t,
-                        metrics,
+                        state,
                     )
                 clock_s = t
                 continue
-            # Nothing to launch: advance to the next event (arrival or
-            # prefill deadline; decode work launches immediately, so an
-            # idle decode side never needs a timer).  All candidate
+            # Nothing to launch: advance to the next event — arrival,
+            # prefill deadline, retry backoff expiry, decode holdoff
+            # expiry, or a pending cancellation deadline.  All candidate
             # times are strictly after t, so the loop always progresses.
             events = []
             if i < n:
                 events.append(pending[i].arrival_s)
             for queue in prefill_queues.values():
                 deadline = batcher.deadline_s(queue)
-                if deadline is not None:
+                # A due-but-held queue (its model waiting out a
+                # half-open breaker) wakes at the circuit-close event
+                # instead; a deadline <= t here would stall the clock.
+                if deadline is not None and deadline > t:
                     events.append(deadline)
+            if state.retry_heap:
+                events.append(state.retry_heap[0][0])
+            for until in state.breaker_down.values():
+                if until > t:
+                    events.append(until)
+            for name, until in state.holdoff.items():
+                if until > t and (
+                    decode_queues[name] or continuous[name].has_work
+                ):
+                    events.append(until)
+            timeout_at = self._next_timeout_deadline(
+                t, prefill_queues, decode_queues, continuous, state
+            )
+            if timeout_at is not None:
+                events.append(timeout_at)
             if not events:
                 break
             clock_s = max(t, min(events))
 
+        if state.injector is not None:
+            metrics.launch_faults = state.injector.launch_faults_injected
+        if state.resharded:
+            # Drop the plans built for the survivors' shard geometry:
+            # the next run starts from the registered entries again.
+            for cache in self.plan_caches:
+                cache.clear()
         metrics.request_records.sort(key=lambda r: r.request.request_id)
+        metrics.reconcile()
+        chaos = self.faults is not None and not self.faults.empty
         return ServingReport(
             metrics=metrics,
             policy=run_policy,
@@ -696,6 +1288,10 @@ class InferenceServer:
             devices=self.devices,
             shard=self.shard if self.devices > 1 else None,
             link=self.link.name if self.devices > 1 else None,
+            faults=self.faults.describe() if chaos else None,
+            resilience=(
+                None if self.resilience is None else self.resilience.describe()
+            ),
         )
 
     def _launch(
@@ -703,7 +1299,7 @@ class InferenceServer:
         queue: RequestQueue,
         batcher: DynamicBatcher,
         start_s: float,
-        metrics: ServingMetrics,
+        state: _RunState,
     ) -> float:
         """Form a dynamic batch from ``queue``, execute it at
         ``start_s``, record per-request and per-batch results, and
@@ -713,8 +1309,14 @@ class InferenceServer:
         charges one modeled launch per step, and the whole batch holds
         the GPU until its longest member finishes (finished requests'
         rows ride along as waste — the cost continuous batching
-        removes)."""
-        entry = self.model(queue.model)
+        removes).
+
+        Under an injected launch fault the attempt still occupies the
+        GPU for one modeled step (the fault kills the batch at its
+        first step), no request completes, and every member retries
+        with backoff or fails terminally."""
+        metrics = state.metrics
+        entry = self._entry(queue.model, state)
         tr = self.tracer
         if tr is not None:
             tr.advance(start_s)
@@ -724,10 +1326,47 @@ class InferenceServer:
             queue, stack=self.execute_numerics, pad_to_k=entry.handle.k
         )
         modeled_s, per_device, comm, plan = self._modeled_launch(
-            entry, batch.padded_rows
+            entry, batch.padded_rows, state, start_s
         )
         comm_s = 0.0 if comm is None else comm.seconds
         step_s = modeled_s + self.host_overhead_s
+        device_ids = self._phys_devices(entry, state)
+
+        fail_device = self._launch_fault(entry, start_s, state)
+        if fail_device is not None:
+            finished_s = start_s + step_s
+            if tr is not None:
+                batch_span = tr.add_span(
+                    "serve.batch", start_s, finished_s,
+                    track="engine", parent=None, kind="prefill",
+                    steps=1, failed=True, **batch.trace_attrs(),
+                )
+                self._trace_launch(
+                    tr, batch_span, start_s, 1, modeled_s,
+                    per_device, comm, batch.model,
+                    device_ids=device_ids, failed=True,
+                )
+            metrics.add_batch(
+                BatchRecord(
+                    batch_id=batch.batch_id,
+                    model=batch.model,
+                    n_requests=batch.n_requests,
+                    rows=batch.rows,
+                    padded_rows=batch.padded_rows,
+                    started_s=start_s,
+                    finished_s=finished_s,
+                    modeled_gpu_s=modeled_s,
+                    per_device_gpu_s=per_device,
+                    comm_s=comm_s,
+                    failed=True,
+                )
+            )
+            for request in batch.requests:
+                self._retry_or_fail(request, finished_s, state)
+            blocked = self._note_launch_failed(fail_device, finished_s, state)
+            return max(finished_s, blocked)
+
+        self._note_launch_ok(entry, state)
         max_steps = max(request.steps for request in batch.requests)
         finished_s = start_s + max_steps * step_s
 
@@ -745,7 +1384,7 @@ class InferenceServer:
                 self._trace_queue_wait(tr, request, start_s, "prefill")
             self._trace_launch(
                 tr, batch_span, start_s, max_steps, modeled_s,
-                per_device, comm, batch.model,
+                per_device, comm, batch.model, device_ids=device_ids,
             )
 
         for idx, request in enumerate(batch.requests):
@@ -756,6 +1395,7 @@ class InferenceServer:
                     started_s=start_s,
                     finished_s=start_s + request.steps * step_s,
                     output=None if outputs is None else outputs[idx],
+                    retries=state.attempts.get(request.request_id, 0),
                 )
             )
         metrics.add_batch(
@@ -783,13 +1423,19 @@ class InferenceServer:
         cb: ContinuousBatcher,
         batcher: DynamicBatcher,
         start_s: float,
-        metrics: ServingMetrics,
+        state: _RunState,
     ) -> float:
         """Run one continuous-batching engine step for ``name`` at
         ``start_s``: refill the rolling batch, execute the resident
         rows, evict finished sequences, and return when the GPU frees
-        up."""
-        entry = self.model(name)
+        up.
+
+        Under an injected launch fault no sequence advances (the GPU
+        time is still spent): retry-exhausted residents are evicted
+        and failed, the survivors stay resident, and the model backs
+        off (``holdoff``) before its next step."""
+        metrics = state.metrics
+        entry = self._entry(name, state)
         tr = self.tracer
         if tr is not None:
             tr.advance(start_s)
@@ -800,10 +1446,21 @@ class InferenceServer:
             pad_to_k=entry.handle.k,
         )
         modeled_gpu_s, per_device, comm, plan = self._modeled_launch(
-            entry, batch.padded_rows
+            entry, batch.padded_rows, state, start_s
         )
         comm_s = 0.0 if comm is None else comm.seconds
         finished_s = start_s + modeled_gpu_s + self.host_overhead_s
+        device_ids = self._phys_devices(entry, state)
+
+        fail_device = self._launch_fault(entry, start_s, state)
+        if fail_device is not None:
+            return self._failed_step(
+                name, cb, batch, start_s, finished_s, modeled_gpu_s,
+                per_device, comm, comm_s, joined, preempted,
+                fail_device, device_ids, state,
+            )
+        self._note_launch_ok(entry, state)
+        state.cb_streak[name] = 0
 
         outputs: "list[np.ndarray] | None" = None
         if self.execute_numerics:
@@ -838,7 +1495,7 @@ class InferenceServer:
                 )
             self._trace_launch(
                 tr, step_span, start_s, 1, modeled_gpu_s,
-                per_device, comm, name,
+                per_device, comm, name, device_ids=device_ids,
             )
         for idx, inflight in finished_entries:
             metrics.add_request(
@@ -848,6 +1505,9 @@ class InferenceServer:
                     started_s=inflight.joined_s,
                     finished_s=finished_s,
                     output=None if outputs is None else outputs[idx],
+                    retries=state.attempts.get(
+                        inflight.request.request_id, 0
+                    ),
                 )
             )
         metrics.add_step(
@@ -868,3 +1528,94 @@ class InferenceServer:
             )
         )
         return finished_s
+
+    def _failed_step(
+        self,
+        name: str,
+        cb: ContinuousBatcher,
+        batch,
+        start_s: float,
+        finished_s: float,
+        modeled_gpu_s: float,
+        per_device: "tuple[float, ...]",
+        comm: "CommEvent | None",
+        comm_s: float,
+        joined: int,
+        preempted: int,
+        fail_device: int,
+        device_ids: tuple,
+        state: _RunState,
+    ) -> float:
+        """Account one continuous step that suffered a launch fault:
+        GPU time spent, no sequence advanced.  Every resident sequence
+        burns one attempt; the retry-exhausted ones are evicted (their
+        rows free immediately) and failed, the rest stay resident for
+        the next step after the model's backoff holdoff."""
+        metrics = state.metrics
+        tr = self.tracer
+        res = state.resilience
+        dropped_ids: set[int] = set()
+        for inflight in cb.resident:
+            request = inflight.request
+            attempts = state.attempts.get(request.request_id, 0) + 1
+            state.attempts[request.request_id] = attempts
+            if res is None or attempts > res.max_retries:
+                state.attempts[request.request_id] = attempts - 1
+                dropped_ids.add(request.request_id)
+                self._drop(
+                    request, "failed", finished_s, state, attempts=attempts
+                )
+        if dropped_ids:
+            cb.cancel_where(lambda r: r.request_id in dropped_ids)
+        if res is not None:
+            streak = state.cb_streak.get(name, 0) + 1
+            state.cb_streak[name] = streak
+            u = float(state.rng.random())
+            state.holdoff[name] = finished_s + res.backoff_s(
+                min(streak, 6), u
+            )
+        if tr is not None:
+            step_span = tr.add_span(
+                "serve.step", start_s, finished_s,
+                track="engine", parent=None, kind="decode",
+                joined=joined, evicted=len(dropped_ids),
+                preempted=preempted, failed=True, **batch.trace_attrs(),
+            )
+            if dropped_ids:
+                tr.event(
+                    "cb.evict", t_s=finished_s, track="engine",
+                    model=name, count=len(dropped_ids), reason="failed",
+                )
+            if res is not None and cb.has_work:
+                tr.event(
+                    "retry.attempt", t_s=finished_s, track="engine",
+                    model=name, count=len(cb.resident),
+                    attempt=state.cb_streak.get(name, 0),
+                )
+                tr.metrics.counter(
+                    "serve_retries_total", "launch-failure retries"
+                ).inc(model=name)
+            self._trace_launch(
+                tr, step_span, start_s, 1, modeled_gpu_s,
+                per_device, comm, name, device_ids=device_ids, failed=True,
+            )
+        metrics.add_step(
+            StepRecord(
+                step_id=batch.batch_id,
+                model=name,
+                n_resident=batch.n_requests,
+                rows=batch.rows,
+                padded_rows=batch.padded_rows,
+                joined=joined,
+                evicted=len(dropped_ids),
+                preempted=preempted,
+                started_s=start_s,
+                finished_s=finished_s,
+                modeled_gpu_s=modeled_gpu_s,
+                per_device_gpu_s=per_device,
+                comm_s=comm_s,
+                failed=True,
+            )
+        )
+        blocked = self._note_launch_failed(fail_device, finished_s, state)
+        return max(finished_s, blocked)

@@ -1,0 +1,250 @@
+"""Tests for the fault-injection subsystem: the declarative FaultPlan
+and its spec mini-language, the seeded runtime FaultInjector, and the
+end-to-end determinism guarantee (same seed + same plan => identical
+fault schedule and byte-identical trace exports)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distributed.topology import DeviceGroup
+from repro.errors import FaultError
+from repro.faults import (
+    DeviceFailStop,
+    DeviceSlowdown,
+    FaultInjector,
+    FaultPlan,
+    LaunchFaultWindow,
+    LinkDegradation,
+    parse_fault_spec,
+)
+from repro.obs import Tracer, chrome_trace
+from repro.serve.loadgen import TrafficSource, generate_requests
+from repro.serve.resilience import ResiliencePolicy
+from repro.serve.server import InferenceServer
+from repro.sparsity.config import NMPattern
+
+
+# ---------------------------------------------------------------------------
+# Plan components
+# ---------------------------------------------------------------------------
+class TestFaultPlanComponents:
+    def test_launch_window_active(self):
+        w = LaunchFaultWindow(p=0.5, start_s=1.0, end_s=2.0)
+        assert not w.active("m", 0.5)
+        assert w.active("m", 1.0)
+        assert w.active("m", 1.5)
+        assert not w.active("m", 2.0)  # end exclusive
+
+    def test_launch_window_model_filter(self):
+        w = LaunchFaultWindow(p=0.5, model="a")
+        assert w.active("a", 0.0)
+        assert not w.active("b", 0.0)
+
+    def test_launch_window_validation(self):
+        with pytest.raises(FaultError):
+            LaunchFaultWindow(p=1.5)
+        with pytest.raises(FaultError):
+            LaunchFaultWindow(p=0.5, start_s=2.0, end_s=1.0)
+
+    def test_failstop_and_slowdown_validation(self):
+        with pytest.raises(FaultError):
+            DeviceFailStop(device=-1, at_s=0.0)
+        with pytest.raises(FaultError):
+            DeviceSlowdown(device=0, factor=0.5)  # must slow, not speed
+
+    def test_link_flap_phase(self):
+        flap = LinkDegradation(
+            bandwidth_factor=0.1, period_s=1.0, duty=0.25
+        )
+        assert flap.active(0.0)
+        assert flap.active(0.2)
+        assert not flap.active(0.5)
+        assert flap.active(1.1)  # next period's degraded phase
+
+    def test_link_steady_window(self):
+        fault = LinkDegradation(
+            bandwidth_factor=0.5, start_s=1.0, end_s=2.0
+        )
+        assert not fault.active(0.5)
+        assert fault.active(1.5)
+        assert not fault.active(2.5)
+
+    def test_plan_failed_devices_and_empty(self):
+        plan = FaultPlan(
+            device_failures=(DeviceFailStop(device=1, at_s=0.5),)
+        )
+        assert not plan.empty
+        assert plan.failed_devices(0.4) == frozenset()
+        assert plan.failed_devices(0.5) == frozenset({1})
+        assert FaultPlan().empty
+
+
+# ---------------------------------------------------------------------------
+# Spec mini-language
+# ---------------------------------------------------------------------------
+class TestParseFaultSpec:
+    def test_launch_clause(self):
+        plan = parse_fault_spec("launch:p=0.2,start=1,end=3")
+        (window,) = plan.launch_faults
+        assert window.p == pytest.approx(0.2)
+        assert (window.start_s, window.end_s) == (1.0, 3.0)
+
+    def test_devfail_clause(self):
+        plan = parse_fault_spec("devfail:device=1,at=2.5")
+        (failure,) = plan.device_failures
+        assert (failure.device, failure.at_s) == (1, 2.5)
+
+    def test_slow_and_link_clauses(self):
+        plan = parse_fault_spec(
+            "slow:device=0,factor=3;"
+            "link:factor=0.1,extra-lat=2e-4,period=0.25,duty=0.5"
+        )
+        (slow,) = plan.slowdowns
+        assert slow.factor == pytest.approx(3.0)
+        (link,) = plan.link_faults
+        assert link.bandwidth_factor == pytest.approx(0.1)
+        assert link.extra_latency_s == pytest.approx(2e-4)
+        assert link.period_s == pytest.approx(0.25)
+
+    def test_seed_clause_and_describe_roundtrip(self):
+        plan = parse_fault_spec("launch:p=0.5;seed=7")
+        assert plan.seed == 7
+        # describe() is itself a parseable spec.
+        assert parse_fault_spec(plan.describe()) == plan
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "bogus:p=1",
+            "launch:p=2",
+            "launch:nope=1",
+            "devfail:device=0",  # missing at=
+            "link:factor=0",
+            "slow:device=0,factor=0.1",
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultError):
+            parse_fault_spec(spec)
+
+
+# ---------------------------------------------------------------------------
+# Runtime injector
+# ---------------------------------------------------------------------------
+class TestFaultInjector:
+    def test_launch_fails_deterministic_per_seed(self):
+        plan = parse_fault_spec("launch:p=0.5;seed=3")
+        sequences = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            sequences.append(
+                [injector.launch_fails("m", i * 0.01, 2) for i in range(50)]
+            )
+        assert sequences[0] == sequences[1]
+        assert any(s is not None for s in sequences[0])
+        assert any(s is None for s in sequences[0])
+
+    def test_targeted_window_attributes_fixed_device(self):
+        plan = parse_fault_spec("launch:p=1,device=1")
+        injector = FaultInjector(plan)
+        assert injector.launch_fails("m", 0.0, 2) == 1
+        assert injector.launch_faults_injected == 1
+
+    def test_inactive_window_never_fires(self):
+        plan = parse_fault_spec("launch:p=1,start=1,end=2")
+        injector = FaultInjector(plan)
+        assert injector.launch_fails("m", 0.5, 2) is None
+
+    def test_device_factor_composes(self):
+        plan = parse_fault_spec(
+            "slow:device=0,factor=2;slow:device=0,factor=3,start=0,end=1"
+        )
+        injector = FaultInjector(plan)
+        assert injector.device_factor(0, 0.5) == pytest.approx(6.0)
+        assert injector.device_factor(0, 2.0) == pytest.approx(2.0)
+        assert injector.device_factor(1, 0.5) == pytest.approx(1.0)
+
+    def test_degraded_group_scales_link(self):
+        plan = parse_fault_spec("link:factor=0.1,extra-lat=1e-3")
+        injector = FaultInjector(plan)
+        group = DeviceGroup.build("A100", devices=2, link="nvlink")
+        degraded = injector.degraded_group(group, 0.0)
+        assert degraded.link.bandwidth_gb_s == pytest.approx(
+            group.link.bandwidth_gb_s * 0.1
+        )
+        assert degraded.link.latency_s == pytest.approx(
+            group.link.latency_s + 1e-3
+        )
+        assert "degraded" in degraded.link.name
+
+    def test_link_transition_events(self):
+        tracer = Tracer()
+        plan = parse_fault_spec("link:factor=0.5,start=1,end=2")
+        injector = FaultInjector(plan, tracer=tracer)
+        group = DeviceGroup.build("A100", devices=2, link="nvlink")
+        for t in (0.5, 1.5, 1.6, 2.5):
+            injector.degraded_group(group, t)
+        kinds = [
+            e.attrs["kind"] for e in tracer.events
+            if e.name == "fault.inject"
+        ]
+        assert kinds == ["link-degrade", "link-recover"]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end determinism
+# ---------------------------------------------------------------------------
+def chaos_run(spec, *, seed=1):
+    tracer = Tracer()
+    server = InferenceServer(
+        execute_numerics=False,
+        devices=2,
+        shard="column",
+        tracer=tracer,
+        faults=spec,
+        resilience=ResiliencePolicy(),
+    )
+    rng = np.random.default_rng(0)
+    weights = rng.standard_normal((64, 128)).astype(np.float32)
+    server.register_model("m", weights, NMPattern(2, 4))
+    source = TrafficSource(model="m", k=64, slo_ms=50.0)
+    requests = generate_requests(
+        [source], qps=800.0, duration_s=0.25, seed=seed,
+        synthesize_activations=False,
+    )
+    report = server.simulate(requests)
+    return report, tracer
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_schedule_and_counts(self):
+        a, _ = chaos_run("launch:p=0.4,start=0.02,end=0.15;seed=5")
+        b, _ = chaos_run("launch:p=0.4,start=0.02,end=0.15;seed=5")
+        assert a.metrics.launch_faults == b.metrics.launch_faults
+        assert a.metrics.launch_faults > 0
+        assert a.metrics.outcome_counts() == b.metrics.outcome_counts()
+        assert a.metrics.total_retries == b.metrics.total_retries
+
+    def test_fault_seed_changes_schedule(self):
+        a, _ = chaos_run("launch:p=0.4,start=0.02,end=0.15;seed=5")
+        b, _ = chaos_run("launch:p=0.4,start=0.02,end=0.15;seed=6")
+        assert (
+            a.metrics.launch_faults != b.metrics.launch_faults
+            or a.metrics.outcome_counts() != b.metrics.outcome_counts()
+        )
+
+    def test_byte_identical_chrome_export(self):
+        _, tracer_a = chaos_run("devfail:device=1,at=0.1")
+        _, tracer_b = chaos_run("devfail:device=1,at=0.1")
+        blob_a = json.dumps(chrome_trace(tracer_a), sort_keys=True)
+        blob_b = json.dumps(chrome_trace(tracer_b), sort_keys=True)
+        assert blob_a == blob_b
+        tracer_a.check_invariants()
+
+    def test_fault_events_emitted(self):
+        _, tracer = chaos_run("devfail:device=1,at=0.1")
+        injected = [e for e in tracer.events if e.name == "fault.inject"]
+        assert any(e.attrs["kind"] == "devfail" for e in injected)

@@ -15,6 +15,7 @@ from repro.errors import ObsError
 from repro.obs import (
     DEFAULT_TIME_BUCKETS,
     MetricsRegistry,
+    StreamingJsonlWriter,
     Tracer,
     chrome_trace,
     jsonl_records,
@@ -510,3 +511,103 @@ class TestTraceCli:
     def test_summarize_missing_file_exits_cleanly(self, tmp_path):
         with pytest.raises(SystemExit, match="trace summarize"):
             main(["trace", "summarize", str(tmp_path / "nope.json")])
+
+
+# ---------------------------------------------------------------------------
+# Streaming sink + bounded-memory tracer (chaos-run satellites)
+# ---------------------------------------------------------------------------
+class TestStreamingSink:
+    def test_stream_matches_batch_export(self, tmp_path):
+        """Streaming a run span-by-span produces the same records as
+        the post-hoc ``write_jsonl`` export (modulo the meta header,
+        which can't know final counts up front), in any order."""
+        batch = tmp_path / "batch.jsonl"
+        stream = tmp_path / "stream.jsonl"
+
+        def populate(tr):
+            root = tr.add_span("serve.batch", 0.0, 2.0, parent=None,
+                               batch_id=0)
+            tr.add_span("gpu.launch", 0.0, 0.5, parent=root, track="gpu")
+            tr.event("plan_cache.miss", t_s=0.0, model="m")
+
+        plain = Tracer()
+        populate(plain)
+        write_jsonl(plain, str(batch))
+
+        with StreamingJsonlWriter(str(stream)) as writer:
+            populate(Tracer(sink=writer))
+        assert writer.spans_written == 2
+        assert writer.events_written == 1
+
+        def body(path):
+            records = [
+                json.loads(line)
+                for line in path.read_text().splitlines()
+            ]
+            assert records[0]["type"] == "meta"
+            key = lambda r: (r["type"], r.get("span_id", -1))  # noqa: E731
+            return sorted(records[1:], key=key)
+
+        assert body(stream) == body(batch)
+        assert json.loads(stream.read_text().splitlines()[0])["streaming"]
+
+    def test_stream_loads_like_any_jsonl(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        writer = StreamingJsonlWriter(str(path))
+        tr = Tracer(sink=writer)
+        with tr.span("serve.batch"):
+            tr.advance(1.0)
+        tr.event("request.admit", t_s=0.5)
+        writer.close()
+        loaded = load_trace(str(path))
+        assert [s["name"] for s in loaded["spans"]] == ["serve.batch"]
+        assert [e["name"] for e in loaded["events"]] == ["request.admit"]
+        assert "serve.batch" in summarize_file(str(path))
+
+    def test_closed_writer_raises_and_close_is_idempotent(self, tmp_path):
+        writer = StreamingJsonlWriter(str(tmp_path / "t.jsonl"))
+        writer.close()
+        writer.close()  # idempotent
+        tr = Tracer(sink=writer)
+        with pytest.raises(ObsError, match="closed"):
+            tr.event("too.late")
+
+    def test_retain_false_requires_sink(self):
+        with pytest.raises(ObsError, match="sink"):
+            Tracer(retain=False)
+
+    def test_retain_false_keeps_tracer_empty(self, tmp_path):
+        writer = StreamingJsonlWriter(str(tmp_path / "t.jsonl"))
+        tr = Tracer(sink=writer, retain=False)
+        with tr.span("serve.batch"):
+            tr.advance(1.0)
+        tr.event("request.admit")
+        writer.close()
+        # Everything went to the sink; nothing accumulated in memory.
+        assert tr.spans == [] and tr.events == []
+        assert writer.spans_written == 1 and writer.events_written == 1
+
+
+class TestModeledHostSpans:
+    def _traced_execute(self, rng, **tracer_kwargs):
+        pattern = NMPattern(2, 8, vector_length=8)
+        op = NMSpMM(pattern)
+        handle = op.prepare(random_dense(64, 48, rng))
+        a = random_dense(16, handle.k, rng)
+        tr = Tracer(**tracer_kwargs)
+        op.execute(a, handle, tracer=tr)
+        (span,) = [s for s in tr.spans if s.name.startswith("backend.")]
+        return span
+
+    def test_modeled_span_is_deterministic(self, rng):
+        spans = [
+            self._traced_execute(rng, modeled_host_spans=True)
+            for _ in range(2)
+        ]
+        assert all(s.attrs["measured"] is False for s in spans)
+        assert spans[0].duration_s == spans[1].duration_s
+        assert spans[0].duration_s > 0
+
+    def test_measured_span_remains_default(self, rng):
+        span = self._traced_execute(rng)
+        assert span.attrs["measured"] is True

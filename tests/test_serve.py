@@ -800,6 +800,33 @@ class TestServeSimCLI:
         assert "mean batch size" in out
         assert "plan cache" in out
 
+    def test_chaos_smoke_with_streamed_trace(self, capsys, tmp_path):
+        """The CI chaos smoke: a faulted, resilient 2-device run with
+        a streamed JSONL trace that `trace summarize` can read back."""
+        trace = tmp_path / "chaos.jsonl"
+        assert (
+            main(
+                ["serve-sim", "--qps", "200", "--duration", "0.1",
+                 "--no-numerics", "--devices", "2", "--shard", "column",
+                 "--faults", "devfail:device=1,at=0.05", "--resilience",
+                 "--seed", "1", "--trace", str(trace),
+                 "--trace-format", "jsonl-stream"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reshards" in out
+        assert f"wrote {trace} (jsonl-stream)" in out
+        assert main(["trace", "summarize", str(trace)]) == 0
+        assert "serve.batch" in capsys.readouterr().out
+
+    def test_bad_faults_spec_exits_cleanly(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve-sim", "--duration", "0.1",
+                  "--faults", "bogus:p=1"])
+        assert "serve-sim:" in str(exc.value)
+        assert "bogus" in str(exc.value)
+
     def test_bad_pattern_exits_cleanly(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["serve-sim", "--pattern", "2-8", "--duration", "0.1"])

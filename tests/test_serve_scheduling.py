@@ -219,16 +219,24 @@ class TestPriorityQueueing:
                     st.integers(min_value=1, max_value=8),   # max_requests
                     st.integers(min_value=1, max_value=128), # max_rows
                 ),
+                st.tuples(
+                    st.just("cancel"),
+                    st.integers(min_value=2, max_value=5),   # id modulus
+                ),
+                st.tuples(st.just("requeue")),
             ),
             max_size=40,
         ),
     )
     def test_total_rows_never_drifts(self, scheduling, ops):
-        """Satellite property test: after any interleaving of pushes
-        and budgeted pops (including the oversized-request path),
-        ``total_rows`` equals the sum of the queued requests' rows."""
+        """Satellite property test: after any interleaving of pushes,
+        budgeted pops, timeout cancellations (``remove_where``) and
+        retry re-admissions (``requeue``, which carries an arrival
+        time older than the tier tail), ``total_rows`` equals the sum
+        of the queued requests' rows."""
         q = RequestQueue("m", scheduling)
         live: dict[int, int] = {}  # request_id -> rows
+        popped: list = []          # retry-candidate pool
         next_id = 0
         clock = 0.0
         for op in ops:
@@ -241,10 +249,22 @@ class TestPriorityQueueing:
                 live[next_id] = rows
                 next_id += 1
                 clock += 0.001
-            elif live:
+            elif op[0] == "pop" and live:
                 _, max_requests, max_rows = op
                 for req in q.pop_upto(max_requests, max_rows):
                     del live[req.request_id]
+                    popped.append(req)
+            elif op[0] == "cancel":
+                _, modulus = op
+                removed = q.remove_where(
+                    lambda r: r.request_id % modulus == 0
+                )
+                for req in removed:
+                    del live[req.request_id]
+            elif op[0] == "requeue" and popped:
+                req = popped.pop()
+                q.requeue(req)
+                live[req.request_id] = req.rows
             assert q.total_rows == sum(live.values())
             assert len(q) == len(live)
         assert q.total_rows == sum(live.values())

@@ -101,6 +101,10 @@ HIGH_PRIORITY_TIER = "2"
 #: Medium config the tracer-overhead measurement runs on.
 TRACER_OVERHEAD_SCENARIO = "poisson-7b"
 TRACER_OVERHEAD_ROUNDS = 15
+#: The always-on production tracer configuration ``sampled_ratio``
+#: measures: head-sample 5% of traces, retain at most 4096 records.
+TRACER_SAMPLE_RATE = 0.05
+TRACER_RING_CAPACITY = 4096
 
 
 def measure_tracer_overhead() -> dict:
@@ -115,21 +119,30 @@ def measure_tracer_overhead() -> dict:
     ``enabled_ratio`` records what opting in costs (span/metric
     recording against a numerics-off simulation whose per-launch work
     is tiny, so this is the worst case — with numerics on, kernel time
-    dominates)."""
+    dominates).  ``sampled_ratio`` is the always-on production
+    configuration — head sampling plus a bounded retention ring — and
+    is asserted to stay under the 1.2x budget."""
     base = SCENARIOS[TRACER_OVERHEAD_SCENARIO]
 
-    def once(tracer) -> float:
-        scenario = dataclasses.replace(base, tracer=tracer)
+    def once(make_tracer) -> float:
+        scenario = dataclasses.replace(base, tracer=make_tracer())
         start = time.perf_counter()
         scenario.run()
         return time.perf_counter() - start
 
-    once(None)  # warm imports/allocator before timing
-    disabled = disabled_again = enabled = math.inf
+    def sampled_tracer() -> Tracer:
+        return Tracer(
+            sample_rate=TRACER_SAMPLE_RATE,
+            ring_capacity=TRACER_RING_CAPACITY,
+        )
+
+    once(lambda: None)  # warm imports/allocator before timing
+    disabled = disabled_again = enabled = sampled = math.inf
     for _ in range(TRACER_OVERHEAD_ROUNDS):
-        disabled = min(disabled, once(None))
-        enabled = min(enabled, once(Tracer()))
-        disabled_again = min(disabled_again, once(None))
+        disabled = min(disabled, once(lambda: None))
+        enabled = min(enabled, once(Tracer))
+        sampled = min(sampled, once(sampled_tracer))
+        disabled_again = min(disabled_again, once(lambda: None))
     return {
         "scenario": TRACER_OVERHEAD_SCENARIO,
         "rounds": TRACER_OVERHEAD_ROUNDS,
@@ -137,6 +150,10 @@ def measure_tracer_overhead() -> dict:
         "facade_ratio": disabled_again / disabled,
         "enabled_s": enabled,
         "enabled_ratio": enabled / disabled,
+        "sample_rate": TRACER_SAMPLE_RATE,
+        "ring_capacity": TRACER_RING_CAPACITY,
+        "sampled_s": sampled,
+        "sampled_ratio": sampled / disabled,
     }
 
 
@@ -240,6 +257,9 @@ def test_bench_serving(benchmark, emit):
     overhead = result["tracer_overhead"]
     assert overhead["disabled_s"] > 0 and overhead["enabled_s"] > 0
     assert overhead["facade_ratio"] < 1.05
+    # Sampled + ring-bounded tracing is cheap enough to leave on.
+    assert overhead["sampled_s"] > 0
+    assert overhead["sampled_ratio"] < 1.2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -131,6 +131,39 @@ def build_parser() -> argparse.ArgumentParser:
                           "admission load shedding)")
     pss.add_argument("--no-numerics", action="store_true",
                      help="modeled timing only; skip the NumPy kernels")
+    pss.add_argument("--model-mode", action="store_true",
+                     help="serve a whole Llama model through a "
+                          "ModelExecutor: requests carry prompt/decode "
+                          "lengths, prefill + per-token decode walk every "
+                          "layer, and KV-cache bytes are accounted against "
+                          "a simulated HBM budget (modeled timing only; "
+                          "serves the first --models entry)")
+    pss.add_argument("--blocks", type=int, default=2,
+                     help="transformer blocks the model-mode executor "
+                          "instantiates")
+    pss.add_argument("--hbm-tokens", type=int, default=None,
+                     metavar="TOKENS",
+                     help="model-mode HBM budget as KV-token headroom "
+                          "above the compressed weights (default: the "
+                          "GPU catalog's dram_gb)")
+    pss.add_argument("--hbm-bytes", type=int, default=None, metavar="BYTES",
+                     help="model-mode HBM budget as an explicit byte "
+                          "count (mutually exclusive with --hbm-tokens)")
+    pss.add_argument("--kv-admission", choices=["kv-aware", "none"],
+                     default="kv-aware",
+                     help="model-mode admission: respect the HBM budget "
+                          "(evict under pressure) or run the no-memory-"
+                          "model baseline that thrashes on overflow")
+    pss.add_argument("--prompt-lens", type=int, nargs="+",
+                     default=[64, 128, 256], metavar="TOKENS",
+                     help="model-mode per-request prompt lengths "
+                          "(uniform draw)")
+    pss.add_argument("--max-new-tokens", type=int, nargs="+",
+                     default=[8, 16], metavar="TOKENS",
+                     help="model-mode per-request decode lengths "
+                          "(uniform draw)")
+    pss.add_argument("--slo-ms", type=float, default=None,
+                     help="model-mode per-request latency SLO")
     pss.add_argument("--json", default=None, metavar="PATH",
                      help="also write the summary as JSON")
     pss.add_argument("--trace", default=None, metavar="PATH",
@@ -277,36 +310,75 @@ def main(argv: "list[str] | None" = None) -> int:
                 tracer = Tracer(sink=stream_writer)
             else:
                 tracer = Tracer()
+        policy = BatchingPolicy(
+            max_batch_requests=args.max_batch_requests,
+            max_batch_rows=args.max_batch_rows,
+            max_wait_s=args.max_wait_ms * 1e-3,
+        )
         try:
-            scenario = LlamaServingScenario(
-                models=tuple(args.models),
-                layer=args.layer,
-                scale=args.scale,
-                pattern=parse_pattern(args.pattern, args.vector_length),
-                gpu=args.gpu,
-                version=args.opt_version,
-                qps=args.qps,
-                duration_s=args.duration,
-                arrival=args.arrival,
-                seed=args.seed,
-                policy=BatchingPolicy(
-                    max_batch_requests=args.max_batch_requests,
-                    max_batch_rows=args.max_batch_rows,
-                    max_wait_s=args.max_wait_ms * 1e-3,
-                ),
-                plan_cache_capacity=args.cache_size,
-                execute_numerics=not args.no_numerics,
-                backend=args.backend,
-                scheduling=args.sched,
-                continuous=args.decode_fraction is not None,
-                decode_fraction=args.decode_fraction,
-                devices=args.devices,
-                shard=args.shard,
-                link=args.link,
-                tracer=tracer,
-                faults=args.faults,
-                resilience=args.resilience or None,
-            )
+            if args.model_mode:
+                from repro.serve.model_exec import ModelServingScenario
+
+                if args.decode_fraction is not None:
+                    raise SystemExit(
+                        "serve-sim: --decode-fraction does not apply in "
+                        "--model-mode (decode lengths come from "
+                        "--max-new-tokens)"
+                    )
+                scenario = ModelServingScenario(
+                    model=args.models[0],
+                    scale=args.scale,
+                    blocks=args.blocks,
+                    pattern=parse_pattern(args.pattern, args.vector_length),
+                    gpu=args.gpu,
+                    version=args.opt_version,
+                    backend=args.backend,
+                    qps=args.qps,
+                    duration_s=args.duration,
+                    arrival=args.arrival,
+                    seed=args.seed,
+                    scheduling=args.sched,
+                    policy=policy,
+                    plan_cache_capacity=args.cache_size,
+                    prompt_len_choices=tuple(args.prompt_lens),
+                    max_new_tokens_choices=tuple(args.max_new_tokens),
+                    slo_ms=args.slo_ms,
+                    hbm_tokens=args.hbm_tokens,
+                    hbm_bytes=args.hbm_bytes,
+                    kv_admission=args.kv_admission,
+                    devices=args.devices,
+                    shard=args.shard,
+                    link=args.link,
+                    tracer=tracer,
+                    faults=args.faults,
+                    resilience=args.resilience or None,
+                )
+            else:
+                scenario = LlamaServingScenario(
+                    models=tuple(args.models),
+                    layer=args.layer,
+                    scale=args.scale,
+                    pattern=parse_pattern(args.pattern, args.vector_length),
+                    gpu=args.gpu,
+                    version=args.opt_version,
+                    qps=args.qps,
+                    duration_s=args.duration,
+                    arrival=args.arrival,
+                    seed=args.seed,
+                    policy=policy,
+                    plan_cache_capacity=args.cache_size,
+                    execute_numerics=not args.no_numerics,
+                    backend=args.backend,
+                    scheduling=args.sched,
+                    continuous=args.decode_fraction is not None,
+                    decode_fraction=args.decode_fraction,
+                    devices=args.devices,
+                    shard=args.shard,
+                    link=args.link,
+                    tracer=tracer,
+                    faults=args.faults,
+                    resilience=args.resilience or None,
+                )
             report = scenario.run()
         except ReproError as exc:
             if stream_writer is not None:

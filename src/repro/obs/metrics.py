@@ -14,12 +14,17 @@ bounds closed with ``+Inf``.
 
 from __future__ import annotations
 
+import bisect
+import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import ObsError
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",
+    "BoundCounter",
+    "BoundGauge",
+    "BoundHistogram",
     "Counter",
     "Gauge",
     "Histogram",
@@ -37,8 +42,15 @@ DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
 #: One sample's label set, normalized to a hashable, sorted key.
 LabelKey = tuple[tuple[str, str], ...]
 
+_NO_LABELS: LabelKey = ()
+
 
 def _label_key(labels: dict) -> LabelKey:
+    if not labels:  # the common unlabeled fast path
+        return _NO_LABELS
+    if len(labels) == 1:  # one label needs no sort
+        [(k, v)] = labels.items()
+        return ((k, v if type(v) is str else str(v)),)
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
@@ -59,11 +71,35 @@ class Counter:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + value
 
+    def labels(self, **labels) -> "BoundCounter":
+        """Resolve one label set once; the returned handle's ``inc``
+        skips label normalization (the per-launch hot path)."""
+        return BoundCounter(self, _label_key(labels))
+
     def value(self, **labels) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
     def samples(self) -> list[tuple[LabelKey, float]]:
         return sorted(self._values.items())
+
+
+class BoundCounter:
+    """A :class:`Counter` pre-bound to one label set."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Counter, key: LabelKey):
+        self._metric = metric
+        self._key = key
+
+    def inc(self, value: float = 1.0) -> None:
+        if value < 0:
+            raise ObsError(
+                f"counter {self._metric.name!r} cannot decrease "
+                f"(inc({value}))"
+            )
+        values = self._metric._values
+        values[self._key] = values.get(self._key, 0.0) + value
 
 
 @dataclass
@@ -82,11 +118,33 @@ class Gauge:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + value
 
+    def labels(self, **labels) -> "BoundGauge":
+        """Resolve one label set once; the returned handle's ``set`` /
+        ``inc`` skip label normalization."""
+        return BoundGauge(self, _label_key(labels))
+
     def value(self, **labels) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
     def samples(self) -> list[tuple[LabelKey, float]]:
         return sorted(self._values.items())
+
+
+class BoundGauge:
+    """A :class:`Gauge` pre-bound to one label set."""
+
+    __slots__ = ("_metric", "_key")
+
+    def __init__(self, metric: Gauge, key: LabelKey):
+        self._metric = metric
+        self._key = key
+
+    def set(self, value: float) -> None:
+        self._metric._values[self._key] = float(value)
+
+    def inc(self, value: float = 1.0) -> None:
+        values = self._metric._values
+        values[self._key] = values.get(self._key, 0.0) + value
 
 
 @dataclass
@@ -113,26 +171,52 @@ class Histogram:
         self.buckets = bounds
 
     def observe(self, value: float, **labels) -> None:
+        # Counts are stored per-bucket (one increment via bisect) and
+        # cumulated on read — observation is the hot path.
         key = _label_key(labels)
         counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[i] += 1
-        counts[-1] += 1  # +Inf
+        counts[bisect.bisect_left(self.buckets, value)] += 1
         self._sums[key] = self._sums.get(key, 0.0) + float(value)
+
+    def labels(self, **labels) -> "BoundHistogram":
+        """Resolve one label set once; the returned handle's
+        ``observe`` skips label normalization."""
+        key = _label_key(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+        return BoundHistogram(self, key, counts)
 
     def count(self, **labels) -> int:
         counts = self._counts.get(_label_key(labels))
-        return counts[-1] if counts else 0
+        return sum(counts) if counts else 0
 
     def sum(self, **labels) -> float:
         return self._sums.get(_label_key(labels), 0.0)
 
     def samples(self) -> list[tuple[LabelKey, list[int], float]]:
+        """Cumulative Prometheus-style bucket counts per label set
+        (the last entry is the ``+Inf`` total)."""
         return sorted(
-            (key, list(counts), self._sums[key])
+            (key, list(itertools.accumulate(counts)), self._sums[key])
             for key, counts in self._counts.items()
         )
+
+
+class BoundHistogram:
+    """A :class:`Histogram` pre-bound to one label set."""
+
+    __slots__ = ("_metric", "_key", "_counts")
+
+    def __init__(self, metric: Histogram, key: LabelKey, counts: list):
+        self._metric = metric
+        self._key = key
+        self._counts = counts
+
+    def observe(self, value: float) -> None:
+        self._counts[
+            bisect.bisect_left(self._metric.buckets, value)
+        ] += 1
+        sums = self._metric._sums
+        sums[self._key] = sums.get(self._key, 0.0) + float(value)
 
 
 class MetricsRegistry:

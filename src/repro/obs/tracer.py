@@ -27,6 +27,7 @@ code) using the tracer's current clock at enter/exit.
 from __future__ import annotations
 
 import contextlib
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.errors import ObsError
@@ -36,6 +37,12 @@ __all__ = ["Span", "TraceEvent", "Tracer"]
 
 #: Sentinel for "parent is the innermost open span" in add_span.
 _INHERIT = object()
+
+#: Knuth's 64-bit LCG constants — the sampler's private stream, kept
+#: off :mod:`numpy` so tracing never perturbs workload RNG draws.
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
 
 
 @dataclass
@@ -49,6 +56,10 @@ class Span:
     parent_id: "int | None" = None
     track: str = "engine"
     attrs: dict = field(default_factory=dict)
+    #: Whether this span's *trace* (root draw under ``sample_rate``)
+    #: was kept.  Unsampled spans still exist in-process so parenting
+    #: and the LIFO stack work, but are never retained or exported.
+    sampled: bool = True
 
     @property
     def finished(self) -> bool:
@@ -105,6 +116,20 @@ class Tracer:
         stamps its ``backend.<name>.run`` span with the plan's modeled
         seconds instead of measured wall time, keeping the whole trace
         deterministic under seeded chaos.
+    sample_rate:
+        Fraction of *traces* kept, in ``[0, 1]``.  The decision is
+        made once per root span from a private seeded LCG stream (so a
+        given scenario samples the same traces on every run) and every
+        descendant span inherits it — a trace is kept or dropped
+        whole, never torn.  Metrics are always recorded regardless.
+    sample_seed:
+        Seed of the sampler's LCG stream.
+    ring_capacity:
+        When set, in-process retention becomes a bounded ring: only
+        the most recent ``ring_capacity`` spans (and events) are kept,
+        older records are dropped (counted in :attr:`dropped_spans` /
+        :attr:`dropped_events`).  A streaming ``sink`` still sees
+        everything — the ring only bounds *memory*.
     """
 
     def __init__(
@@ -114,21 +139,72 @@ class Tracer:
         sink=None,
         retain: bool = True,
         modeled_host_spans: bool = False,
+        sample_rate: float = 1.0,
+        sample_seed: int = 0,
+        ring_capacity: "int | None" = None,
     ):
         if not retain and sink is None:
             raise ObsError(
                 "retain=False would silently drop every record; "
                 "attach a sink"
             )
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ObsError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if ring_capacity is not None and ring_capacity < 1:
+            raise ObsError(
+                f"ring_capacity must be >= 1, got {ring_capacity}"
+            )
         self.now: float = 0.0
-        self.spans: list[Span] = []
-        self.events: list[TraceEvent] = []
+        if ring_capacity is None:
+            self.spans: list[Span] = []
+            self.events: list[TraceEvent] = []
+        else:
+            self.spans = deque(maxlen=ring_capacity)  # type: ignore[assignment]
+            self.events = deque(maxlen=ring_capacity)  # type: ignore[assignment]
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.sink = sink
         self.retain = retain
         self.modeled_host_spans = modeled_host_spans
+        self.sample_rate = float(sample_rate)
+        self.ring_capacity = ring_capacity
+        self.dropped_spans = 0
+        self.dropped_events = 0
+        self._sample_state = (sample_seed ^ _LCG_INC) & _LCG_MASK
+        self._sample_threshold = int(self.sample_rate * float(1 << 64))
         self._stack: list[Span] = []
         self._next_id = 0
+        #: Shared tombstone returned for unsampled add_span calls.
+        self._unsampled = Span(
+            span_id=-1, name="", start_s=0.0, end_s=0.0, sampled=False
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _draw_sampled(self) -> bool:
+        """One head-sampling decision (deterministic LCG stream)."""
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        state = (self._sample_state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        self._sample_state = state
+        return state < self._sample_threshold
+
+    def sample(self) -> bool:
+        """Draw one head-sampling decision *up front*, for hot call
+        sites that want to skip building span/event attributes
+        entirely when the trace is dropped.  Pass the result back via
+        ``keep=`` on :meth:`add_span` / :meth:`event` so the record
+        does not draw a second time."""
+        return self._draw_sampled()
+
+    def _retain_span(self, span: Span) -> None:
+        if self.ring_capacity is not None and len(self.spans) == self.ring_capacity:
+            self.dropped_spans += 1
+        self.spans.append(span)
 
     # ------------------------------------------------------------------
     # Clock
@@ -148,6 +224,7 @@ class Tracer:
         track: str,
         parent_id: "int | None",
         attrs: dict,
+        sampled: bool,
     ) -> Span:
         span = Span(
             span_id=self._next_id,
@@ -156,21 +233,27 @@ class Tracer:
             parent_id=parent_id,
             track=track,
             attrs=attrs,
+            sampled=sampled,
         )
         self._next_id += 1
-        if self.retain:
-            self.spans.append(span)
+        if self.retain and sampled:
+            self._retain_span(span)
         return span
 
     def _finished(self, span: Span) -> None:
-        if self.sink is not None:
+        if self.sink is not None and span.sampled:
             self.sink.on_span(span)
 
     def begin(self, name: str, *, track: str = "engine", **attrs) -> Span:
         """Open a span at the current clock and push it on the stack;
         spans opened while it is open become its children."""
-        parent = self._stack[-1].span_id if self._stack else None
-        span = self._allocate(name, self.now, track, parent, attrs)
+        if self._stack:
+            parent = self._stack[-1].span_id
+            sampled = self._stack[-1].sampled
+        else:
+            parent = None
+            sampled = self._draw_sampled()
+        span = self._allocate(name, self.now, track, parent, attrs, sampled)
         self._stack.append(span)
         return span
 
@@ -210,24 +293,40 @@ class Tracer:
         *,
         track: str = "engine",
         parent: "Span | None | object" = _INHERIT,
+        keep: "bool | None" = None,
         **attrs,
     ) -> Span:
         """Record a completed span with explicit endpoints (the
         engine's retroactive accounting path).  ``parent`` is a
         :class:`Span`, ``None`` for a root, or omitted to inherit the
-        innermost open span."""
+        innermost open span.  ``keep`` injects a sampling decision the
+        caller already drew via :meth:`sample` (root spans only;
+        children always inherit their parent's)."""
         if end_s < start_s:
             raise ObsError(
                 f"span {name!r} ends at {end_s} before it starts at "
                 f"{start_s}"
             )
         if parent is _INHERIT:
-            parent_id = self._stack[-1].span_id if self._stack else None
+            if self._stack:
+                parent_id = self._stack[-1].span_id
+                sampled = self._stack[-1].sampled
+            else:
+                parent_id = None
+                sampled = self._draw_sampled() if keep is None else keep
         elif parent is None:
             parent_id = None
+            sampled = self._draw_sampled() if keep is None else keep
         else:
             parent_id = parent.span_id  # type: ignore[union-attr]
-        span = self._allocate(name, start_s, track, parent_id, attrs)
+            sampled = parent.sampled  # type: ignore[union-attr]
+        if not sampled:
+            # Unsampled traces skip allocation entirely — the shared
+            # tombstone keeps parent chaining working (children inherit
+            # its ``sampled=False``) at near-zero cost.
+            self.advance(end_s)
+            return self._unsampled
+        span = self._allocate(name, start_s, track, parent_id, attrs, sampled)
         span.end_s = float(end_s)
         self._finished(span)
         self.advance(end_s)
@@ -239,11 +338,21 @@ class Tracer:
         *,
         t_s: "float | None" = None,
         track: str = "engine",
+        keep: "bool | None" = None,
         **attrs,
-    ) -> TraceEvent:
+    ) -> "TraceEvent | None":
         """Record an instant event (defaults to the current clock; an
         explicit ``t_s`` may lie in the past — e.g. an admission event
-        stamped at the request's arrival)."""
+        stamped at the request's arrival).  Returns ``None`` when the
+        event falls in an unsampled trace.  ``keep`` injects a
+        decision the caller drew via :meth:`sample`; an enclosing open
+        span's decision still wins (events never tear a trace)."""
+        if self._stack:
+            sampled = self._stack[-1].sampled
+        else:
+            sampled = self._draw_sampled() if keep is None else keep
+        if not sampled:
+            return None  # type: ignore[return-value]
         ev = TraceEvent(
             name=name,
             t_s=self.now if t_s is None else float(t_s),
@@ -251,6 +360,11 @@ class Tracer:
             attrs=attrs,
         )
         if self.retain:
+            if (
+                self.ring_capacity is not None
+                and len(self.events) == self.ring_capacity
+            ):
+                self.dropped_events += 1
             self.events.append(ev)
         if self.sink is not None:
             self.sink.on_event(ev)
@@ -277,10 +391,16 @@ class Tracer:
         """Assert the span tree is well-formed: every span closed,
         every ``parent_id`` resolvable (no orphans), and every child
         nested inside its parent on the simulated clock.  Raises
-        :class:`~repro.errors.ObsError` on the first violation."""
+        :class:`~repro.errors.ObsError` on the first violation.
+
+        A wrapped ring (:attr:`dropped_spans` > 0) legitimately loses
+        parents while keeping later children, so the orphan check is
+        skipped then — the remaining per-span and nesting checks still
+        apply."""
         if self._stack:
             open_names = [s.name for s in self._stack]
             raise ObsError(f"spans still open: {open_names}")
+        wrapped = self.dropped_spans > 0
         by_id = {s.span_id: s for s in self.spans}
         for span in self.spans:
             if span.end_s is None:
@@ -296,6 +416,8 @@ class Tracer:
                 continue
             parent = by_id.get(span.parent_id)
             if parent is None:
+                if wrapped:
+                    continue
                 raise ObsError(
                     f"span {span.name!r} (#{span.span_id}) is orphaned: "
                     f"parent #{span.parent_id} does not exist"

@@ -59,6 +59,16 @@ from repro.serve.scenarios import (
     TrafficTier,
     parse_pattern,
 )
+from repro.serve.ledger import CostLedger
+from repro.serve.model_exec import (
+    DeviceMemoryModel,
+    LayerSpec,
+    ModelExecutor,
+    ModelServingScenario,
+    agentic_short_decodes,
+    long_context_summarization,
+    prefill_heavy_chat,
+)
 
 __all__ = [
     "InferenceRequest",
@@ -88,4 +98,12 @@ __all__ = [
     "LlamaServingScenario",
     "TrafficTier",
     "parse_pattern",
+    "CostLedger",
+    "DeviceMemoryModel",
+    "LayerSpec",
+    "ModelExecutor",
+    "ModelServingScenario",
+    "agentic_short_decodes",
+    "long_context_summarization",
+    "prefill_heavy_chat",
 ]

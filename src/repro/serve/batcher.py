@@ -27,12 +27,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ServeError
+from repro.serve.ledger import CostLedger
 from repro.serve.queue import RequestQueue
 from repro.serve.request import InferenceRequest
 from repro.serve.scheduling import SchedulingPolicy, request_order_key
 from repro.utils.intmath import ilog2_ceil, round_up
 
-__all__ = ["BatchingPolicy", "Batch", "DynamicBatcher", "ContinuousBatcher"]
+__all__ = [
+    "BatchingPolicy",
+    "Batch",
+    "DynamicBatcher",
+    "InFlightEntry",
+    "default_recompute_cost",
+    "ContinuousBatcher",
+]
 
 
 @dataclass(frozen=True)
@@ -293,6 +301,24 @@ class InFlightEntry:
     request: InferenceRequest
     remaining_steps: int
     joined_s: float  # first join = service start (kept across preemption)
+    #: Model-mode bookkeeping: the sequence's prompt (plus any decoded
+    #: progress) must be re-prefilled before its next decode step —
+    #: true on first join and again after any eviction released its KV.
+    needs_prefill: bool = True
+
+    @property
+    def completed_steps(self) -> int:
+        """Decode steps already executed (progress a preemption would
+        have to recompute)."""
+        return self.request.steps - self.remaining_steps
+
+
+def default_recompute_cost(entry: InFlightEntry) -> float:
+    """Cost of preempting ``entry`` under the default model: the decode
+    progress that would have to be recomputed on rejoin.  Model-mode
+    servers override this with the victim's modeled re-prefill
+    seconds."""
+    return float(entry.completed_steps)
 
 
 class ContinuousBatcher:
@@ -304,17 +330,32 @@ class ContinuousBatcher:
     over all resident rows, and :meth:`advance` evicts every sequence
     whose steps are done.  The per-step join/evict/preempt counts feed
     :class:`~repro.serve.metrics.ServingMetrics`.
+
+    ``recompute_cost`` prices a preemption victim (re-prefill cost on
+    rejoin): among equal-priority candidates the *cheapest* victims are
+    evicted first, so a nearly-finished long decode survives when a
+    fresher sequence frees the same rows.  The default prices progress
+    in decode steps; the model-serving engine supplies modeled prefill
+    seconds.
     """
 
     def __init__(
         self,
         policy: "BatchingPolicy | None" = None,
         scheduling: "str | SchedulingPolicy" = SchedulingPolicy.FIFO,
+        *,
+        recompute_cost=None,
     ):
         self.policy = policy or BatchingPolicy()
         self.scheduling = SchedulingPolicy.parse(scheduling)
+        self.recompute_cost = (
+            default_recompute_cost if recompute_cost is None else recompute_cost
+        )
         self._inflight: list[InFlightEntry] = []
         self._preempted: list[InFlightEntry] = []
+        #: request_id -> resident rows (conservation-checked; preempted
+        #: sequences hold no rows).
+        self._rows = CostLedger("cb.resident-rows")
 
     # ------------------------------------------------------------------
     # State
@@ -330,7 +371,13 @@ class ContinuousBatcher:
 
     @property
     def resident_rows(self) -> int:
-        return sum(e.request.rows for e in self._inflight)
+        return self._rows.total
+
+    @property
+    def rows_ledger(self) -> CostLedger:
+        """The underlying :class:`~repro.serve.ledger.CostLedger`
+        (exposed so conservation tests can reconcile it directly)."""
+        return self._rows
 
     @property
     def has_work(self) -> bool:
@@ -344,10 +391,22 @@ class ContinuousBatcher:
             <= self.policy.max_batch_rows
         )
 
+    def _admit(self, entry: InFlightEntry) -> None:
+        self._inflight.append(entry)
+        self._rows.add(entry.request.request_id, entry.request.rows)
+
+    def _displace(self, entry: InFlightEntry) -> None:
+        self._inflight.remove(entry)
+        self._rows.remove(entry.request.request_id)
+        entry.needs_prefill = True
+        self._preempted.append(entry)
+
     # ------------------------------------------------------------------
     # Step lifecycle
     # ------------------------------------------------------------------
-    def refill(self, queue: RequestQueue, now_s: float) -> tuple[int, int]:
+    def refill(
+        self, queue: RequestQueue, now_s: float, *, gate=None
+    ) -> tuple[int, int]:
         """Admit waiting work into the rolling batch at ``now_s``.
 
         Waiting work — sequences displaced by an earlier preemption
@@ -362,6 +421,14 @@ class ContinuousBatcher:
         stream: less urgent work must not slip into the space the most
         urgent waiter needs (head-of-line semantics are exactly the
         strict-priority guarantee).
+
+        ``gate`` is an extra admission predicate
+        ``gate(request, completed_steps) -> bool`` (the device-memory
+        model's KV-fit check).  A gate refusal blocks the stream like a
+        full row budget under head-of-line semantics, but is never
+        resolved by preemption — freeing rows would not free the
+        resource the gate guards; the engine evicts for that resource
+        at growth time instead.
         Returns ``(joined, preempted)`` counts for the step record.
         """
         joined = 0
@@ -385,6 +452,10 @@ class ContinuousBatcher:
                 candidate, entry = fresh, None
             else:
                 break
+            if gate is not None and not gate(
+                candidate, 0 if entry is None else entry.completed_steps
+            ):
+                break
             if not self._fits(candidate):
                 if self.scheduling is SchedulingPolicy.FIFO:
                     break
@@ -392,14 +463,13 @@ class ContinuousBatcher:
                 if victims is None:
                     break
                 for victim in victims:
-                    self._inflight.remove(victim)
-                    self._preempted.append(victim)
+                    self._displace(victim)
                 preempted += len(victims)
             if entry is not None:
                 self._preempted.remove(entry)
-                self._inflight.append(entry)
+                self._admit(entry)
             else:
-                self._inflight.append(
+                self._admit(
                     InFlightEntry(
                         request=queue.pop_next(),
                         remaining_steps=candidate.steps,
@@ -412,22 +482,29 @@ class ContinuousBatcher:
     def _preemption_victims(
         self, candidate: InferenceRequest
     ) -> "list[InFlightEntry] | None":
-        """The minimal resident set whose eviction admits ``candidate``:
-        strictly-lower-priority entries only, lowest priority first
-        (latest-joined breaks ties) — or ``None`` when even evicting
-        all of them would not make the candidate fit."""
+        """The resident set whose eviction admits ``candidate``:
+        strictly-lower-priority entries only, lowest priority first,
+        then cheapest recompute cost (latest-joined breaks exact ties)
+        — so a nearly-finished long decode is spared whenever a cheaper
+        victim frees the same rows.  ``None`` when even evicting all of
+        them would not make the candidate fit."""
         displaceable = sorted(
             (
-                (entry.request.priority, -index, entry)
+                (
+                    entry.request.priority,
+                    self.recompute_cost(entry),
+                    -index,
+                    entry,
+                )
                 for index, entry in enumerate(self._inflight)
                 if entry.request.priority < candidate.priority
             ),
-            key=lambda item: item[:2],
+            key=lambda item: item[:3],
         )
         rows = self.resident_rows
         count = len(self._inflight)
         victims: list[InFlightEntry] = []
-        for _, _, entry in displaceable:
+        for _, _, _, entry in displaceable:
             victims.append(entry)
             rows -= entry.request.rows
             count -= 1
@@ -437,6 +514,14 @@ class ContinuousBatcher:
             ):
                 return victims
         return None
+
+    def preempt_entries(self, entries) -> None:
+        """Displace ``entries`` (resident) to the preempted pool —
+        the engine's memory-pressure eviction path.  Rows free
+        immediately; the sequences keep their progress and rejoin
+        through :meth:`refill` like any preemption victim."""
+        for entry in entries:
+            self._displace(entry)
 
     def form_step(
         self,
@@ -476,6 +561,8 @@ class ContinuousBatcher:
             kept = []
             for entry in pool:
                 if predicate(entry.request):
+                    if pool_name == "_inflight":
+                        self._rows.remove(entry.request.request_id)
                     cancelled.append(entry)
                 else:
                     kept.append(entry)
@@ -492,6 +579,7 @@ class ContinuousBatcher:
         for index, entry in enumerate(self._inflight):
             entry.remaining_steps -= 1
             if entry.remaining_steps <= 0:
+                self._rows.remove(entry.request.request_id)
                 finished.append((index, entry))
             else:
                 surviving.append(entry)

@@ -152,6 +152,15 @@ class TrafficSource:
         ``None`` keeps the legacy single-distribution behaviour.
     decode_steps_choices:
         Sequence lengths (engine steps) of the decode-shaped requests.
+    prompt_len_choices:
+        When set, the source emits *model-mode* requests instead: one
+        sequence per request (rows=1, metadata-only) with a prompt
+        length drawn here and a generation length drawn from
+        ``max_new_tokens_choices``.  The target model must be
+        registered via ``register_executor``.
+    max_new_tokens_choices:
+        Generation lengths of model-mode requests (ignored unless
+        ``prompt_len_choices`` is set).
     """
 
     model: str
@@ -163,6 +172,8 @@ class TrafficSource:
     slo_ms: "float | None" = None
     decode_fraction: "float | None" = None
     decode_steps_choices: tuple[int, ...] = DEFAULT_DECODE_STEPS_CHOICES
+    prompt_len_choices: "tuple[int, ...] | None" = None
+    max_new_tokens_choices: tuple[int, ...] = (8, 16)
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -201,6 +212,24 @@ class TrafficSource:
         ):
             raise ServeError(
                 f"bad decode_steps_choices {self.decode_steps_choices}"
+            )
+        if self.prompt_len_choices is not None:
+            if not self.prompt_len_choices or any(
+                p < 1 for p in self.prompt_len_choices
+            ):
+                raise ServeError(
+                    f"bad prompt_len_choices {self.prompt_len_choices}"
+                )
+            if self.decode_fraction is not None:
+                raise ServeError(
+                    "prompt_len_choices (model mode) and decode_fraction "
+                    "(decode-shaped GEMM mode) are mutually exclusive"
+                )
+        if not self.max_new_tokens_choices or any(
+            t < 1 for t in self.max_new_tokens_choices
+        ):
+            raise ServeError(
+                f"bad max_new_tokens_choices {self.max_new_tokens_choices}"
             )
 
 
@@ -261,6 +290,25 @@ def generate_requests(
     for i, t in enumerate(times):
         src_index = int(rng.choice(len(sources), p=shares))
         src = sources[src_index]
+        if src.prompt_len_choices is not None:
+            # Model mode: one sequence, metadata-only (the engine runs
+            # modeled-time full-model walks, never the numerics).
+            requests.append(
+                InferenceRequest(
+                    request_id=i,
+                    model=src.model,
+                    a=None,
+                    arrival_s=float(t),
+                    shape=(1, src.k),
+                    priority=src.priority,
+                    slo_ms=src.slo_ms,
+                    prompt_len=int(rng.choice(src.prompt_len_choices)),
+                    max_new_tokens=int(
+                        rng.choice(src.max_new_tokens_choices)
+                    ),
+                )
+            )
+            continue
         steps = 1
         if src.decode_fraction is not None and (
             rng.random() < src.decode_fraction

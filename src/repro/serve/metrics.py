@@ -143,6 +143,14 @@ class StepRecord:
     #: The step's launch suffered an injected fault: no sequence
     #: advanced (the GPU time was still spent).
     failed: bool = False
+    #: Model-mode extras: modeled (re)prefill seconds charged inside
+    #: this step, host-link thrash seconds (the ``none`` admission
+    #: baseline's overflow cost), memory-pressure evictions, and the
+    #: resident KV bytes after the step.
+    prefill_s: float = 0.0
+    thrash_s: float = 0.0
+    kv_evicted: int = 0
+    kv_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -207,6 +215,9 @@ class ServingMetrics:
     #: :attr:`continuous_evictions` so the rolling batch's row
     #: accounting reconciles).
     cancelled_evictions: int = 0
+    #: Model-mode runs: the device-memory model's end-of-run summary
+    #: (budget, peaks, evictions) — ``None`` on matmul-only runs.
+    memory: "dict | None" = None
     _launch_shapes_cache: "tuple[tuple[int, int], list] | None" = field(
         init=False, default=None, repr=False, compare=False
     )
@@ -420,6 +431,26 @@ class ServingMetrics:
     def continuous_preemptions(self) -> int:
         return sum(s.preempted for s in self.step_records)
 
+    # ------------------------------------------------------------------
+    # Model-mode (KV/memory) aggregates
+    # ------------------------------------------------------------------
+    @property
+    def kv_evictions(self) -> int:
+        """Memory-pressure evictions recorded inside steps (device
+        -death evictions live in :attr:`memory`'s summary instead)."""
+        return sum(s.kv_evicted for s in self.step_records)
+
+    @property
+    def model_prefill_s(self) -> float:
+        """Modeled GPU seconds spent (re)prefilling sequences."""
+        return sum(s.prefill_s for s in self.step_records)
+
+    @property
+    def model_thrash_s(self) -> float:
+        """Host-link thrash seconds the ``none`` admission baseline
+        paid for KV overflow."""
+        return sum(s.thrash_s for s in self.step_records)
+
     def _launch_shapes(self) -> list[tuple[int, int, int]]:
         """``(requests, rows, padded_rows)`` of every GPU launch —
         dynamic batches and continuous steps alike (both occupy the GPU
@@ -585,6 +616,13 @@ class ServingMetrics:
                 "preemptions": self.continuous_preemptions,
             },
         }
+        if self.memory is not None:
+            out["memory"] = dict(self.memory)
+            out["model"] = {
+                "prefill_s": round(self.model_prefill_s, 9),
+                "thrash_s": round(self.model_thrash_s, 9),
+                "kv_evictions": self.kv_evictions,
+            }
         if self.submitted:
             drops = self.drops_by_outcome()
             out["resilience"] = {
@@ -701,6 +739,32 @@ class ServingMetrics:
                     f"({self.continuous_joins} joins, "
                     f"{self.continuous_evictions} evictions, "
                     f"{self.continuous_preemptions} preemptions)",
+                ]
+            )
+        if self.memory is not None:
+            mem = self.memory
+            table.add_row(
+                [
+                    "HBM budget",
+                    f"{mem['budget_bytes'] / 2**20:.2f} MiB "
+                    f"({mem['admission']} admission)",
+                ]
+            )
+            table.add_row(
+                [
+                    "HBM peak resident",
+                    f"{mem['peak_resident_bytes'] / 2**20:.2f} MiB "
+                    f"({mem['peak_utilization'] * 100:.1f}% of budget, "
+                    f"KV peak {mem['kv_peak_bytes'] / 2**20:.2f} MiB)",
+                ]
+            )
+            table.add_row(
+                [
+                    "KV pressure",
+                    f"{mem['kv_evictions']} evictions, "
+                    f"{mem['overflow_steps']} overflow steps, "
+                    f"prefill {self.model_prefill_s * 1e3:.3f} ms, "
+                    f"thrash {self.model_thrash_s * 1e3:.3f} ms",
                 ]
             )
         if self.is_distributed:

@@ -1,0 +1,205 @@
+"""Simulated device-memory (HBM) accounting for model serving.
+
+Production LLM serving is bounded by device memory long before it is
+bounded by compute: the compressed weights are resident for the whole
+run, and every in-flight sequence pins a KV cache that grows by one
+token per decode step.  :class:`DeviceMemoryModel` reproduces that
+constraint on the simulated clock — two
+:class:`~repro.serve.ledger.CostLedger` instances (weights keyed by
+model name, KV bytes keyed by request id) against a byte budget taken
+from the :mod:`repro.gpu.catalog` spec (``dram_gb``) or an explicit
+override for the scaled-down regimes the test suite runs.
+
+The model is an *accountant*, not a policy: the serving engine asks
+:meth:`fits` at admission/rejoin time, charges growth after every
+decode step, and releases on completion, timeout, preemption, and
+device death.  Every mutation appends a ``(t_s, resident_bytes)``
+sample to :attr:`events`, so the property tests can assert the cap
+held at every instant, and :meth:`reconcile` re-derives the totals and
+demands zero leaked KV after drain — the same zero-silent-loss
+discipline the request ledger already enforces.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServeError
+from repro.gpu.catalog import resolve_gpu
+from repro.serve.ledger import CostLedger
+
+__all__ = ["DeviceMemoryModel", "KV_ADMISSION_MODES"]
+
+#: ``kv-aware`` — admission/growth respects the budget (the default);
+#: ``none`` — the no-memory-model baseline: everything is admitted and
+#: overflow is charged as host-link thrash time instead.
+KV_ADMISSION_MODES = ("kv-aware", "none")
+
+
+class DeviceMemoryModel:
+    """Byte-accurate simulated HBM pool for one serving run."""
+
+    def __init__(self, budget_bytes: int, *, admission: str = "kv-aware"):
+        if budget_bytes <= 0:
+            raise ServeError(
+                f"HBM budget must be > 0 bytes, got {budget_bytes}"
+            )
+        if admission not in KV_ADMISSION_MODES:
+            raise ServeError(
+                f"unknown kv admission mode {admission!r}; "
+                f"pick one of {KV_ADMISSION_MODES}"
+            )
+        self.budget_bytes = int(budget_bytes)
+        self.admission = admission
+        self.weights = CostLedger("hbm.weight-bytes")
+        self.kv = CostLedger("hbm.kv-bytes")
+        #: ``(t_s, resident_bytes)`` after every mutation — the raw
+        #: series behind the "never exceeds budget" property.
+        self.events: list[tuple[float, int]] = []
+        self.peak_bytes = 0
+        self.kv_evictions = 0
+        self.overflow_steps = 0
+        self.budget_shrinks = 0
+
+    @classmethod
+    def from_gpu(
+        cls,
+        gpu,
+        *,
+        devices: int = 1,
+        admission: str = "kv-aware",
+    ) -> "DeviceMemoryModel":
+        """Budget from the catalog spec's ``dram_gb``, scaled by the
+        device-group size (the pool is modeled as one aggregate)."""
+        spec = resolve_gpu(gpu)
+        if devices < 1:
+            raise ServeError(f"devices must be >= 1, got {devices}")
+        budget = int(spec.dram_gb) * (1 << 30) * devices
+        return cls(budget, admission=admission)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def enforce(self) -> bool:
+        """Whether admission control consults the budget."""
+        return self.admission == "kv-aware"
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weights.total
+
+    @property
+    def kv_bytes(self) -> int:
+        return self.kv.total
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.weights.total + self.kv.total
+
+    @property
+    def free_bytes(self) -> int:
+        return self.budget_bytes - self.resident_bytes
+
+    @property
+    def overflow_bytes(self) -> int:
+        """Bytes past the budget (only ever > 0 under ``none``)."""
+        return max(0, self.resident_bytes - self.budget_bytes)
+
+    def fits(self, extra_bytes: int) -> bool:
+        """Would ``extra_bytes`` more stay inside the budget?"""
+        return self.resident_bytes + extra_bytes <= self.budget_bytes
+
+    def kv_bytes_of(self, request_id) -> int:
+        """Resident KV bytes of one sequence (0 when not resident)."""
+        if request_id not in self.kv:
+            return 0
+        return self.kv.cost_of(request_id)
+
+    def _note(self, t_s: float) -> None:
+        resident = self.resident_bytes
+        if resident > self.peak_bytes:
+            self.peak_bytes = resident
+        self.events.append((t_s, resident))
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_weights(self, model: str, nbytes: int, t_s: float = 0.0) -> None:
+        """Pin a model's compressed weights for the whole run."""
+        self.weights.add(model, int(nbytes))
+        if self.enforce and self.weights.total > self.budget_bytes:
+            raise ServeError(
+                f"compressed weights ({self.weights.total} B) exceed the "
+                f"HBM budget ({self.budget_bytes} B) before any KV cache "
+                "is resident — the model does not fit on this device"
+            )
+        self._note(t_s)
+
+    def reserve_kv(self, request_id, nbytes: int, t_s: float) -> None:
+        """Pin a sequence's KV cache (prefill: one entry per resident
+        sequence, sized at prompt + already-generated tokens)."""
+        self.kv.add(request_id, int(nbytes))
+        self._note(t_s)
+
+    def grow_kv(self, request_id, nbytes: int, t_s: float) -> None:
+        """Grow a resident sequence's KV cache (one decode step)."""
+        self.kv.adjust(request_id, int(nbytes))
+        self._note(t_s)
+
+    def release_kv(self, request_id, t_s: float) -> int:
+        """Free a sequence's KV cache; idempotent (completion, timeout,
+        preemption, and device death can race on the same sequence).
+        Returns the freed bytes."""
+        freed = self.kv.discard(request_id)
+        if freed:
+            self._note(t_s)
+        return freed
+
+    def set_budget(self, budget_bytes: int, t_s: float) -> None:
+        """Shrink (or restore) the pool — device fail-stop re-shards
+        onto the survivors, whose aggregate HBM is smaller."""
+        if budget_bytes <= 0:
+            raise ServeError(
+                f"HBM budget must be > 0 bytes, got {budget_bytes}"
+            )
+        if budget_bytes < self.budget_bytes:
+            self.budget_shrinks += 1
+        self.budget_bytes = int(budget_bytes)
+        self._note(t_s)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def assert_within_budget(self) -> None:
+        """Raise unless every recorded sample stayed inside the budget
+        that was in force *now* (callers with a shrinking budget check
+        incrementally via :meth:`fits`)."""
+        for t_s, resident in self.events:
+            if resident > self.budget_bytes:
+                raise ServeError(
+                    f"resident bytes {resident} exceeded the HBM budget "
+                    f"{self.budget_bytes} at t={t_s}"
+                )
+
+    def reconcile(self) -> int:
+        """End-of-run check: both ledgers reconcile and every KV byte
+        was released (zero leaked KV after drain).  Returns the
+        resident (weight-only) total."""
+        self.weights.reconcile()
+        self.kv.assert_empty()
+        return self.resident_bytes
+
+    def summary(self) -> dict:
+        """The KV/memory block of the serving report."""
+        return {
+            "admission": self.admission,
+            "budget_bytes": self.budget_bytes,
+            "weight_bytes": self.weights.total,
+            "kv_peak_bytes": self.kv.peak,
+            "peak_resident_bytes": self.peak_bytes,
+            "peak_utilization": (
+                self.peak_bytes / self.budget_bytes if self.budget_bytes else 0.0
+            ),
+            "kv_evictions": self.kv_evictions,
+            "overflow_steps": self.overflow_steps,
+            "budget_shrinks": self.budget_shrinks,
+        }

@@ -23,6 +23,7 @@ from bisect import insort
 from typing import Callable, Iterator
 
 from repro.errors import ServeError
+from repro.serve.ledger import CostLedger
 from repro.serve.request import InferenceRequest
 from repro.serve.scheduling import SchedulingPolicy, request_order_key
 
@@ -44,30 +45,37 @@ class RequestQueue:
         #: priority tier -> time-ordered list of requests.  Under FIFO
         #: every request lands in tier 0 (priorities are ignored).
         self._tiers: dict[int, list[InferenceRequest]] = {}
-        self._total_rows = 0
-        self._count = 0
+        #: request_id -> queued rows; its conservation-checked total is
+        #: what admission control polls.
+        self._rows = CostLedger(f"{model}.queued-rows")
         self._k: "int | None" = None
 
     # ------------------------------------------------------------------
     # State
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return self._count
+        return len(self._rows)
 
     def __bool__(self) -> bool:
-        return self._count > 0
+        return bool(self._rows)
 
     @property
     def total_rows(self) -> int:
         """Activation rows currently queued (the batch ``m`` a full
         flush would produce before padding).  Maintained incrementally:
         the scheduler polls this on every event-loop step."""
-        return self._total_rows
+        return self._rows.total
+
+    @property
+    def rows_ledger(self) -> CostLedger:
+        """The underlying :class:`~repro.serve.ledger.CostLedger`
+        (exposed so conservation tests can reconcile it directly)."""
+        return self._rows
 
     @property
     def oldest_arrival_s(self) -> "float | None":
         """Arrival time of the longest-waiting request (across tiers)."""
-        if not self._count:
+        if not self._rows:
             return None
         return min(items[0].arrival_s for items in self._tiers.values())
 
@@ -105,8 +113,7 @@ class RequestQueue:
         if items is None:
             items = self._tiers[tier] = []
         items.append(request)
-        self._total_rows += request.rows
-        self._count += 1
+        self._rows.add(request.request_id, request.rows)
         self._k = request.k
 
     def requeue(self, request: InferenceRequest) -> None:
@@ -134,8 +141,7 @@ class RequestQueue:
         if items is None:
             items = self._tiers[tier] = []
         insort(items, request, key=lambda r: (r.arrival_s, r.request_id))
-        self._total_rows += request.rows
-        self._count += 1
+        self._rows.add(request.request_id, request.rows)
         self._k = request.k
 
     def remove_where(
@@ -158,9 +164,8 @@ class RequestQueue:
             else:
                 del self._tiers[tier]
         for request in removed:
-            self._total_rows -= request.rows
-            self._count -= 1
-        if not self._count:
+            self._rows.remove(request.request_id)
+        if not self._rows:
             self._k = None
         return removed
 
@@ -184,7 +189,7 @@ class RequestQueue:
 
     def peek(self) -> InferenceRequest:
         """The request the policy would pop next, without removing it."""
-        if not self._count:
+        if not self._rows:
             raise ServeError(f"peek into empty queue {self.model!r}")
         tier, index = self._select()
         return self._tiers[tier][index]
@@ -194,15 +199,14 @@ class RequestQueue:
         request = items.pop(index)
         if not items:
             del self._tiers[tier]
-        self._total_rows -= request.rows
-        self._count -= 1
-        if not self._count:
+        self._rows.remove(request.request_id)
+        if not self._rows:
             self._k = None
         return request
 
     def pop_next(self) -> InferenceRequest:
         """Pop exactly the request the policy serves next."""
-        if not self._count:
+        if not self._rows:
             raise ServeError(f"pop from empty queue {self.model!r}")
         return self._pop_at(*self._select())
 
@@ -215,7 +219,7 @@ class RequestQueue:
         still has to run), then keeps taking requests while both the
         request-count and row budgets hold.
         """
-        if not self._count:
+        if not self._rows:
             raise ServeError(f"pop from empty queue {self.model!r}")
         if max_requests < 1 or max_rows < 1:
             raise ServeError(
@@ -224,7 +228,7 @@ class RequestQueue:
             )
         taken = [self.pop_next()]
         rows = taken[0].rows
-        while self._count:
+        while self._rows:
             tier, index = self._select()
             nxt = self._tiers[tier][index]
             if len(taken) + 1 > max_requests or rows + nxt.rows > max_rows:

@@ -56,6 +56,14 @@ class InferenceRequest:
         sequence of this many token steps.  The dynamic (cut-and-wait)
         path holds the whole batch for the longest member's step count;
         the continuous path re-forms the rolling batch every step.
+    prompt_len:
+        Model-mode only: prompt tokens to prefill before decoding.
+        Requires ``max_new_tokens``, a single activation row, and a
+        metadata-only request (model serving is modeled-time only).
+    max_new_tokens:
+        Model-mode only: decode steps to run (``steps`` is derived
+        from it).  Each generated token grows the sequence's simulated
+        KV cache by one token's bytes.
     """
 
     request_id: int
@@ -66,6 +74,8 @@ class InferenceRequest:
     priority: int = 0
     slo_ms: "float | None" = None
     steps: int = 1
+    prompt_len: "int | None" = None
+    max_new_tokens: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.request_id < 0:
@@ -99,6 +109,37 @@ class InferenceRequest:
             )
         if self.steps < 1:
             raise ServeError(f"steps must be >= 1, got {self.steps}")
+        if (self.prompt_len is None) != (self.max_new_tokens is None):
+            raise ServeError(
+                "model-mode requests need both prompt_len and "
+                "max_new_tokens (or neither)"
+            )
+        if self.prompt_len is not None:
+            if self.prompt_len < 1:
+                raise ServeError(
+                    f"prompt_len must be >= 1, got {self.prompt_len}"
+                )
+            if self.max_new_tokens < 1:
+                raise ServeError(
+                    f"max_new_tokens must be >= 1, got {self.max_new_tokens}"
+                )
+            if self.a is not None:
+                raise ServeError(
+                    "model-mode requests are metadata-only (modeled-time "
+                    "serving); pass shape=, not a="
+                )
+            if self.rows != 1:
+                raise ServeError(
+                    f"a model-mode request is one sequence (rows=1), "
+                    f"got rows={self.rows}"
+                )
+            if self.steps == 1:
+                object.__setattr__(self, "steps", self.max_new_tokens)
+            elif self.steps != self.max_new_tokens:
+                raise ServeError(
+                    f"steps={self.steps} conflicts with "
+                    f"max_new_tokens={self.max_new_tokens}"
+                )
 
     @property
     def deadline_s(self) -> "float | None":
@@ -130,7 +171,9 @@ class InferenceRequest:
             text += f" pri={self.priority}"
         if self.slo_ms is not None:
             text += f" slo={self.slo_ms:g}ms"
-        if self.steps > 1:
+        if self.prompt_len is not None:
+            text += f" prompt={self.prompt_len} gen={self.max_new_tokens}"
+        elif self.steps > 1:
             text += f" steps={self.steps}"
         return text
 

@@ -71,6 +71,11 @@ from repro.serve.metrics import (
     ServingMetrics,
     StepRecord,
 )
+from repro.serve.model_exec.executor import ModelExecutor
+from repro.serve.model_exec.memory import (
+    KV_ADMISSION_MODES,
+    DeviceMemoryModel,
+)
 from repro.serve.queue import RequestQueue
 from repro.serve.request import InferenceRequest, RequestRecord
 from repro.serve.resilience import ResiliencePolicy
@@ -98,23 +103,49 @@ class ModelEntry:
     handle: SparseHandle
     sharded: "ShardedHandle | None" = None
     group: "DeviceGroup | None" = None
+    #: Model-mode: the whole-model executor this entry serves, plus
+    #: one per-layer sub-entry per hosted layer (each with its own
+    #: handle, shards, and plan-cache key).  Plain matmul entries
+    #: leave both unset.
+    executor: "ModelExecutor | None" = None
+    layers: "tuple[ModelEntry, ...]" = ()
 
     @property
     def k(self) -> int:
         """Activation width requests must have (the weights' logical
         k; compression padding is internal to execute)."""
+        if self.executor is not None:
+            return self.executor.hidden
         return self.handle.k_logical
 
     @property
     def n(self) -> int:
         """Output width requests receive (the weights' logical n)."""
+        if self.executor is not None:
+            return self.executor.vocab
         return self.handle.n_logical
 
     @property
     def distributed(self) -> bool:
+        if self.layers:
+            return any(layer.sharded is not None for layer in self.layers)
         return self.sharded is not None
 
     def describe(self) -> str:
+        if self.executor is not None:
+            text = (
+                f"{self.name}: {self.executor.model.name} "
+                f"({len(self.layers)} layers, "
+                f"{self.executor.pattern.label()}) "
+                f"gpu={self.op.gpu.name} {self.op.version.value}"
+            )
+            if self.distributed:
+                sub = self.layers[0]
+                text += (
+                    f" [{sub.sharded.mode}-parallel x"
+                    f"{sub.sharded.devices} over {sub.group.link.name}]"
+                )
+            return text
         text = (
             f"{self.name}: {self.op.pattern.label()} "
             f"k={self.k} n={self.n} gpu={self.op.gpu.name} "
@@ -166,6 +197,15 @@ class _RunState:
     #: model -> no continuous step before this time (decode backoff).
     holdoff: dict = field(default_factory=dict)
     resharded: bool = False
+    #: Simulated HBM pool of the run (set when any registered model
+    #: carries a ModelExecutor).
+    memory: "DeviceMemoryModel | None" = None
+    #: The run's aggregate HBM budget at full device count — the base
+    #: a fail-stop's survivor budget is scaled from.
+    hbm_base_budget: int = 0
+    #: The run's model -> ContinuousBatcher map (device-death handling
+    #: must evict model-mode residents outside the step path).
+    continuous: "dict | None" = None
 
 
 @dataclass
@@ -185,6 +225,9 @@ class ServingReport:
     link: "str | None" = None
     faults: "str | None" = None
     resilience: "str | None" = None
+    #: The run's reconciled HBM pool (only on executor-backed runs) —
+    #: its ``events`` series backs the never-over-budget property.
+    memory_model: "DeviceMemoryModel | None" = None
 
     @property
     def request_records(self) -> list[RequestRecord]:
@@ -333,6 +376,22 @@ class InferenceServer:
         circuit breaking, re-sharding onto survivors, load shedding.
         ``None`` (the default) serves without a safety net — any
         injected launch failure permanently fails its requests.
+    hbm_bytes:
+        Model-mode only: aggregate simulated HBM of the device group.
+        ``None`` (the default) takes the executor GPU's catalog
+        ``dram_gb`` times ``devices``; scaled-down scenarios pass a
+        small explicit budget so memory pressure is actually exercised.
+    kv_admission:
+        ``"kv-aware"`` (default): continuous-batch admission refuses
+        sequences whose KV cache would overflow the budget, and memory
+        pressure evicts residents (cheapest modeled re-prefill first)
+        before growth; resident bytes never exceed the budget.
+        ``"none"``: the no-memory-model baseline — everything is
+        admitted and each overflowing step pays host-link thrash time
+        (spilled KV bytes over ``host_link_bytes_per_s``).
+    host_link_bytes_per_s:
+        Modeled host<->device bandwidth the ``"none"`` baseline's KV
+        spill/reload thrash is priced against (default ~PCIe gen4).
     """
 
     def __init__(
@@ -351,10 +410,25 @@ class InferenceServer:
         tracer: "Tracer | None" = None,
         faults: "FaultPlan | str | None" = None,
         resilience: "ResiliencePolicy | bool | None" = None,
+        hbm_bytes: "int | None" = None,
+        kv_admission: str = "kv-aware",
+        host_link_bytes_per_s: float = 16e9,
     ):
         if host_overhead_s < 0:
             raise ServeError(
                 f"host_overhead_s must be >= 0, got {host_overhead_s}"
+            )
+        if hbm_bytes is not None and hbm_bytes <= 0:
+            raise ServeError(f"hbm_bytes must be > 0, got {hbm_bytes}")
+        if kv_admission not in KV_ADMISSION_MODES:
+            raise ServeError(
+                f"unknown kv admission mode {kv_admission!r}; "
+                f"pick one of {KV_ADMISSION_MODES}"
+            )
+        if host_link_bytes_per_s <= 0:
+            raise ServeError(
+                "host_link_bytes_per_s must be > 0, got "
+                f"{host_link_bytes_per_s}"
             )
         if backend not in backend_names():
             raise ServeError(
@@ -393,8 +467,30 @@ class InferenceServer:
         elif resilience is False:
             resilience = None
         self.resilience = resilience
+        #: Aggregate simulated HBM of the device group in bytes for
+        #: model-mode runs; ``None`` reads the executor GPU's catalog
+        #: ``dram_gb`` (times ``devices``).
+        self.hbm_bytes = hbm_bytes
+        #: ``"kv-aware"`` — admission/growth respects the HBM budget
+        #: and memory pressure evicts; ``"none"`` — the baseline with
+        #: no memory model, where overflow costs host-link thrash.
+        self.kv_admission = kv_admission
+        #: Modeled host<->device link rate the ``"none"`` baseline's
+        #: KV spill/reload thrash is priced against.
+        self.host_link_bytes_per_s = host_link_bytes_per_s
         self._models: dict[str, ModelEntry] = {}
         self._inbox: list[InferenceRequest] = []
+        #: (registry id, metric, label) -> pre-bound metric handle;
+        #: the per-launch hot path must not re-normalize labels.
+        self._bound_metrics: dict = {}
+        # Per-site handle caches keyed by the one varying label value —
+        # a plain string-keyed dict get per observation instead of
+        # rebuilding/hashing a tuple key (the per-launch hot path).
+        self._launch_metric_cache: dict = {}
+        self._qwait_metric_cache: dict = {}
+        self._plan_metric_cache: dict = {}
+        self._admit_metric_cache: dict = {}
+        self._kv_gauge_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Registry
@@ -435,6 +531,57 @@ class InferenceServer:
             )
         entry = ModelEntry(
             name=name, op=op, handle=handle, sharded=sharded, group=group
+        )
+        self._models[name] = entry
+        return entry
+
+    def register_executor(
+        self, name: str, executor: ModelExecutor
+    ) -> ModelEntry:
+        """Register a whole-model :class:`ModelExecutor` under
+        ``name``.  Every hosted layer becomes a per-layer sub-entry
+        (own handle, own shards on a distributed server, own
+        plan-cache key), and requests against ``name`` must be
+        model-mode (``prompt_len``/``max_new_tokens``): the engine
+        walks prefill and per-token decode through the sub-entries,
+        one modeled gather-GEMM launch per layer per step."""
+        if not name:
+            raise ServeError("model name must be nonempty")
+        if name in self._models:
+            raise ServeError(f"model {name!r} is already registered")
+        if self.execute_numerics:
+            raise ServeError(
+                "model-mode serving is modeled-time only; build the "
+                "server with execute_numerics=False (use the executor's "
+                "own logits()/hidden_states() for numerics)"
+            )
+        if not self.continuous_batching:
+            raise ServeError(
+                "model-mode serving decodes through the rolling batch; "
+                "build the server with continuous_batching=True"
+            )
+        layers = []
+        for spec in executor.layers:
+            op, handle = spec.layer.op, spec.layer.handle
+            sharded = None
+            group = None
+            if self.devices > 1:
+                sharded = shard_handle(handle, self.devices, self.shard)
+                group = DeviceGroup(
+                    gpu=op.gpu, devices=self.devices, link=self.link
+                )
+            layers.append(
+                ModelEntry(
+                    name=f"{name}/{spec.name}", op=op, handle=handle,
+                    sharded=sharded, group=group,
+                )
+            )
+        entry = ModelEntry(
+            name=name,
+            op=executor.layers[0].layer.op,
+            handle=executor.layers[0].layer.handle,
+            executor=executor,
+            layers=tuple(layers),
         )
         self._models[name] = entry
         return entry
@@ -492,12 +639,52 @@ class InferenceServer:
                 f"request {request.request_id} has k={request.k} but model "
                 f"{request.model!r} expects k={entry.k}"
             )
+        if entry.executor is not None:
+            if request.prompt_len is None:
+                raise ServeError(
+                    f"request {request.request_id} targets model-mode "
+                    f"{request.model!r} but carries no "
+                    "prompt_len/max_new_tokens"
+                )
+            if self.kv_admission == "kv-aware":
+                ex = entry.executor
+                weights = sum(
+                    e.executor.weight_bytes
+                    for e in self._models.values()
+                    if e.executor is not None
+                )
+                need = ex.kv_bytes(
+                    request.prompt_len + request.max_new_tokens
+                )
+                budget = self._model_budget_bytes()
+                if weights + need > budget:
+                    raise ServeError(
+                        f"request {request.request_id} can never fit: "
+                        f"weights {weights} B + lifetime KV {need} B "
+                        f"exceed the HBM budget {budget} B"
+                    )
+            return
+        if request.prompt_len is not None:
+            raise ServeError(
+                f"request {request.request_id} carries prompt_len but "
+                f"model {request.model!r} is a plain matmul entry"
+            )
         if self.execute_numerics and request.a is None:
             raise ServeError(
                 f"request {request.request_id} is metadata-only but the "
                 "server executes numerics; generate the trace with "
                 "synthesize_activations=True or disable numerics"
             )
+
+    def _model_budget_bytes(self) -> int:
+        """The run's aggregate HBM budget: the explicit override, else
+        the executor GPU's catalog ``dram_gb`` times the device count."""
+        if self.hbm_bytes is not None:
+            return int(self.hbm_bytes)
+        for entry in self._models.values():
+            if entry.executor is not None:
+                return int(entry.op.gpu.dram_gb) * (1 << 30) * self.devices
+        raise ServeError("no executor-backed model is registered")
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -537,6 +724,30 @@ class InferenceServer:
     # ------------------------------------------------------------------
     # Launch accounting (shared by the dynamic and continuous paths)
     # ------------------------------------------------------------------
+    def _bm(
+        self,
+        kind: str,
+        name: str,
+        help_text: str,
+        label: "tuple[str, object] | None" = None,
+    ):
+        """Cached pre-bound metric handle for one ``(metric, label)``
+        pair — per-launch instrumentation calls this instead of
+        re-resolving the instrument and re-normalizing labels every
+        step."""
+        registry = self.tracer.metrics
+        key = (id(registry), name, label)
+        handle = self._bound_metrics.get(key)
+        if handle is None:
+            metric = getattr(registry, kind)(name, help_text)
+            handle = (
+                metric.labels(**{label[0]: label[1]})
+                if label is not None
+                else metric.labels()
+            )
+            self._bound_metrics[key] = handle
+        return handle
+
     def _cached_plan(self, cache: PlanCache, device: int, entry: ModelEntry,
                      handle: SparseHandle, padded_rows: int):
         """One plan-cache lookup, surfaced (when tracing) as a
@@ -549,16 +760,23 @@ class InferenceServer:
         hits_before = cache.stats.hits
         plan_entry = cache.lookup(entry.name, entry.op, handle, padded_rows)
         outcome = "hit" if cache.stats.hits > hits_before else "miss"
-        tr.event(
-            f"plan_cache.{outcome}",
-            track="engine",
-            model=entry.name,
-            padded_rows=padded_rows,
-            device=device,
-        )
-        tr.metrics.counter(
-            "serve_plan_cache_total", "plan-cache lookups by outcome"
-        ).inc(outcome=outcome)
+        counter = self._plan_metric_cache.get(outcome)
+        if counter is None:
+            counter = self._bm(
+                "counter", "serve_plan_cache_total",
+                "plan-cache lookups by outcome", ("outcome", outcome),
+            )
+            self._plan_metric_cache[outcome] = counter
+        counter.inc()
+        if tr.sample():  # skip attr building on dropped traces
+            tr.event(
+                f"plan_cache.{outcome}",
+                track="engine",
+                model=entry.name,
+                padded_rows=padded_rows,
+                device=device,
+                keep=True,
+            )
         return plan_entry
 
     def _modeled_launch(
@@ -633,49 +851,73 @@ class InferenceServer:
         launch communicates — a ``comm.<collective>`` child occupying
         the launch's tail (compute gates the ring, so the collective
         finishes the launch), carrying the modeled wire bytes."""
+        handles = self._launch_metric_cache.get(model)
+        if handles is None:
+            handles = (
+                self._bm(
+                    "counter", "serve_launches_total",
+                    "batch/step launches", ("model", model),
+                ),
+                self._bm(
+                    "histogram", "serve_launch_seconds",
+                    "modeled GPU seconds per launch", ("model", model),
+                ),
+            )
+            self._launch_metric_cache[model] = handles
+        handles[0].inc()
+        handles[1].observe(steps * modeled_s)
         launch_end = start_s + steps * modeled_s
+        if parent is not None and not parent.sampled:
+            # metrics above are sampling-independent; the span tree of
+            # an unsampled trace is never built.
+            tr.advance(launch_end)
+            return None
         extra = {"failed": True} if failed else {}
         launch = tr.add_span(
             "gpu.launch", start_s, launch_end,
             track="gpu", parent=parent, model=model, steps=steps, **extra,
         )
-        for slot, seconds in enumerate(per_device):
-            device = device_ids[slot] if device_ids else slot
-            tr.add_span(
-                "device.compute", start_s, start_s + steps * seconds,
-                track=f"device{device}", parent=launch,
-                device=device, model=model,
-            )
-        if comm is not None and comm.seconds > 0:
-            tr.add_span(
-                f"comm.{comm.collective}",
-                launch_end - steps * comm.seconds, launch_end,
-                track="comm", parent=launch, model=model,
-                **comm.trace_attrs(),
-            )
-        tr.metrics.counter(
-            "serve_launches_total", "batch/step launches"
-        ).inc(model=model)
-        tr.metrics.histogram(
-            "serve_launch_seconds", "modeled GPU seconds per launch"
-        ).observe(steps * modeled_s, model=model)
+        if launch.sampled:  # children of an unsampled trace never record
+            for slot, seconds in enumerate(per_device):
+                device = device_ids[slot] if device_ids else slot
+                tr.add_span(
+                    "device.compute", start_s, start_s + steps * seconds,
+                    track=f"device{device}", parent=launch,
+                    device=device, model=model,
+                )
+            if comm is not None and comm.seconds > 0:
+                tr.add_span(
+                    f"comm.{comm.collective}",
+                    launch_end - steps * comm.seconds, launch_end,
+                    track="comm", parent=launch, model=model,
+                    **comm.trace_attrs(),
+                )
         return launch
 
     def _trace_queue_wait(
         self, tr: Tracer, request: InferenceRequest, started_s: float,
-        queue: str,
+        queue: str, keep: "bool | None" = None,
     ) -> None:
         """One request's time-in-queue as a span on the ``queue``
-        track (admission to service start) plus a wait histogram."""
+        track (admission to service start) plus a wait histogram.
+        ``keep`` ties the span to its batch's sampling decision (the
+        histogram records regardless — metrics never sample)."""
+        hist = self._qwait_metric_cache.get(queue)
+        if hist is None:
+            hist = self._bm(
+                "histogram", "serve_queue_wait_seconds",
+                "queue wait per request", ("queue", queue),
+            )
+            self._qwait_metric_cache[queue] = hist
+        hist.observe(started_s - request.arrival_s)
+        if keep is False:
+            return
         tr.add_span(
             "queue.wait", request.arrival_s, started_s,
-            track="queue", parent=None,
+            track="queue", parent=None, keep=keep,
             request_id=request.request_id, model=request.model,
             priority=request.priority, queue=queue,
         )
-        tr.metrics.histogram(
-            "serve_queue_wait_seconds", "queue wait per request"
-        ).observe(started_s - request.arrival_s, queue=queue)
 
     def _execute_batch(self, entry: ModelEntry, batch, plan) -> list:
         """Run one batch's numerics and split per-request outputs."""
@@ -861,24 +1103,35 @@ class InferenceServer:
                 continue
             if device not in self._phys_devices(entry, state):
                 continue
-            handle = entry.handle
-            if len(survivors) >= 2:
-                sharded = shard_handle(handle, len(survivors), self.shard)
-                group = DeviceGroup(
-                    gpu=entry.op.gpu, devices=len(survivors), link=self.link
+            if entry.executor is not None:
+                new_entry = self._reshard_executor_entry(
+                    entry, survivors, state
                 )
-                new_entry = ModelEntry(
-                    name=name, op=entry.op, handle=handle,
-                    sharded=sharded, group=group,
-                )
+                payload = entry.executor.weight_bytes
             else:
-                new_entry = ModelEntry(name=name, op=entry.op, handle=handle)
+                handle = entry.handle
+                if len(survivors) >= 2:
+                    sharded = shard_handle(
+                        handle, len(survivors), self.shard
+                    )
+                    group = DeviceGroup(
+                        gpu=entry.op.gpu, devices=len(survivors),
+                        link=self.link,
+                    )
+                    new_entry = ModelEntry(
+                        name=name, op=entry.op, handle=handle,
+                        sharded=sharded, group=group,
+                    )
+                else:
+                    new_entry = ModelEntry(
+                        name=name, op=entry.op, handle=handle
+                    )
+                payload = (
+                    handle.compressed.values.nbytes
+                    + handle.compressed.indices.nbytes
+                )
             state.overlay[name] = new_entry
             state.device_map[name] = tuple(survivors)
-            payload = (
-                handle.compressed.values.nbytes
-                + handle.compressed.indices.nbytes
-            )
             recovery_s = (
                 payload / len(survivors) / self.link.bytes_per_s
                 + self.link.latency_s
@@ -906,12 +1159,82 @@ class InferenceServer:
                     "serve_reshards_total", "health-driven re-shards"
                 ).inc(model=name)
             blocked += recovery_s
+            if entry.executor is not None:
+                self._evict_model_residents(
+                    name, blocked, state, reason="reshard"
+                )
+        if state.memory is not None and self.devices > 1:
+            # The survivors' aggregate HBM is smaller; evicted KV was
+            # released above, and sequences that can no longer fit at
+            # all are dropped by the step path's stall relief.
+            state.memory.set_budget(
+                state.hbm_base_budget * len(survivors) // self.devices,
+                blocked,
+            )
         # The plan caches key by (model, rows, gpu, version) — not by
         # handle — so plans built for the old shard geometry are stale.
         for cache in self.plan_caches:
             cache.clear()
         state.resharded = True
         return blocked
+
+    def _reshard_executor_entry(
+        self, entry: ModelEntry, survivors: list, state: _RunState
+    ) -> ModelEntry:
+        """Rebuild a model-mode entry's per-layer sub-entries on the
+        surviving devices (each layer re-partitions its own handle)."""
+        new_layers = []
+        for layer in entry.layers:
+            if len(survivors) >= 2:
+                sharded = shard_handle(
+                    layer.handle, len(survivors), self.shard
+                )
+                group = DeviceGroup(
+                    gpu=layer.op.gpu, devices=len(survivors),
+                    link=self.link,
+                )
+                sub = ModelEntry(
+                    name=layer.name, op=layer.op, handle=layer.handle,
+                    sharded=sharded, group=group,
+                )
+            else:
+                sub = ModelEntry(
+                    name=layer.name, op=layer.op, handle=layer.handle
+                )
+            state.device_map[sub.name] = tuple(survivors)
+            new_layers.append(sub)
+        return ModelEntry(
+            name=entry.name, op=entry.op, handle=entry.handle,
+            executor=entry.executor, layers=tuple(new_layers),
+        )
+
+    def _evict_model_residents(
+        self, name: str, t_s: float, state: _RunState, *, reason: str
+    ) -> int:
+        """Preempt every resident sequence of model-mode ``name`` and
+        release its KV bytes (device death: the re-shard invalidates
+        resident caches; victims keep their progress and re-prefill on
+        the survivors when they rejoin)."""
+        cb = None if state.continuous is None else state.continuous.get(name)
+        if cb is None or not cb.resident:
+            return 0
+        victims = list(cb.resident)
+        cb.preempt_entries(victims)
+        for inflight in victims:
+            if state.memory is not None:
+                state.memory.release_kv(inflight.request.request_id, t_s)
+        if state.memory is not None:
+            state.memory.kv_evictions += len(victims)
+        tr = self.tracer
+        if tr is not None:
+            tr.event(
+                "kv.evict", t_s=t_s, track="engine", model=name,
+                count=len(victims), reason=reason,
+            )
+            tr.metrics.counter(
+                "serve_kv_evictions_total", "memory-pressure evictions"
+            ).inc(model=name, reason=reason)
+        return len(victims)
 
     def _drop(
         self,
@@ -1043,6 +1366,10 @@ class InferenceServer:
             cancelled = cb.cancel_where(expired)
             state.metrics.cancelled_evictions += len(cancelled)
             for inflight in cancelled:
+                if state.memory is not None:
+                    state.memory.release_kv(
+                        inflight.request.request_id, t_s
+                    )
                 self._drop(
                     inflight.request, "timed-out",
                     state.deadlines[inflight.request.request_id],
@@ -1119,12 +1446,40 @@ class InferenceServer:
                 name: RequestQueue(name, self.scheduling)
                 for name in self._models
             }
-            continuous = {
-                name: ContinuousBatcher(run_policy, self.scheduling)
-                for name in self._models
-            }
+            for name, entry in self._models.items():
+                recompute_cost = None
+                if entry.executor is not None:
+                    # Preemption cost = the victim's modeled re-prefill
+                    # (prompt + progress walked through every layer).
+                    def recompute_cost(
+                        inflight, _ex=entry.executor, _policy=run_policy
+                    ):
+                        return _ex.modeled_prefill_s(
+                            inflight.request.prompt_len
+                            + inflight.completed_steps,
+                            _policy,
+                        )
+
+                continuous[name] = ContinuousBatcher(
+                    run_policy, self.scheduling,
+                    recompute_cost=recompute_cost,
+                )
         metrics = ServingMetrics(submitted=len(pending))
         state = self._new_run_state(metrics)
+        state.continuous = continuous
+        executor_entries = sorted(
+            name for name, e in self._models.items() if e.executor is not None
+        )
+        if executor_entries:
+            budget = self._model_budget_bytes()
+            state.hbm_base_budget = budget
+            state.memory = DeviceMemoryModel(
+                budget, admission=self.kv_admission
+            )
+            for name in executor_entries:
+                state.memory.add_weights(
+                    name, self._models[name].executor.weight_bytes, 0.0
+                )
         if state.resilience is not None:
             for request in pending:
                 deadline = state.resilience.deadline_s(request)
@@ -1171,19 +1526,26 @@ class InferenceServer:
                 target.push(request)
                 if tracer is not None:
                     queue_name = "decode" if decode else "prefill"
-                    tracer.event(
-                        "request.admit",
-                        t_s=request.arrival_s,
-                        track="queue",
-                        request_id=request.request_id,
-                        model=request.model,
-                        queue=queue_name,
-                        priority=request.priority,
-                        rows=request.rows,
-                    )
-                    tracer.metrics.counter(
-                        "serve_requests_admitted_total", "admitted requests"
-                    ).inc(queue=queue_name)
+                    admitted = self._admit_metric_cache.get(queue_name)
+                    if admitted is None:
+                        admitted = self._bm(
+                            "counter", "serve_requests_admitted_total",
+                            "admitted requests", ("queue", queue_name),
+                        )
+                        self._admit_metric_cache[queue_name] = admitted
+                    admitted.inc()
+                    if tracer.sample():
+                        tracer.event(
+                            "request.admit",
+                            t_s=request.arrival_s,
+                            track="queue",
+                            keep=True,
+                            request_id=request.request_id,
+                            model=request.model,
+                            queue=queue_name,
+                            priority=request.priority,
+                            rows=request.rows,
+                        )
             drain = i >= n
             # (sort key, kind, model): the most urgent launchable work
             # wins; model name and kind break exact ties.
@@ -1221,6 +1583,15 @@ class InferenceServer:
                 if kind == "prefill":
                     gpu_free_s = self._launch(
                         prefill_queues[name], batcher, t, state
+                    )
+                elif self._entry(name, state).executor is not None:
+                    gpu_free_s = self._launch_model_step(
+                        name,
+                        decode_queues[name],
+                        continuous[name],
+                        batcher,
+                        t,
+                        state,
                     )
                 else:
                     gpu_free_s = self._launch_step(
@@ -1274,6 +1645,14 @@ class InferenceServer:
             for cache in self.plan_caches:
                 cache.clear()
         metrics.request_records.sort(key=lambda r: r.request.request_id)
+        if state.memory is not None:
+            # Drain invariant: every KV byte released, ledgers clean.
+            state.memory.reconcile()
+            metrics.memory = state.memory.summary()
+            if self.tracer is not None:
+                self.tracer.metrics.gauge(
+                    "serve_kv_bytes", "resident KV-cache bytes"
+                ).set(0.0)
         metrics.reconcile()
         chaos = self.faults is not None and not self.faults.empty
         return ServingReport(
@@ -1292,6 +1671,7 @@ class InferenceServer:
             resilience=(
                 None if self.resilience is None else self.resilience.describe()
             ),
+            memory_model=state.memory,
         )
 
     def _launch(
@@ -1375,13 +1755,19 @@ class InferenceServer:
             outputs = self._execute_batch(entry, batch, plan)
 
         if tr is not None:
+            keep = tr.sample()
             batch_span = tr.add_span(
                 "serve.batch", start_s, finished_s,
-                track="engine", parent=None, kind="prefill",
+                track="engine", parent=None, keep=True, kind="prefill",
                 steps=max_steps, **batch.trace_attrs(),
+            ) if keep else tr.add_span(
+                # Dropped trace: record nothing, still advance the clock.
+                "serve.batch", start_s, finished_s, parent=None, keep=False,
             )
             for request in batch.requests:
-                self._trace_queue_wait(tr, request, start_s, "prefill")
+                self._trace_queue_wait(
+                    tr, request, start_s, "prefill", keep=keep
+                )
             self._trace_launch(
                 tr, batch_span, start_s, max_steps, modeled_s,
                 per_device, comm, batch.model, device_ids=device_ids,
@@ -1468,30 +1854,38 @@ class InferenceServer:
 
         finished_entries = cb.advance()
         if tr is not None:
-            step_span = tr.add_span(
-                "serve.step", start_s, finished_s,
-                track="engine", parent=None, kind="decode",
-                joined=joined, evicted=len(finished_entries),
-                preempted=preempted, **batch.trace_attrs(),
-            )
-            if joined:
-                tr.event(
-                    "cb.join", t_s=start_s, track="engine",
-                    model=name, count=joined,
+            keep = tr.sample()
+            if keep:
+                step_span = tr.add_span(
+                    "serve.step", start_s, finished_s,
+                    track="engine", parent=None, keep=True, kind="decode",
+                    joined=joined, evicted=len(finished_entries),
+                    preempted=preempted, **batch.trace_attrs(),
                 )
-            if preempted:
-                tr.event(
-                    "cb.preempt", t_s=start_s, track="engine",
-                    model=name, count=preempted,
-                )
-            if finished_entries:
-                tr.event(
-                    "cb.evict", t_s=finished_s, track="engine",
-                    model=name, count=len(finished_entries),
+                if joined:
+                    tr.event(
+                        "cb.join", t_s=start_s, track="engine",
+                        keep=True, model=name, count=joined,
+                    )
+                if preempted:
+                    tr.event(
+                        "cb.preempt", t_s=start_s, track="engine",
+                        keep=True, model=name, count=preempted,
+                    )
+                if finished_entries:
+                    tr.event(
+                        "cb.evict", t_s=finished_s, track="engine",
+                        keep=True, model=name, count=len(finished_entries),
+                    )
+            else:
+                step_span = tr.add_span(
+                    "serve.step", start_s, finished_s, parent=None,
+                    keep=False,
                 )
             for _, inflight in finished_entries:
                 self._trace_queue_wait(
-                    tr, inflight.request, inflight.joined_s, "decode"
+                    tr, inflight.request, inflight.joined_s, "decode",
+                    keep=keep,
                 )
             self._trace_launch(
                 tr, step_span, start_s, 1, modeled_gpu_s,
@@ -1619,3 +2013,439 @@ class InferenceServer:
         )
         blocked = self._note_launch_failed(fail_device, finished_s, state)
         return max(finished_s, blocked)
+
+    # ------------------------------------------------------------------
+    # Model-mode serving (ModelExecutor entries)
+    # ------------------------------------------------------------------
+    def _modeled_model_walk(
+        self,
+        entry: ModelEntry,
+        padded_rows: int,
+        state: _RunState,
+        t_s: float,
+    ) -> "tuple[float, tuple, tuple[float, ...], float]":
+        """One walk of the whole layer stack at ``padded_rows`` rows:
+        ``(total_s, layer_spans, per_device_s, comm_s)``, where
+        ``layer_spans`` is ``(layer_name, start_offset, seconds)`` per
+        layer in walk order — layers execute back-to-back, so the
+        walk's modeled time is their plain sum (each distributed
+        layer's seconds already includes its collective)."""
+        total = 0.0
+        comm_total = 0.0
+        per_device: "list[float] | None" = None
+        spans = []
+        for sub in entry.layers:
+            seconds, pd, comm, _ = self._modeled_launch(
+                sub, padded_rows, state, t_s
+            )
+            spans.append((sub.name, total, seconds))
+            total += seconds
+            if comm is not None:
+                comm_total += comm.seconds
+            if pd:
+                if per_device is None:
+                    per_device = list(pd)
+                else:
+                    per_device = [a + b for a, b in zip(per_device, pd)]
+        return total, tuple(spans), tuple(per_device or ()), comm_total
+
+    def _drop_hopeless_model_work(
+        self,
+        name: str,
+        queue: RequestQueue,
+        cb: ContinuousBatcher,
+        mem: DeviceMemoryModel,
+        bpt: int,
+        t_s: float,
+        state: _RunState,
+    ) -> None:
+        """After a budget shrink, drop every sequence of ``name`` that
+        can never fit even with all KV drained — queued as ``shed``,
+        mid-flight as ``failed`` — so the event loop cannot stall on
+        permanently inadmissible work."""
+
+        def hopeless(request: InferenceRequest) -> bool:
+            lifetime = (request.prompt_len + request.max_new_tokens) * bpt
+            return mem.weight_bytes + lifetime > mem.budget_bytes
+
+        for request in queue.remove_where(hopeless):
+            self._drop(request, "shed", t_s, state, reason="kv-overflow")
+        doomed = [e for e in cb.preempted if hopeless(e.request)]
+        if doomed:
+            ids = {e.request.request_id for e in doomed}
+            cb.cancel_where(lambda r: r.request_id in ids)
+            state.metrics.cancelled_evictions += len(doomed)
+            for inflight in doomed:
+                self._drop(
+                    inflight.request, "failed", t_s, state,
+                    reason="kv-overflow",
+                )
+
+    def _launch_model_step(
+        self,
+        name: str,
+        queue: RequestQueue,
+        cb: ContinuousBatcher,
+        batcher: DynamicBatcher,
+        start_s: float,
+        state: _RunState,
+    ) -> float:
+        """Run one model-mode engine step for ``name`` at ``start_s``.
+
+        Order of operations, all on the simulated clock:
+
+        1. refill the rolling batch behind the KV admission gate
+           (``kv-aware`` only) and release the KV of anything the
+           refill preempted;
+        2. reserve KV for residents that need (re)prefill;
+        3. memory-pressure eviction: while the coming growth (one
+           token per resident) would overflow the budget, preempt the
+           victim with the lowest priority and cheapest modeled
+           re-prefill — resident bytes never exceed the budget;
+        4. charge modeled time: one gather-GEMM launch per layer for
+           each (re)prefill at the sequence's token count, plus one
+           per-layer decode walk of the whole batch, plus — under the
+           ``none`` baseline — host-link thrash for the overflow;
+        5. advance: finished sequences release their KV, survivors
+           grow by one token.
+        """
+        metrics = state.metrics
+        entry = self._entry(name, state)
+        ex = entry.executor
+        mem = state.memory
+        tr = self.tracer
+        if tr is not None:
+            tr.advance(start_s)
+        bpt = ex.kv_bytes_per_token
+        run_policy = cb.policy
+
+        gate = None
+        if mem.enforce:
+            pending = 0
+
+            def gate(request: InferenceRequest, completed: int) -> bool:
+                nonlocal pending
+                # Admit on the bytes reserved now plus one step of
+                # growth headroom; lifetime feasibility was proven at
+                # submit against the full budget.
+                need = (request.prompt_len + completed + 1) * bpt
+                if not mem.fits(pending + need):
+                    return False
+                pending += need
+                return True
+
+        joined, preempted = cb.refill(queue, start_s, gate=gate)
+        # Refill preemption displaces victims out of the batch; their
+        # KV frees immediately (they re-prefill on rejoin).
+        for waiting in cb.preempted:
+            mem.release_kv(waiting.request.request_id, start_s)
+
+        if not cb.resident and (queue or cb.preempted):
+            # Every waiter is memory-blocked with nothing resident to
+            # drain.  Anything that cannot fit even alone (possible
+            # only after a fail-stop shrank the budget) is dropped;
+            # the rest waits out other models' KV via a short holdoff
+            # so the event loop keeps advancing.
+            if mem.enforce:
+                self._drop_hopeless_model_work(
+                    name, queue, cb, mem, bpt, start_s, state
+                )
+                joined2, preempted2 = cb.refill(queue, start_s, gate=gate)
+                joined += joined2
+                preempted += preempted2
+                for waiting in cb.preempted:
+                    mem.release_kv(waiting.request.request_id, start_s)
+            if not cb.resident:
+                if queue or cb.has_work:
+                    state.holdoff[name] = start_s + max(
+                        self.host_overhead_s, 1e-6
+                    )
+                return start_s
+
+        # (2) KV reservation for fresh joins and post-eviction rejoins.
+        for inflight in cb.resident:
+            if inflight.needs_prefill:
+                request = inflight.request
+                if request.request_id not in mem.kv:
+                    mem.reserve_kv(
+                        request.request_id,
+                        (request.prompt_len + inflight.completed_steps)
+                        * bpt,
+                        start_s,
+                    )
+
+        # (3) Memory-pressure eviction ahead of this step's growth.
+        kv_evicted = 0
+        if mem.enforce:
+            growth = len(cb.resident) * bpt
+            while mem.resident_bytes + growth > mem.budget_bytes:
+                if len(cb.resident) > 1:
+                    victim = min(
+                        enumerate(cb.resident),
+                        key=lambda item: (
+                            item[1].request.priority,
+                            cb.recompute_cost(item[1]),
+                            -item[0],
+                        ),
+                    )[1]
+                    cb.preempt_entries([victim])
+                    mem.release_kv(victim.request.request_id, start_s)
+                    mem.kv_evictions += 1
+                    kv_evicted += 1
+                    if tr is not None:
+                        tr.event(
+                            "kv.evict", t_s=start_s, track="engine",
+                            model=name,
+                            request_id=victim.request.request_id,
+                            reason="memory-pressure",
+                        )
+                        tr.metrics.counter(
+                            "serve_kv_evictions_total",
+                            "memory-pressure evictions",
+                        ).inc(model=name, reason="memory-pressure")
+                else:
+                    # A lone resident that can no longer grow — only
+                    # possible after a budget shrink (admission proved
+                    # lifetime fit at the base budget).
+                    lone = cb.resident[0]
+                    cb.cancel_where(
+                        lambda r: r.request_id == lone.request.request_id
+                    )
+                    metrics.cancelled_evictions += 1
+                    mem.release_kv(lone.request.request_id, start_s)
+                    self._drop(
+                        lone.request, "failed", start_s, state,
+                        reason="kv-overflow",
+                    )
+                growth -= bpt
+            if not cb.resident:
+                if queue or cb.has_work:
+                    state.holdoff[name] = start_s + max(
+                        self.host_overhead_s, 1e-6
+                    )
+                return start_s
+
+        # (4) Modeled time: per-sequence (re)prefills, then one decode
+        # walk of the whole rolling batch.
+        prefills = []  # (inflight, tokens, seconds, layer_spans)
+        prefill_s = 0.0
+        comm_s = 0.0
+        per_device: "list[float] | None" = None
+
+        def merge_pd(pd) -> None:
+            nonlocal per_device
+            if pd:
+                if per_device is None:
+                    per_device = list(pd)
+                else:
+                    per_device = [a + b for a, b in zip(per_device, pd)]
+
+        for inflight in cb.resident:
+            if not inflight.needs_prefill:
+                continue
+            request = inflight.request
+            tokens = request.prompt_len + inflight.completed_steps
+            seconds, spans, pd, comm = self._modeled_model_walk(
+                entry, run_policy.bucket_rows(tokens), state, start_s
+            )
+            prefills.append((inflight, tokens, seconds, spans))
+            prefill_s += seconds
+            comm_s += comm
+            merge_pd(pd)
+            inflight.needs_prefill = False
+
+        batch = cb.form_step(
+            batcher.allocate_batch_id(), stack=False,
+            pad_to_k=entry.handle.k,
+        )
+        decode_s, decode_spans, decode_pd, decode_comm = (
+            self._modeled_model_walk(
+                entry, batch.padded_rows, state, start_s
+            )
+        )
+        comm_s += decode_comm
+        merge_pd(decode_pd)
+
+        thrash_s = 0.0
+        if not mem.enforce:
+            projected = mem.resident_bytes + len(cb.resident) * bpt
+            overflow = projected - mem.budget_bytes
+            if overflow > 0:
+                # No memory model: the overflow spills to host memory
+                # and reloads over the host link every step it stays
+                # oversubscribed.
+                thrash_s = overflow / self.host_link_bytes_per_s
+                mem.overflow_steps += 1
+
+        modeled_gpu_s = prefill_s + decode_s + thrash_s
+        finished_s = start_s + modeled_gpu_s + self.host_overhead_s
+        per_device_t = tuple(per_device or ())
+        device_ids = self._phys_devices(entry, state)
+
+        fail_device = self._launch_fault(entry, start_s, state)
+        if fail_device is not None:
+            before_ids = {e.request.request_id for e in cb.resident}
+            result = self._failed_step(
+                name, cb, batch, start_s, finished_s, modeled_gpu_s,
+                per_device_t, None, comm_s, joined, preempted,
+                fail_device, device_ids, state,
+            )
+            # The failed launch advanced nothing: sequences dropped by
+            # retry exhaustion (or evicted by a death re-shard inside
+            # _note_launch_failed) free their KV, and survivors that
+            # were prefilling this step still need their prefill.
+            survivor_ids = {e.request.request_id for e in cb.resident}
+            for rid in sorted(before_ids - survivor_ids):
+                mem.release_kv(rid, finished_s)
+            for inflight, _, _, _ in prefills:
+                if inflight.request.request_id in survivor_ids:
+                    inflight.needs_prefill = True
+            if tr is not None:
+                tr.metrics.gauge(
+                    "serve_kv_bytes", "resident KV-cache bytes"
+                ).set(float(mem.kv_bytes), model=name)
+            return result
+
+        self._note_launch_ok(entry, state)
+        state.cb_streak[name] = 0
+
+        # (5) Advance: finished sequences leave (KV freed at step
+        # end), survivors' KV grows by the token they just decoded.
+        finished_entries = cb.advance()
+        for _, inflight in finished_entries:
+            mem.release_kv(inflight.request.request_id, finished_s)
+        for inflight in cb.resident:
+            mem.grow_kv(inflight.request.request_id, bpt, finished_s)
+
+        if tr is not None:
+            keep = tr.sample()
+            if keep:
+                step_span = tr.add_span(
+                    "serve.step", start_s, finished_s,
+                    track="engine", parent=None, keep=True, kind="model",
+                    joined=joined, evicted=len(finished_entries),
+                    preempted=preempted, kv_evicted=kv_evicted,
+                    **batch.trace_attrs(),
+                )
+                offset = start_s
+                for inflight, tokens, seconds, spans in prefills:
+                    span = tr.add_span(
+                        "model.prefill", offset, offset + seconds,
+                        track="gpu", parent=step_span, model=name,
+                        request_id=inflight.request.request_id,
+                        tokens=tokens,
+                    )
+                    for layer_name, layer_off, layer_s in spans:
+                        tr.add_span(
+                            "gpu.launch",
+                            offset + layer_off,
+                            offset + layer_off + layer_s,
+                            track="gpu", parent=span, model=name,
+                            layer=layer_name,
+                        )
+                    offset += seconds
+                span = tr.add_span(
+                    "model.decode_step", offset, offset + decode_s,
+                    track="gpu", parent=step_span, model=name,
+                    rows=batch.rows,
+                )
+                for layer_name, layer_off, layer_s in decode_spans:
+                    tr.add_span(
+                        "gpu.launch",
+                        offset + layer_off,
+                        offset + layer_off + layer_s,
+                        track="gpu", parent=span, model=name,
+                        layer=layer_name,
+                    )
+                offset += decode_s
+                if thrash_s > 0:
+                    tr.add_span(
+                        "kv.thrash", offset, offset + thrash_s,
+                        track="gpu", parent=step_span, model=name,
+                        overflow_bytes=mem.overflow_bytes,
+                    )
+                if joined:
+                    tr.event(
+                        "cb.join", t_s=start_s, track="engine",
+                        keep=True, model=name, count=joined,
+                    )
+                if preempted:
+                    tr.event(
+                        "cb.preempt", t_s=start_s, track="engine",
+                        keep=True, model=name, count=preempted,
+                    )
+                if finished_entries:
+                    tr.event(
+                        "cb.evict", t_s=finished_s, track="engine",
+                        keep=True, model=name, count=len(finished_entries),
+                    )
+            else:
+                tr.add_span(
+                    # Dropped trace: nothing recorded, clock still moves.
+                    "serve.step", start_s, finished_s, parent=None,
+                    keep=False,
+                )
+            for _, inflight in finished_entries:
+                self._trace_queue_wait(
+                    tr, inflight.request, inflight.joined_s, "decode",
+                    keep=keep,
+                )
+            handles = self._launch_metric_cache.get(name)
+            if handles is None:
+                handles = (
+                    self._bm(
+                        "counter", "serve_launches_total",
+                        "batch/step launches", ("model", name),
+                    ),
+                    self._bm(
+                        "histogram", "serve_launch_seconds",
+                        "modeled GPU seconds per launch", ("model", name),
+                    ),
+                )
+                self._launch_metric_cache[name] = handles
+            handles[0].inc()
+            handles[1].observe(modeled_gpu_s)
+            kv_gauge = self._kv_gauge_cache.get(name)
+            if kv_gauge is None:
+                kv_gauge = self._bm(
+                    "gauge", "serve_kv_bytes", "resident KV-cache bytes",
+                    ("model", name),
+                )
+                self._kv_gauge_cache[name] = kv_gauge
+            kv_gauge.set(float(mem.kv_bytes))
+
+        for _, inflight in finished_entries:
+            metrics.add_request(
+                RequestRecord(
+                    request=inflight.request,
+                    batch_id=batch.batch_id,
+                    started_s=inflight.joined_s,
+                    finished_s=finished_s,
+                    output=None,
+                    retries=state.attempts.get(
+                        inflight.request.request_id, 0
+                    ),
+                )
+            )
+        metrics.add_step(
+            StepRecord(
+                step_id=batch.batch_id,
+                model=name,
+                n_resident=batch.n_requests,
+                rows=batch.rows,
+                padded_rows=batch.padded_rows,
+                joined=joined,
+                evicted=len(finished_entries),
+                preempted=preempted,
+                started_s=start_s,
+                finished_s=finished_s,
+                modeled_gpu_s=modeled_gpu_s,
+                per_device_gpu_s=per_device_t,
+                comm_s=comm_s,
+                prefill_s=prefill_s,
+                thrash_s=thrash_s,
+                kv_evicted=kv_evicted,
+                kv_bytes=mem.kv_bytes,
+            )
+        )
+        return finished_s

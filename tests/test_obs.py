@@ -611,3 +611,153 @@ class TestModeledHostSpans:
     def test_measured_span_remains_default(self, rng):
         span = self._traced_execute(rng)
         assert span.attrs["measured"] is True
+
+
+# ---------------------------------------------------------------------------
+# Head sampling + bounded retention (the always-on production config)
+# ---------------------------------------------------------------------------
+def _sampled_run(sample_rate, *, seed=7, **tracer_kwargs):
+    tracer = Tracer(sample_rate=sample_rate, **tracer_kwargs)
+    scenario = LlamaServingScenario(
+        qps=300.0,
+        duration_s=0.1,
+        execute_numerics=False,
+        seed=seed,
+        tracer=tracer,
+    )
+    return tracer, scenario.run()
+
+
+class TestSampling:
+    def test_rate_validation(self):
+        with pytest.raises(ObsError, match="sample_rate"):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ObsError, match="sample_rate"):
+            Tracer(sample_rate=-0.1)
+        with pytest.raises(ObsError, match="ring_capacity"):
+            Tracer(ring_capacity=0)
+
+    def test_rate_zero_records_nothing(self):
+        tr = Tracer(sample_rate=0.0)
+        span = tr.add_span("a", 0.0, 1.0, parent=None)
+        assert span.sampled is False
+        assert tr.event("e") is None
+        assert not tr.spans and not tr.events
+        assert tr.now == 1.0  # dropped spans still advance the clock
+
+    def test_rate_one_keeps_everything(self):
+        tr = Tracer(sample_rate=1.0)
+        assert tr.add_span("a", 0.0, 1.0, parent=None).sampled is True
+        assert tr.event("e") is not None
+        assert len(tr.spans) == 1 and len(tr.events) == 1
+
+    def test_children_inherit_the_root_decision(self):
+        tr = Tracer(sample_rate=0.0)
+        with tr.span("root") as root:
+            tr.advance(1.0)
+            child = tr.add_span("child", 0.2, 0.8)
+            assert tr.event("inside") is None
+        assert root.sampled is False and child.sampled is False
+        assert not tr.spans
+        # Explicit-parent spans inherit too — traces keep or drop whole.
+        kept = tr.add_span("r2", 0.0, 1.0, parent=None, keep=True)
+        assert tr.add_span("c2", 0.0, 1.0, parent=kept).sampled is True
+
+    def test_keep_injects_a_predrawn_decision(self):
+        tr = Tracer(sample_rate=0.0)
+        assert tr.sample() is False
+        span = tr.add_span("a", 0.0, 1.0, parent=None, keep=True)
+        assert span.sampled is True and len(tr.spans) == 1
+        assert tr.event("e", keep=True) is not None
+        # keep=False drops even at rate 1.0.
+        full = Tracer(sample_rate=1.0)
+        assert full.add_span("a", 0.0, 1.0, parent=None, keep=False).sampled is False
+        assert full.event("e", keep=False) is None
+
+    def test_sampling_is_deterministic_per_seed(self):
+        def kept(seed):
+            tr = Tracer(sample_rate=0.5, sample_seed=seed)
+            return [
+                tr.add_span(f"s{i}", i, i + 0.5, parent=None).sampled
+                for i in range(64)
+            ]
+
+        assert kept(1) == kept(1)
+        assert kept(1) != kept(2)
+        assert 0 < sum(kept(1)) < 64  # the stream actually splits
+
+    def test_sampled_serving_trace_is_reproducible(self):
+        first, _ = _sampled_run(0.25)
+        second, _ = _sampled_run(0.25)
+        as_tuples = lambda tr: [
+            (s.name, s.start_s, s.end_s, s.track) for s in tr.spans
+        ]
+        assert as_tuples(first) == as_tuples(second)
+        assert [e.name for e in first.events] == [
+            e.name for e in second.events
+        ]
+        first.check_invariants()
+
+    def test_metrics_never_sample(self):
+        """The key contract: sampling gates spans/events only — metric
+        values are identical at any rate."""
+        full, _ = _sampled_run(1.0)
+        sampled, _ = _sampled_run(0.05)
+        none, _ = _sampled_run(0.0)
+        assert len(sampled.spans) < len(full.spans)
+        assert full.metrics.as_dict() == sampled.metrics.as_dict()
+        assert full.metrics.as_dict() == none.metrics.as_dict()
+
+
+class TestRingRetention:
+    def test_ring_bounds_spans_and_counts_drops(self):
+        tr = Tracer(ring_capacity=4)
+        for i in range(10):
+            tr.add_span(f"s{i}", i, i + 0.5, parent=None)
+            tr.event(f"e{i}")
+        assert len(tr.spans) == 4 and len(tr.events) == 4
+        assert tr.dropped_spans == 6 and tr.dropped_events == 6
+        assert [s.name for s in tr.spans] == ["s6", "s7", "s8", "s9"]
+
+    def test_wrapped_ring_tolerates_orphans(self):
+        tr = Tracer(ring_capacity=2)
+        root = tr.add_span("root", 0.0, 10.0, parent=None)
+        tr.add_span("a", 0.0, 1.0, parent=root)
+        tr.add_span("b", 1.0, 2.0, parent=root)
+        tr.add_span("c", 2.0, 3.0, parent=root)  # evicts root
+        assert tr.dropped_spans > 0
+        tr.check_invariants()  # orphan check relaxed after a wrap
+
+    def test_unwrapped_ring_still_catches_orphans(self):
+        from repro.obs.tracer import Span
+
+        tr = Tracer(ring_capacity=8)
+        ghost = Span(span_id=99, name="ghost", start_s=0.0, end_s=1.0)
+        tr.add_span("child", 0.0, 1.0, parent=ghost)
+        with pytest.raises(ObsError, match="orphaned"):
+            tr.check_invariants()
+
+    def test_sink_sees_everything_past_the_ring(self):
+        class CountingSink:
+            spans = 0
+            events = 0
+
+            def on_span(self, span):
+                type(self).spans += 1
+
+            def on_event(self, event):
+                type(self).events += 1
+
+        tr = Tracer(ring_capacity=2, sink=CountingSink())
+        for i in range(6):
+            tr.add_span(f"s{i}", i, i + 0.5, parent=None)
+            tr.event(f"e{i}")
+        assert len(tr.spans) == 2
+        assert CountingSink.spans == 6 and CountingSink.events == 6
+
+    def test_ring_on_serving_run(self):
+        tracer, report = _sampled_run(1.0, ring_capacity=64)
+        assert len(tracer.spans) == 64
+        assert tracer.dropped_spans > 0
+        assert report.metrics.request_records
+        tracer.check_invariants()

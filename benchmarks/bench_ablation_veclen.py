@@ -59,7 +59,7 @@ def test_ablation_vector_length(benchmark, emit):
         "perf; 256x256 weight quality)",
     )
     errors = {}
-    for (ell, rep), (_, err) in zip(perf, acc):
+    for (ell, rep), (_, err) in zip(perf, acc, strict=True):
         pattern = NMPattern(8, 32, vector_length=ell)
         qs = 128 // ell if ell <= 128 else 1
         frac = expected_packed_fraction(pattern, max(1, qs))

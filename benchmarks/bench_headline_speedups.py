@@ -28,7 +28,7 @@ def test_headline_speedups(benchmark, emit):
     )
     overall_vs_nmsparse = []
     vs_cublas_range = []
-    for gpu, result in results.items():
+    for result in results.values():
         for sparsity in result.sparsities():
             nm = result.geomean_speedup("NM-SpMM", sparsity)
             ns = result.geomean_speedup("nmSPARSE", sparsity)

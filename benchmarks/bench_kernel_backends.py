@@ -100,9 +100,9 @@ def _best_of(fn, repeats: int) -> float:
     fn()
     best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro-lint: disable=DET002 -- host benchmark timing
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, time.perf_counter() - t0)  # repro-lint: disable=DET002 -- host benchmark timing
     return best
 
 

@@ -126,9 +126,9 @@ def measure_tracer_overhead() -> dict:
 
     def once(make_tracer) -> float:
         scenario = dataclasses.replace(base, tracer=make_tracer())
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: disable=DET002 -- host benchmark timing
         scenario.run()
-        return time.perf_counter() - start
+        return time.perf_counter() - start  # repro-lint: disable=DET002 -- host benchmark timing
 
     def sampled_tracer() -> Tracer:
         return Tracer(

@@ -32,7 +32,7 @@ Quickstart::
 """
 
 from repro._version import __version__
-from repro.sparsity import NMPattern, NMCompressedMatrix, compress, decompress
+from repro.sparsity import NMCompressedMatrix, NMPattern, compress, decompress
 from repro.backends import (
     AutoSelector,
     Backend,
@@ -47,12 +47,7 @@ from repro.core.api import NMSpMM, SparseHandle, nm_spmm
 from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.analysis import PerformanceAnalysis, analyze
 from repro.gpu import GPUSpec, get_gpu, list_gpus
-from repro.kernels import (
-    nm_spmm_fast,
-    nm_spmm_functional,
-    nm_spmm_reference,
-    dense_gemm,
-)
+from repro.kernels import dense_gemm, nm_spmm_fast, nm_spmm_functional, nm_spmm_reference
 from repro.model import KernelReport, simulate_nm_spmm
 from repro.serve import BatchingPolicy, InferenceServer
 

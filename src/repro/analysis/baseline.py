@@ -1,0 +1,121 @@
+"""Grandfathered findings: the JSON baseline file.
+
+A baseline freezes the set of *known* findings so the CI gate can land
+at zero new findings while legacy debt is paid down incrementally.
+Matching is by :meth:`Finding.identity` — ``(file, code, message)``,
+line numbers excluded — with multiset semantics: a baseline entry
+absorbs at most one live finding, so duplicating a violation on a new
+line still fails the gate.
+
+The file is plain JSON (schema ``repro-lint-baseline/v1``) and is
+meant to be reviewed in diffs: regenerate it with
+``repro lint --update-baseline`` and justify any growth in the PR.
+This repository ships an **empty** baseline — every pre-existing
+finding was fixed or pragma'd at the source line.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.analysis.finding import Finding
+from repro.errors import LintError
+
+__all__ = ["BASELINE_SCHEMA", "Baseline", "load_baseline", "save_baseline"]
+
+BASELINE_SCHEMA = "repro-lint-baseline/v1"
+
+_Identity = tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding identities."""
+
+    entries: Counter[_Identity]
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=Counter())
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries=Counter(f.identity() for f in findings))
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], int]:
+        """Split ``findings`` into ``(new, grandfathered, stale)``.
+
+        ``stale`` counts baseline entries no live finding matched —
+        debt that was paid down; ``--update-baseline`` prunes them.
+        """
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        grandfathered: list[Finding] = []
+        for finding in findings:
+            key = finding.identity()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                grandfathered.append(finding)
+            else:
+                new.append(finding)
+        stale = sum(remaining.values())
+        return new, grandfathered, stale
+
+    def to_json(self) -> dict[str, object]:
+        rows = [
+            {"file": file, "code": code, "message": message, "count": count}
+            for (file, code, message), count in sorted(self.entries.items())
+        ]
+        return {"schema": BASELINE_SCHEMA, "findings": rows}
+
+
+def load_baseline(path: str) -> Baseline:
+    """Read a baseline file, validating its schema."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise LintError(
+            f"baseline {path!r} lacks schema {BASELINE_SCHEMA!r} "
+            f"(got {data.get('schema') if isinstance(data, dict) else data!r})"
+        )
+    rows = data.get("findings")
+    if not isinstance(rows, list):
+        raise LintError(f"baseline {path!r}: 'findings' must be a list")
+    entries: Counter[_Identity] = Counter()
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise LintError(f"baseline {path!r}: findings[{i}] is not an object")
+        try:
+            key = (str(row["file"]), str(row["code"]), str(row["message"]))
+        except KeyError as exc:
+            raise LintError(
+                f"baseline {path!r}: findings[{i}] lacks key {exc}"
+            ) from None
+        count = row.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise LintError(
+                f"baseline {path!r}: findings[{i}].count must be a "
+                f"positive int, got {count!r}"
+            )
+        entries[key] += count
+    return Baseline(entries=entries)
+
+
+def save_baseline(baseline: Baseline, path: str) -> None:
+    """Write ``baseline`` as reviewable, sorted JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline.to_json(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,64 @@
+"""The unit of linter output: one :class:`Finding` per rule violation.
+
+Findings are plain data — file, line, column, rule code, message,
+severity — ordered by location so reports are stable across runs and
+identified by ``(file, code, message)`` for baseline matching (line
+numbers shift under unrelated edits; messages do not).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How seriously a finding gates CI.
+
+    Every shipped rule is an :attr:`ERROR` — the gate exists to keep
+    the determinism/units/ledger invariants hard.  :attr:`WARNING` is
+    reserved for third-party or experimental rules that want to report
+    without failing the build.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    file: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def identity(self) -> tuple[str, str, str]:
+        """The baseline-matching key.
+
+        Deliberately excludes ``line``/``col``: a grandfathered finding
+        stays grandfathered when unrelated edits move it, and reappears
+        as *new* only if its message (which embeds the offending
+        expression) changes.
+        """
+        return (self.file, self.code, self.message)
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the text-format row."""
+        return f"{self.file}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity.value,
+        }

@@ -1,0 +1,96 @@
+"""Report rendering for ``repro lint``: text rows and machine JSON.
+
+Text output is the ruff-style ``path:line:col: CODE message`` rows
+(clickable in editors/CI logs) plus a one-line summary.  JSON carries
+the full report under schema ``repro-lint-report/v1`` for tooling;
+grandfathered findings are included with a flag rather than dropped,
+so the report is a complete picture of the debt.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintReport
+from repro.analysis.registry import available_rules
+
+__all__ = ["REPORT_SCHEMA", "format_text", "format_json", "format_rule_list"]
+
+REPORT_SCHEMA = "repro-lint-report/v1"
+
+
+def _summary_line(report: LintReport) -> str:
+    gating = len(report.gating_findings)
+    parts = [
+        f"{gating} finding{'s' if gating != 1 else ''}",
+        f"{report.files_scanned} file{'s' if report.files_scanned != 1 else ''}",
+    ]
+    if report.grandfathered:
+        parts.insert(1, f"{len(report.grandfathered)} grandfathered")
+    if report.suppressed:
+        parts.insert(1, f"{report.suppressed} pragma-suppressed")
+    if report.stale_baseline:
+        parts.append(
+            f"{report.stale_baseline} stale baseline "
+            f"entr{'ies' if report.stale_baseline != 1 else 'y'} "
+            "(run --update-baseline)"
+        )
+    head = "clean: " if report.clean else ""
+    return head + ", ".join(parts)
+
+
+def format_text(report: LintReport) -> str:
+    """The human gate output: one row per gating finding + summary."""
+    lines = [finding.render() for finding in report.gating_findings]
+    if lines:
+        counts = ", ".join(
+            f"{code}: {count}"
+            for code, count in sorted(
+                {
+                    f.code: sum(
+                        1 for g in report.gating_findings if g.code == f.code
+                    )
+                    for f in report.gating_findings
+                }.items()
+            )
+        )
+        lines.append("")
+        lines.append(f"by code: {counts}")
+    lines.append(_summary_line(report))
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """The machine output: the full report as sorted, indented JSON."""
+    grandfathered_ids = {id(f) for f in report.grandfathered}
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "summary": {
+            "files_scanned": report.files_scanned,
+            "findings": len(report.findings),
+            "gating": len(report.gating_findings),
+            "grandfathered": len(report.grandfathered),
+            "suppressed": report.suppressed,
+            "stale_baseline": report.stale_baseline,
+            "by_code": report.counts_by_code(),
+            "clean": report.clean,
+        },
+        "findings": [
+            dict(f.to_json(), grandfathered=id(f) in grandfathered_ids)
+            for f in report.findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_rule_list() -> str:
+    """``repro lint --list-rules``: the registered rule pack."""
+    from repro.utils.tables import TextTable
+
+    table = TextTable(
+        ["code", "description"],
+        title="repro-lint rules (repro.analysis registry)",
+    )
+    for rule in available_rules():
+        table.add_row([rule.code, rule.description])
+    return table.render()

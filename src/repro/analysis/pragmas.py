@@ -1,0 +1,93 @@
+"""Per-line pragma suppression: ``# repro-lint: disable=CODE[,CODE]``.
+
+A pragma suppresses the named rule codes *on its own line only* —
+blanket file- or block-level waivers are deliberately unsupported, so
+every suppression sits next to the code it excuses and carries its
+justification in the same comment::
+
+    start = time.perf_counter()  # repro-lint: disable=DET002 -- measured host span
+
+``disable=all`` silences every rule on the line (for generated code).
+A malformed pragma (no codes, or a token that is neither ``all`` nor a
+plausible rule code) raises :class:`~repro.errors.LintError` rather
+than silently suppressing nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+from repro.errors import LintError
+
+__all__ = ["PRAGMA_ALL", "collect_suppressions", "is_suppressed"]
+
+#: The ``disable=`` token that silences every rule on the line.
+PRAGMA_ALL = "all"
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>[^#]*)")
+_DISABLE_RE = re.compile(r"disable=(?P<codes>[A-Za-z0-9_,\s]*)")
+_CODE_RE = re.compile(r"^[A-Z]+[0-9]+$")
+
+
+def _parse_pragma(body: str, line: int) -> set[str]:
+    match = _DISABLE_RE.search(body)
+    if match is None:
+        raise LintError(
+            f"line {line}: repro-lint pragma without a disable= clause: "
+            f"{body.strip()!r}"
+        )
+    codes: set[str] = set()
+    raw = match.group("codes")
+    # Codes end at the first token that stops looking like a code list;
+    # anything after (e.g. a ``-- justification`` tail) is free text.
+    for token in raw.replace(",", " ").split():
+        if token == PRAGMA_ALL:
+            codes.add(PRAGMA_ALL)
+        elif _CODE_RE.match(token):
+            codes.add(token)
+        else:
+            break
+    if not codes:
+        raise LintError(
+            f"line {line}: repro-lint disable= names no rule codes: "
+            f"{body.strip()!r}"
+        )
+    return codes
+
+
+def collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule codes suppressed on that line.
+
+    Pragmas are read from real comment tokens (via :mod:`tokenize`),
+    so the pattern appearing inside a string literal is not a pragma.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            tok for tok in tokens if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):
+        # Unparseable files surface as LINT999 findings from the
+        # engine; there is nothing to suppress.
+        return suppressions
+    for tok in comments:
+        match = _PRAGMA_RE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        codes = _parse_pragma(match.group("body"), line)
+        suppressions.setdefault(line, set()).update(codes)
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: dict[int, set[str]], line: int, code: str
+) -> bool:
+    """Whether ``code`` is pragma-suppressed on ``line``."""
+    active = suppressions.get(line)
+    if not active:
+        return False
+    return code in active or PRAGMA_ALL in active

@@ -1,0 +1,48 @@
+"""API001: deprecated-API discipline.
+
+The frozen ``EXECUTE_BACKENDS`` tuple was replaced by the pluggable
+backend registry in PR 3; the module-``__getattr__`` shims emit a
+``DeprecationWarning`` at runtime, but nothing stops new code from
+accreting onto the old name.  This rule does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.registry import RuleContext
+
+__all__ = ["DeprecatedExecuteBackendsRule"]
+
+_DEPRECATED = "EXECUTE_BACKENDS"
+
+
+class DeprecatedExecuteBackendsRule:
+    """API001: no new references to the ``EXECUTE_BACKENDS`` shim."""
+
+    code = "API001"
+    description = (
+        "use of the deprecated EXECUTE_BACKENDS shim; enumerate "
+        "repro.backends.backend_names() instead"
+    )
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Name) and node.id == _DEPRECATED:
+                reference = node.id
+            elif isinstance(node, ast.Attribute) and node.attr == _DEPRECATED:
+                reference = f"...{node.attr}"
+            elif isinstance(node, ast.ImportFrom) and any(
+                alias.name == _DEPRECATED for alias in node.names
+            ):
+                reference = f"from {node.module} import {_DEPRECATED}"
+            else:
+                continue
+            yield context.finding(
+                node,
+                self.code,
+                f"{reference} is a deprecated shim over the backend "
+                "registry; call repro.backends.backend_names() instead",
+            )

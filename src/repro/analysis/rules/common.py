@@ -1,0 +1,57 @@
+"""Shared AST helpers for the rule pack: import-alias resolution.
+
+Rules that target library calls (``np.random.default_rng``,
+``time.perf_counter``) must see through ``import numpy as np`` /
+``from time import perf_counter`` aliasing.  :class:`ImportMap` builds
+the alias table once per module and resolves an ``Attribute``/``Name``
+chain back to its canonical dotted path.
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["ImportMap"]
+
+
+class ImportMap:
+    """Canonical dotted paths for a module's imported names.
+
+    Only *imported* bindings resolve — a local variable named
+    ``random`` shadows nothing here, which errs on the side of
+    flagging (the linter's job) but in practice the repo never shadows
+    module names.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self._aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds ``numpy``.
+                        top = alias.name.split(".", 1)[0]
+                        self._aliases[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never hit stdlib/numpy
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self._aliases[bound] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> "str | None":
+        """The canonical dotted path of a ``Name``/``Attribute`` chain,
+        or ``None`` when the chain's base is not an imported name."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self._aliases.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))

@@ -1,0 +1,214 @@
+"""Determinism rules: DET001 (seeded RNG), DET002 (wall clock),
+DET003 (unordered iteration).
+
+Every headline number this reproduction ships is gated on the
+simulator being bit-deterministic per seed (`BENCH_*.json` acceptance
+checks, byte-identical Chrome traces per seed).  These rules make the
+three ways that property has historically been lost into lint errors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.registry import RuleContext
+from repro.analysis.rules.common import ImportMap
+
+__all__ = ["UnseededRngRule", "WallClockRule", "UnorderedIterationRule"]
+
+#: ``numpy.random`` attributes that construct *seedable* generator
+#: machinery rather than drawing from the module-level global RNG.
+_SEEDABLE_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+#: stdlib ``random`` attributes that are seedable classes (an explicit
+#: ``random.Random(seed)`` instance is deterministic; ``SystemRandom``
+#: is OS entropy and stays flagged).
+_SEEDABLE_STDLIB_RANDOM = frozenset({"Random"})
+
+
+class UnseededRngRule:
+    """DET001: every random draw must come from an explicitly seeded
+    ``np.random.Generator``.
+
+    Flags ``np.random.default_rng()`` with no seed argument, any call
+    into the module-level ``np.random.*`` global state, and any call
+    into stdlib ``random.*`` (its global Mersenne state included).
+    """
+
+    code = "DET001"
+    description = (
+        "unseeded or module-level RNG: np.random.default_rng() without "
+        "a seed, np.random.<fn>(), or stdlib random.*"
+    )
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        imports = ImportMap(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = imports.resolve(node.func)
+            if dotted is None:
+                continue
+            if dotted == "numpy.random.default_rng":
+                if not node.args and not node.keywords:
+                    yield context.finding(
+                        node,
+                        self.code,
+                        "np.random.default_rng() without a seed draws "
+                        "from OS entropy; pass an explicit seed",
+                    )
+                continue
+            prefix, _, attr = dotted.rpartition(".")
+            if prefix == "numpy.random" and attr not in _SEEDABLE_NP_RANDOM:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"np.random.{attr}() uses numpy's module-level global "
+                    "RNG; use an explicitly seeded np.random.default_rng(seed)",
+                )
+            elif (
+                dotted.startswith("random.")
+                and prefix == "random"
+                and attr not in _SEEDABLE_STDLIB_RANDOM
+            ):
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"random.{attr}() uses the stdlib global RNG; use an "
+                    "explicitly seeded np.random.default_rng(seed)",
+                )
+
+
+class WallClockRule:
+    """DET002: the simulated clock is the only clock.
+
+    Wall-clock reads make runs non-reproducible and leak host speed
+    into modeled numbers.  The only sanctioned sites are the three
+    measured-host-span modules, which *intentionally* record host
+    wall time (``ExecutionResult.seconds``, ``backend.<name>.run``
+    spans) and are excluded by path.
+    """
+
+    code = "DET002"
+    description = (
+        "wall-clock read (time.time/perf_counter/monotonic, "
+        "datetime.now) outside the sanctioned measured-host-span "
+        "modules"
+    )
+
+    #: Path suffixes (posix) where host wall time is the point.
+    sanctioned_path_suffixes: tuple[str, ...] = (
+        "repro/backends/base.py",
+        "repro/backends/structural.py",
+        "repro/distributed/sharded.py",
+    )
+
+    _WALL_CLOCK = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        if context.path.endswith(self.sanctioned_path_suffixes):
+            return
+        imports = ImportMap(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = imports.resolve(node.func)
+            if dotted in self._WALL_CLOCK:
+                yield context.finding(
+                    node,
+                    self.code,
+                    f"wall-clock read {dotted}(): simulated components "
+                    "must take time from the event loop / Tracer clock "
+                    "(sanctioned only in the measured-host-span modules)",
+                )
+
+
+def _keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    )
+
+
+class UnorderedIterationRule:
+    """DET003: sort before iterating hash-ordered containers.
+
+    Iterating a set feeds hash order — which varies per process under
+    string-hash randomization — into whatever the loop builds; and
+    ``d.keys()`` hides the ordering decision behind insertion order.
+    Both must go through ``sorted(...)`` (or, for dicts, iterate the
+    dict directly when insertion order is the *documented* contract).
+    """
+
+    code = "DET003"
+    description = (
+        "iteration over a bare set / dict.keys(); sort before "
+        "iterating so output ordering is explicit"
+    )
+
+    def _iter_targets(self, tree: ast.Module) -> Iterator[ast.AST]:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                yield node.iter
+            elif isinstance(node, ast.comprehension):
+                yield node.iter
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for target in self._iter_targets(context.tree):
+            if _set_expression(target):
+                yield context.finding(
+                    target,
+                    self.code,
+                    "iterating a set literal/constructor feeds hash "
+                    "order into the loop; wrap it in sorted(...)",
+                )
+            elif _keys_call(target):
+                yield context.finding(
+                    target,
+                    self.code,
+                    "iterating d.keys() leaves the ordering contract "
+                    "implicit; iterate sorted(d) (or the dict itself "
+                    "when insertion order is the documented contract)",
+                )

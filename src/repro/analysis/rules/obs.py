@@ -1,0 +1,61 @@
+"""OBS001: ``Tracer.span()`` discipline.
+
+``Tracer.span()`` returns a context manager; calling it outside a
+``with`` (or without handing it to ``ExitStack.enter_context``) opens
+a span that is never closed, which ``Tracer.check_invariants()`` only
+catches at runtime *if* the code path runs under a tracer in tests.
+The lint rule catches it on every path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.registry import RuleContext
+
+__all__ = ["SpanOutsideWithRule"]
+
+
+class SpanOutsideWithRule:
+    """OBS001: every ``.span(...)`` call must be a ``with`` context."""
+
+    code = "OBS001"
+    description = (
+        "Tracer.span() called outside a `with` block (or "
+        "ExitStack.enter_context); the span would never close"
+    )
+
+    def _sanctioned_calls(self, tree: ast.Module) -> set[int]:
+        """ids of ``.span(...)`` Call nodes used as a ``with`` item's
+        context expression or fed straight to ``enter_context``."""
+        sanctioned: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    sanctioned.add(id(item.context_expr))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "enter_context"
+            ):
+                sanctioned.update(id(arg) for arg in node.args)
+        return sanctioned
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        sanctioned = self._sanctioned_calls(context.tree)
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and id(node) not in sanctioned
+            ):
+                yield context.finding(
+                    node,
+                    self.code,
+                    ".span(...) outside a `with` block leaks an open "
+                    "span; use `with tracer.span(...):` (or "
+                    "stack.enter_context)",
+                )

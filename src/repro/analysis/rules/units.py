@@ -1,0 +1,131 @@
+"""UNIT001: unit-suffix discipline for time and byte quantities.
+
+The codebase encodes units in names — ``max_wait_s``, ``p99_ms``,
+``kv_bytes``, ``dram_gb`` — and converts at well-marked seams
+(``* 1e-3``, ``* GB``).  Adding, subtracting or comparing two names
+whose suffixes disagree with no conversion literal in between is
+almost always a unit bug (the exact seam the AutoSelector calibration
+work keeps hitting).  Multiplication and division are *not* checked:
+``payload_bytes / elapsed_s`` is how rates are built.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.registry import RuleContext
+
+__all__ = ["UnitSuffixRule"]
+
+#: suffix -> (dimension, unit).  Longest suffix wins so ``_bytes``
+#: never parses as ``_s``.
+_UNIT_SUFFIXES: dict[str, tuple[str, str]] = {
+    "_ns": ("time", "ns"),
+    "_us": ("time", "us"),
+    "_ms": ("time", "ms"),
+    "_s": ("time", "s"),
+    "_bytes": ("bytes", "bytes"),
+    "_kb": ("bytes", "kb"),
+    "_mb": ("bytes", "mb"),
+    "_gb": ("bytes", "gb"),
+    "_kib": ("bytes", "kib"),
+    "_mib": ("bytes", "mib"),
+    "_gib": ("bytes", "gib"),
+}
+
+_ORDERED_SUFFIXES = sorted(_UNIT_SUFFIXES, key=len, reverse=True)
+
+#: Rate names (``bytes_per_s``) end in a unit suffix but denote a
+#: different dimension; two rates comparing equal suffixes is fine and
+#: anything else is too ambiguous to flag.
+_RATE_MARKER = "_per_"
+
+
+def _unit_of(node: ast.AST) -> "tuple[str, str, str] | None":
+    """``(name, dimension, unit)`` when ``node`` is a plain name (or
+    attribute) carrying a unit suffix; ``None`` for anything else —
+    calls, literals and arithmetic count as conversion points."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    if _RATE_MARKER in name:
+        return None
+    for suffix in _ORDERED_SUFFIXES:
+        if name.endswith(suffix):
+            dimension, unit = _UNIT_SUFFIXES[suffix]
+            return name, dimension, unit
+    return None
+
+
+_CHECKED_BINOPS = (ast.Add, ast.Sub)
+_CHECKED_COMPARES = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+class UnitSuffixRule:
+    """UNIT001: no ``+``/``-``/comparison across unit suffixes."""
+
+    code = "UNIT001"
+    description = (
+        "arithmetic or comparison mixes differently-suffixed unit "
+        "names (_s/_ms/_bytes/_gb...) with no conversion in between"
+    )
+
+    def _mismatch(
+        self, context: RuleContext, anchor: ast.AST, op: str, lhs: ast.AST, rhs: ast.AST
+    ) -> "Finding | None":
+        left = _unit_of(lhs)
+        right = _unit_of(rhs)
+        if left is None or right is None:
+            return None
+        lname, ldim, lunit = left
+        rname, rdim, runit = right
+        if (ldim, lunit) == (rdim, runit):
+            return None
+        if ldim != rdim:
+            detail = f"mixes dimensions ({ldim} vs {rdim})"
+        else:
+            detail = f"mixes {ldim} units ({lunit} vs {runit})"
+        return context.finding(
+            anchor,
+            self.code,
+            f"'{lname}' {op} '{rname}' {detail} with no conversion; "
+            "convert one side explicitly",
+        )
+
+    def check(self, context: RuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _CHECKED_BINOPS):
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                found = self._mismatch(context, node, op, node.left, node.right)
+                if found is not None:
+                    yield found
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, _CHECKED_BINOPS
+            ):
+                op = "+=" if isinstance(node.op, ast.Add) else "-="
+                found = self._mismatch(context, node, op, node.target, node.value)
+                if found is not None:
+                    yield found
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for cmp_op, lhs, rhs in zip(
+                    node.ops, operands[:-1], operands[1:], strict=True
+                ):
+                    if not isinstance(cmp_op, _CHECKED_COMPARES):
+                        continue
+                    op = {
+                        ast.Lt: "<",
+                        ast.LtE: "<=",
+                        ast.Gt: ">",
+                        ast.GtE: ">=",
+                        ast.Eq: "==",
+                        ast.NotEq: "!=",
+                    }[type(cmp_op)]
+                    found = self._mismatch(context, node, op, lhs, rhs)
+                    if found is not None:
+                        yield found

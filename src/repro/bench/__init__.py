@@ -7,11 +7,11 @@ benchmarks under ``benchmarks/`` and the CLI (``python -m repro``)
 are thin wrappers over these drivers.
 """
 
-from repro.bench.fig7 import run_fig7, render_fig7, Fig7Result
-from repro.bench.fig8 import run_fig8, render_fig8, Fig8Result
-from repro.bench.fig9 import run_fig9, render_fig9, Fig9Result
-from repro.bench.fig10 import run_fig10, render_fig10, Fig10Result
-from repro.bench.tables import run_table1, render_table1, Table1Result
+from repro.bench.fig7 import Fig7Result, render_fig7, run_fig7
+from repro.bench.fig8 import Fig8Result, render_fig8, run_fig8
+from repro.bench.fig9 import Fig9Result, render_fig9, run_fig9
+from repro.bench.fig10 import Fig10Result, render_fig10, run_fig10
+from repro.bench.tables import Table1Result, render_table1, run_table1
 from repro.bench.runner import Sweep, SweepCell, run_sweep
 
 __all__ = [

@@ -185,6 +185,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="list registered execution backends and their capabilities",
     )
 
+    plint = sub.add_parser(
+        "lint",
+        help="AST-based invariant linter: determinism, units, ledger "
+             "and API discipline (the repro-lint CI gate)",
+    )
+    plint.add_argument("paths", nargs="*", default=["src"],
+                       help="files or directories to lint (default: src)")
+    plint.add_argument("--format", choices=["text", "json"], default="text",
+                       dest="output_format",
+                       help="report format: clickable text rows or the "
+                            "repro-lint-report/v1 JSON document")
+    plint.add_argument("--baseline", default=None, metavar="PATH",
+                       help="JSON baseline of grandfathered findings; "
+                            "only findings not in it fail the gate")
+    plint.add_argument("--update-baseline", action="store_true",
+                       help="rewrite --baseline from the current "
+                            "findings (prunes stale entries) and exit 0")
+    plint.add_argument("--select", nargs="+", default=None, metavar="CODE",
+                       help="run only these rule codes (default: all)")
+    plint.add_argument("--exclude", action="append", default=[],
+                       metavar="PREFIX",
+                       help="skip files whose path (relative to the "
+                            "working directory) starts with this posix "
+                            "prefix; repeatable")
+    plint.add_argument("--list-rules", action="store_true",
+                       help="print the registered rule pack and exit")
+
     ptr = sub.add_parser(
         "trace", help="inspect trace files written by serve-sim --trace"
     )
@@ -235,19 +262,65 @@ def render_backends() -> str:
     return table.render()
 
 
+def run_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand: run the invariant linter and gate on
+    new findings (exit 1) — the same call CI makes."""
+    from repro.analysis import (
+        Baseline,
+        format_json,
+        format_rule_list,
+        format_text,
+        lint_paths,
+        load_baseline,
+        save_baseline,
+    )
+    from repro.errors import LintError
+
+    if args.list_rules:
+        print(format_rule_list())
+        return 0
+    try:
+        rules = None
+        if args.select is not None:
+            from repro.analysis import get_rule
+
+            rules = [get_rule(code) for code in args.select]
+        report = lint_paths(
+            tuple(args.paths), rules=rules, exclude=tuple(args.exclude)
+        )
+        if args.update_baseline:
+            if args.baseline is None:
+                raise LintError("--update-baseline requires --baseline PATH")
+            save_baseline(Baseline.from_findings(report.findings), args.baseline)
+            print(
+                f"wrote {args.baseline} "
+                f"({len(report.findings)} grandfathered findings)"
+            )
+            return 0
+        if args.baseline is not None:
+            report.apply_baseline(load_baseline(args.baseline))
+    except LintError as exc:
+        raise SystemExit(f"lint: {exc}") from exc
+    if args.output_format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report))
+    return 0 if report.clean else 1
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     # Imports are deferred so `--help` stays fast.
     from repro.bench import (
+        render_fig10,
         render_fig7,
         render_fig8,
         render_fig9,
-        render_fig10,
         render_table1,
+        run_fig10,
         run_fig7,
         run_fig8,
         run_fig9,
-        run_fig10,
         run_table1,
     )
 
@@ -383,7 +456,7 @@ def main(argv: "list[str] | None" = None) -> int:
         except ReproError as exc:
             if stream_writer is not None:
                 stream_writer.close()
-            raise SystemExit(f"serve-sim: {exc}")
+            raise SystemExit(f"serve-sim: {exc}") from exc
         print(report.render(title=f"serve-sim: {scenario.describe()}"))
         if args.json:
             with open(args.json, "w") as fh:
@@ -413,7 +486,7 @@ def main(argv: "list[str] | None" = None) -> int:
             try:
                 print(summarize_file(args.file, top=args.top))
             except (OSError, ObsError) as exc:
-                raise SystemExit(f"trace summarize: {exc}")
+                raise SystemExit(f"trace summarize: {exc}") from exc
         else:
             import json as json_module
 
@@ -421,7 +494,7 @@ def main(argv: "list[str] | None" = None) -> int:
                 with open(args.file) as fh:
                     data = json_module.load(fh)
             except (OSError, ValueError) as exc:
-                raise SystemExit(f"trace validate: {exc}")
+                raise SystemExit(f"trace validate: {exc}") from exc
             problems = validate_chrome_trace(data)
             if problems:
                 for problem in problems:
@@ -433,6 +506,8 @@ def main(argv: "list[str] | None" = None) -> int:
             )
     elif args.experiment == "backends":
         print(render_backends())
+    elif args.experiment == "lint":
+        return run_lint(args)
     elif args.experiment == "all":
         print(render_fig7(run_fig7()))
         print()

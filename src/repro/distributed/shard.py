@@ -256,7 +256,7 @@ def shard_column(handle: "SparseHandle", devices: int) -> ShardedHandle:
         pattern=pattern,
         shards=tuple(
             DeviceShard(device=d, handle=h, start=start, stop=stop)
-            for (d, _, start, stop), h in zip(shards, handles)
+            for (d, _, start, stop), h in zip(shards, handles, strict=True)
         ),
         k=comp.k,
         n=comp.n,
@@ -295,7 +295,7 @@ def shard_row(handle: "SparseHandle", devices: int) -> ShardedHandle:
         pattern=pattern,
         shards=tuple(
             DeviceShard(device=d, handle=h, start=start, stop=stop)
-            for (d, _, start, stop), h in zip(shards, handles)
+            for (d, _, start, stop), h in zip(shards, handles, strict=True)
         ),
         k=comp.k,
         n=comp.n,

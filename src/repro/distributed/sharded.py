@@ -300,6 +300,7 @@ class ShardedBackend:
                 sharded, self.group, request.m, version=version
             ),
             sharded.shards,
+            strict=True,
         ):
             col_info = None
             if device_plan.uses_packing:

@@ -21,6 +21,7 @@ __all__ = [
     "ShardError",
     "ObsError",
     "FaultError",
+    "LintError",
 ]
 
 
@@ -79,3 +80,8 @@ class ObsError(ReproError):
 class FaultError(ReproError):
     """A fault-injection plan is malformed (bad ``--faults`` spec,
     out-of-range probability or window, unknown fault kind)."""
+
+
+class LintError(ReproError):
+    """The static-analysis engine was misused (unknown rule code,
+    malformed pragma or baseline file, unparseable lint target)."""

@@ -9,10 +9,10 @@ way the paper's §III analysis does.
 from repro.gpu.spec import GPUSpec
 from repro.gpu.catalog import A100_80G, RTX_3090, RTX_4090, get_gpu, list_gpus, resolve_gpu
 from repro.gpu.memory import MemoryHierarchy
-from repro.gpu.banks import bank_conflict_degree, warp_transactions, conflict_multiplier
+from repro.gpu.banks import bank_conflict_degree, conflict_multiplier, warp_transactions
 from repro.gpu.occupancy import OccupancyResult, compute_occupancy
 from repro.gpu.isa import InstructionClass, IssueModel, issue_model_for
-from repro.gpu.roofline import Roofline, BoundKind
+from repro.gpu.roofline import BoundKind, Roofline
 
 __all__ = [
     "GPUSpec",

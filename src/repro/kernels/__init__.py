@@ -23,21 +23,21 @@ from repro.kernels.reference import nm_spmm_reference
 from repro.kernels.dense import dense_gemm, gemm_flops
 from repro.kernels.functional import nm_spmm_functional
 from repro.kernels.fast import nm_spmm_fast
-from repro.kernels.blocked import nm_spmm_blocked, KernelTrace
+from repro.kernels.blocked import KernelTrace, nm_spmm_blocked
 from repro.kernels.packed import nm_spmm_packed
 from repro.kernels.analytic import analytic_trace
 from repro.kernels.tiling import (
-    TileParams,
-    MatrixSizeClass,
     TABLE_I,
+    MatrixSizeClass,
+    TileParams,
     classify_matrix,
-    params_for,
+    cmar,
     max_ks_eq5,
     max_ks_listing1,
-    cmar,
+    params_for,
 )
 from repro.kernels.thread_grid import ThreadGrid, thread_offsets
-from repro.kernels.autotune import autotune, AutotuneResult
+from repro.kernels.autotune import AutotuneResult, autotune
 
 __all__ = [
     "nm_spmm_reference",

@@ -119,7 +119,7 @@ def analytic_trace(
     # spans the windows its n-tile overlaps.
     q_spans = [
         ceil_div(j0 + nj, ell) - j0 // ell
-        for j0, nj in zip(range(0, n, params.ns), n_tiles)
+        for j0, nj in zip(range(0, n, params.ns), n_tiles, strict=True)
     ]
     trace.ldg_a_bytes = m * num_bj * k * FP32_BYTES
     trace.ldg_b_bytes = num_bi * w * n * FP32_BYTES

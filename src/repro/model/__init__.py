@@ -8,9 +8,9 @@ and cost models for the cuBLAS / nmSPARSE / Sputnik baselines.
 """
 
 from repro.model.workload import ProblemShape, SparseProblem
-from repro.model.events import TrafficBreakdown, InstructionBudget
+from repro.model.events import InstructionBudget, TrafficBreakdown
 from repro.model.timing import KernelReport, StageBreakdown
-from repro.model.engine import simulate_nm_spmm, KernelSimulator
+from repro.model.engine import KernelSimulator, simulate_nm_spmm
 from repro.model.calibration import Calibration, calibration_for
 from repro.model.pipeline import (
     PipelineStage,

@@ -4,7 +4,7 @@ sparse speedup (the four comparison series of Fig. 9)."""
 from repro.model.baselines.cublas import simulate_cublas
 from repro.model.baselines.nmsparse import simulate_nmsparse
 from repro.model.baselines.sputnik import simulate_sputnik
-from repro.model.baselines.ideal import ideal_speedup, ideal_seconds
+from repro.model.baselines.ideal import ideal_seconds, ideal_speedup
 
 __all__ = [
     "simulate_cublas",

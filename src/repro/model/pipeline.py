@@ -103,7 +103,7 @@ class SoftwarePipeline:
         load_free = 0.0
         comp_free = 0.0
         comp_end: list[float] = []
-        for i, (lc, cc) in enumerate(zip(load_cycles, compute_cycles)):
+        for i, (lc, cc) in enumerate(zip(load_cycles, compute_cycles, strict=True)):
             # Buffer reuse: wait until the compute that last used this
             # buffer slot has finished.
             buffer_ready = 0.0

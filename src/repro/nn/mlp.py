@@ -29,7 +29,7 @@ class MLP:
     def __init__(self, layers: "list[Linear | NMSparseLinear]"):
         if not layers:
             raise ShapeError("MLP needs at least one layer")
-        for prev, nxt in zip(layers, layers[1:]):
+        for prev, nxt in zip(layers, layers[1:], strict=False):
             if prev.out_features != nxt.in_features:
                 raise ShapeError(
                     f"layer mismatch: {prev.out_features} -> {nxt.in_features}"
@@ -49,7 +49,7 @@ class MLP:
             raise ShapeError("sizes needs at least input and output dims")
         rng = np.random.default_rng(seed)
         layers: list[Linear] = []
-        for fan_in, fan_out in zip(sizes, sizes[1:]):
+        for fan_in, fan_out in zip(sizes, sizes[1:], strict=False):
             std = scale if scale is not None else (2.0 / fan_in) ** 0.5
             w = (rng.standard_normal((fan_in, fan_out)) * std).astype(np.float32)
             b = np.zeros(fan_out, dtype=np.float32)

@@ -34,12 +34,13 @@ from repro.obs.metrics import (
 )
 from repro.obs.prometheus import prometheus_text
 from repro.obs.summarize import render_summary, summarize_file, summarize_spans
-from repro.obs.tracer import Span, TraceEvent, Tracer
+from repro.obs.tracer import Span, TraceEvent, Tracer, TraceSink
 
 __all__ = [
     "Tracer",
     "Span",
     "TraceEvent",
+    "TraceSink",
     "MetricsRegistry",
     "Counter",
     "Gauge",

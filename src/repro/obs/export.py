@@ -31,9 +31,10 @@ and :func:`validate_chrome_trace` is the schema check behind
 from __future__ import annotations
 
 import json
+from typing import IO, Any
 
 from repro.errors import ObsError
-from repro.obs.tracer import Tracer
+from repro.obs.tracer import Span, TraceEvent, Tracer
 
 __all__ = [
     "chrome_trace",
@@ -59,11 +60,11 @@ def _tracks(tracer: Tracer) -> list[str]:
     return tracks
 
 
-def chrome_trace(tracer: Tracer) -> dict:
+def chrome_trace(tracer: Tracer) -> dict[str, Any]:
     """The tracer's content as a Chrome trace-event JSON object."""
     tracks = _tracks(tracer)
     tid = {track: i for i, track in enumerate(tracks)}
-    events: list[dict] = [
+    events: list[dict[str, Any]] = [
         {
             "ph": "M",
             "name": "thread_name",
@@ -115,9 +116,9 @@ def write_chrome_trace(tracer: Tracer, path: str) -> None:
         json.dump(chrome_trace(tracer), fh, sort_keys=True)
 
 
-def jsonl_records(tracer: Tracer) -> list[dict]:
+def jsonl_records(tracer: Tracer) -> list[dict[str, Any]]:
     """The tracer's content as a list of JSONL records (header first)."""
-    records: list[dict] = [
+    records: list[dict[str, Any]] = [
         {
             "type": "meta",
             "clock": "simulated",
@@ -170,9 +171,9 @@ class StreamingJsonlWriter:
     Usable as a context manager; :meth:`close` is idempotent.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = path
-        self._fh = open(path, "w")
+        self._fh: "IO[str] | None" = open(path, "w")
         self.spans_written = 0
         self.events_written = 0
         self._write(
@@ -184,14 +185,14 @@ class StreamingJsonlWriter:
             }
         )
 
-    def _write(self, record: dict) -> None:
+    def _write(self, record: dict[str, Any]) -> None:
         if self._fh is None:
             raise ObsError(
                 f"streaming trace writer for {self.path!r} is closed"
             )
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
 
-    def on_span(self, span) -> None:
+    def on_span(self, span: Span) -> None:
         """Called by the tracer when a span finishes."""
         self._write(
             {
@@ -207,7 +208,7 @@ class StreamingJsonlWriter:
         )
         self.spans_written += 1
 
-    def on_event(self, ev) -> None:
+    def on_event(self, ev: TraceEvent) -> None:
         """Called by the tracer when an instant event is recorded."""
         self._write(
             {
@@ -228,14 +229,22 @@ class StreamingJsonlWriter:
     def __enter__(self) -> "StreamingJsonlWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
 # ----------------------------------------------------------------------
 # Loading
 # ----------------------------------------------------------------------
-def _span_dict(name, span_id, parent_id, track, start_s, duration_s, attrs):
+def _span_dict(
+    name: str,
+    span_id: Any,
+    parent_id: Any,
+    track: str,
+    start_s: float,
+    duration_s: float,
+    attrs: dict[str, Any],
+) -> dict[str, Any]:
     return {
         "name": name,
         "span_id": span_id,
@@ -247,9 +256,9 @@ def _span_dict(name, span_id, parent_id, track, start_s, duration_s, attrs):
     }
 
 
-def _load_chrome(data: dict) -> dict:
-    spans: list[dict] = []
-    events: list[dict] = []
+def _load_chrome(data: dict[str, Any]) -> dict[str, Any]:
+    spans: list[dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
     for ev in data.get("traceEvents", []):
         ph = ev.get("ph")
         args = ev.get("args", {}) or {}
@@ -282,9 +291,9 @@ def _load_chrome(data: dict) -> dict:
     return {"spans": spans, "events": events}
 
 
-def _load_jsonl(lines: list[str]) -> dict:
-    spans: list[dict] = []
-    events: list[dict] = []
+def _load_jsonl(lines: list[str]) -> dict[str, Any]:
+    spans: list[dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -324,7 +333,7 @@ def _load_jsonl(lines: list[str]) -> dict:
     return {"spans": spans, "events": events}
 
 
-def load_trace(path: str) -> dict:
+def load_trace(path: str) -> dict[str, Any]:
     """Load either export format back into normalized ``{"spans",
     "events"}`` lists (span times in plain seconds)."""
     with open(path) as fh:
@@ -357,8 +366,8 @@ def validate_chrome_trace(data: object) -> list[str]:
         return ["missing 'traceEvents' array"]
     if not events:
         problems.append("'traceEvents' is empty")
-    named_tids: set = set()
-    used_tids: set = set()
+    named_tids: set[tuple[int, int]] = set()
+    used_tids: set[tuple[int, int]] = set()
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):

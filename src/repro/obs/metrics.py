@@ -17,6 +17,7 @@ from __future__ import annotations
 import bisect
 import itertools
 from dataclasses import dataclass, field
+from typing import Any, Iterator, TypeVar, Union
 
 from repro.errors import ObsError
 
@@ -28,6 +29,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Metric",
     "MetricsRegistry",
 ]
 
@@ -45,7 +47,7 @@ LabelKey = tuple[tuple[str, str], ...]
 _NO_LABELS: LabelKey = ()
 
 
-def _label_key(labels: dict) -> LabelKey:
+def _label_key(labels: dict[str, object]) -> LabelKey:
     if not labels:  # the common unlabeled fast path
         return _NO_LABELS
     if len(labels) == 1:  # one label needs no sort
@@ -63,7 +65,7 @@ class Counter:
     kind: str = field(default="counter", init=False)
     _values: dict[LabelKey, float] = field(default_factory=dict)
 
-    def inc(self, value: float = 1.0, **labels) -> None:
+    def inc(self, value: float = 1.0, **labels: object) -> None:
         if value < 0:
             raise ObsError(
                 f"counter {self.name!r} cannot decrease (inc({value}))"
@@ -71,12 +73,12 @@ class Counter:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + value
 
-    def labels(self, **labels) -> "BoundCounter":
+    def labels(self, **labels: object) -> "BoundCounter":
         """Resolve one label set once; the returned handle's ``inc``
         skips label normalization (the per-launch hot path)."""
         return BoundCounter(self, _label_key(labels))
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
     def samples(self) -> list[tuple[LabelKey, float]]:
@@ -88,7 +90,7 @@ class BoundCounter:
 
     __slots__ = ("_metric", "_key")
 
-    def __init__(self, metric: Counter, key: LabelKey):
+    def __init__(self, metric: Counter, key: LabelKey) -> None:
         self._metric = metric
         self._key = key
 
@@ -111,19 +113,19 @@ class Gauge:
     kind: str = field(default="gauge", init=False)
     _values: dict[LabelKey, float] = field(default_factory=dict)
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: object) -> None:
         self._values[_label_key(labels)] = float(value)
 
-    def inc(self, value: float = 1.0, **labels) -> None:
+    def inc(self, value: float = 1.0, **labels: object) -> None:
         key = _label_key(labels)
         self._values[key] = self._values.get(key, 0.0) + value
 
-    def labels(self, **labels) -> "BoundGauge":
+    def labels(self, **labels: object) -> "BoundGauge":
         """Resolve one label set once; the returned handle's ``set`` /
         ``inc`` skip label normalization."""
         return BoundGauge(self, _label_key(labels))
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return self._values.get(_label_key(labels), 0.0)
 
     def samples(self) -> list[tuple[LabelKey, float]]:
@@ -135,7 +137,7 @@ class BoundGauge:
 
     __slots__ = ("_metric", "_key")
 
-    def __init__(self, metric: Gauge, key: LabelKey):
+    def __init__(self, metric: Gauge, key: LabelKey) -> None:
         self._metric = metric
         self._key = key
 
@@ -170,7 +172,7 @@ class Histogram:
             )
         self.buckets = bounds
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, **labels: object) -> None:
         # Counts are stored per-bucket (one increment via bisect) and
         # cumulated on read — observation is the hot path.
         key = _label_key(labels)
@@ -178,18 +180,18 @@ class Histogram:
         counts[bisect.bisect_left(self.buckets, value)] += 1
         self._sums[key] = self._sums.get(key, 0.0) + float(value)
 
-    def labels(self, **labels) -> "BoundHistogram":
+    def labels(self, **labels: object) -> "BoundHistogram":
         """Resolve one label set once; the returned handle's
         ``observe`` skips label normalization."""
         key = _label_key(labels)
         counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
         return BoundHistogram(self, key, counts)
 
-    def count(self, **labels) -> int:
+    def count(self, **labels: object) -> int:
         counts = self._counts.get(_label_key(labels))
         return sum(counts) if counts else 0
 
-    def sum(self, **labels) -> float:
+    def sum(self, **labels: object) -> float:
         return self._sums.get(_label_key(labels), 0.0)
 
     def samples(self) -> list[tuple[LabelKey, list[int], float]]:
@@ -206,7 +208,9 @@ class BoundHistogram:
 
     __slots__ = ("_metric", "_key", "_counts")
 
-    def __init__(self, metric: Histogram, key: LabelKey, counts: list):
+    def __init__(
+        self, metric: Histogram, key: LabelKey, counts: list[int]
+    ) -> None:
         self._metric = metric
         self._key = key
         self._counts = counts
@@ -217,6 +221,12 @@ class BoundHistogram:
         ] += 1
         sums = self._metric._sums
         sums[self._key] = sums.get(self._key, 0.0) + float(value)
+
+
+#: Any of the three metric kinds a registry can hold.
+Metric = Union[Counter, Gauge, Histogram]
+
+_M = TypeVar("_M", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -230,9 +240,11 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, object] = {}
+        self._metrics: dict[str, Metric] = {}
 
-    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+    def _get_or_create(
+        self, cls: type[_M], name: str, help_text: str, **kwargs: Any
+    ) -> _M:
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):
@@ -262,7 +274,7 @@ class MetricsRegistry:
             Histogram, name, help_text, buckets=buckets
         )
 
-    def get(self, name: str):
+    def get(self, name: str) -> Metric:
         try:
             return self._metrics[name]
         except KeyError:
@@ -271,15 +283,15 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Metric]:
         return iter(self._metrics.values())
 
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, dict[str, object]]:
         """A JSON-able snapshot (labels flattened to ``k=v`` strings)."""
-        out: dict = {}
+        out: dict[str, dict[str, object]] = {}
         for metric in self:
             if isinstance(metric, Histogram):
                 out[metric.name] = {

@@ -11,6 +11,7 @@ underscores).
 from __future__ import annotations
 
 import re
+from typing import Iterable
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
@@ -30,7 +31,10 @@ def _escape(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
 
 
-def _labels(pairs, extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+def _labels(
+    pairs: Iterable[tuple[str, str]],
+    extra: "tuple[tuple[str, str], ...]" = (),
+) -> str:
     items = [*pairs, *extra]
     if not items:
         return ""
@@ -58,7 +62,8 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(f"{name}{_labels(key)} {_format(value)}")
         elif isinstance(metric, Histogram):
             for key, counts, total in metric.samples():
-                for bound, count in zip(metric.buckets, counts):
+                # counts carries one extra (+Inf) entry past the bounds.
+                for bound, count in zip(metric.buckets, counts, strict=False):
                     lines.append(
                         f"{name}_bucket"
                         f"{_labels(key, (('le', repr(float(bound))),))} "

@@ -11,13 +11,15 @@ spans and on spans loaded back from either export format
 
 from __future__ import annotations
 
+from typing import Any, Iterable
+
 from repro.errors import ObsError
 from repro.utils.tables import TextTable
 
 __all__ = ["summarize_spans", "render_summary", "summarize_file"]
 
 
-def _as_dict(span) -> dict:
+def _as_dict(span: Any) -> dict[str, Any]:
     if isinstance(span, dict):
         return span
     # A live Span object.
@@ -29,7 +31,7 @@ def _as_dict(span) -> dict:
     }
 
 
-def summarize_spans(spans) -> list[dict]:
+def summarize_spans(spans: Iterable[Any]) -> list[dict[str, Any]]:
     """Aggregate spans by name.
 
     Returns rows ``{"name", "count", "total_s", "self_s", "mean_s"}``
@@ -37,14 +39,14 @@ def summarize_spans(spans) -> list[dict]:
     is where the simulated time went.
     """
     normalized = [_as_dict(s) for s in spans]
-    child_time: dict = {}
+    child_time: dict[Any, float] = {}
     for span in normalized:
         parent = span.get("parent_id")
         if parent is not None:
             child_time[parent] = (
                 child_time.get(parent, 0.0) + span["duration_s"]
             )
-    rows: dict[str, dict] = {}
+    rows: dict[str, dict[str, Any]] = {}
     for span in normalized:
         row = rows.setdefault(
             span["name"],
@@ -67,7 +69,7 @@ def summarize_spans(spans) -> list[dict]:
 
 
 def render_summary(
-    rows: list[dict], *, top: int = 10, title: str = "trace summary"
+    rows: list[dict[str, Any]], *, top: int = 10, title: str = "trace summary"
 ) -> str:
     """The top-``k`` table ``python -m repro trace summarize`` prints."""
     if not rows:

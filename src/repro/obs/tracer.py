@@ -29,14 +29,15 @@ from __future__ import annotations
 import contextlib
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any, Iterator, Protocol
 
 from repro.errors import ObsError
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["Span", "TraceEvent", "Tracer"]
+__all__ = ["Span", "TraceEvent", "TraceSink", "Tracer"]
 
 #: Sentinel for "parent is the innermost open span" in add_span.
-_INHERIT = object()
+_INHERIT: Any = object()
 
 #: Knuth's 64-bit LCG constants — the sampler's private stream, kept
 #: off :mod:`numpy` so tracing never perturbs workload RNG draws.
@@ -55,7 +56,7 @@ class Span:
     end_s: "float | None" = None
     parent_id: "int | None" = None
     track: str = "engine"
-    attrs: dict = field(default_factory=dict)
+    attrs: dict[str, Any] = field(default_factory=dict)
     #: Whether this span's *trace* (root draw under ``sample_rate``)
     #: was kept.  Unsampled spans still exist in-process so parenting
     #: and the LIFO stack work, but are never retained or exported.
@@ -81,7 +82,19 @@ class TraceEvent:
     name: str
     t_s: float
     track: str = "engine"
-    attrs: dict = field(default_factory=dict)
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceSink(Protocol):
+    """The streaming-exporter interface ``Tracer(sink=...)`` expects
+    (structural — :class:`~repro.obs.export.StreamingJsonlWriter` is
+    one implementation)."""
+
+    def on_span(self, span: Span) -> None:
+        """Called the moment a sampled span finishes."""
+
+    def on_event(self, event: TraceEvent) -> None:
+        """Called the moment a sampled instant event is recorded."""
 
 
 class Tracer:
@@ -136,13 +149,13 @@ class Tracer:
         self,
         *,
         metrics: "MetricsRegistry | None" = None,
-        sink=None,
+        sink: "TraceSink | None" = None,
         retain: bool = True,
         modeled_host_spans: bool = False,
         sample_rate: float = 1.0,
         sample_seed: int = 0,
         ring_capacity: "int | None" = None,
-    ):
+    ) -> None:
         if not retain and sink is None:
             raise ObsError(
                 "retain=False would silently drop every record; "
@@ -223,7 +236,7 @@ class Tracer:
         start_s: float,
         track: str,
         parent_id: "int | None",
-        attrs: dict,
+        attrs: dict[str, Any],
         sampled: bool,
     ) -> Span:
         span = Span(
@@ -244,7 +257,7 @@ class Tracer:
         if self.sink is not None and span.sampled:
             self.sink.on_span(span)
 
-    def begin(self, name: str, *, track: str = "engine", **attrs) -> Span:
+    def begin(self, name: str, *, track: str = "engine", **attrs: Any) -> Span:
         """Open a span at the current clock and push it on the stack;
         spans opened while it is open become its children."""
         if self._stack:
@@ -275,7 +288,9 @@ class Tracer:
         return top
 
     @contextlib.contextmanager
-    def span(self, name: str, *, track: str = "engine", **attrs):
+    def span(
+        self, name: str, *, track: str = "engine", **attrs: Any
+    ) -> Iterator[Span]:
         """Context manager: open at the clock on entry, close at the
         clock on exit (advance the clock inside the block to give the
         span duration)."""
@@ -292,9 +307,9 @@ class Tracer:
         end_s: float,
         *,
         track: str = "engine",
-        parent: "Span | None | object" = _INHERIT,
+        parent: "Span | None | Any" = _INHERIT,
         keep: "bool | None" = None,
-        **attrs,
+        **attrs: Any,
     ) -> Span:
         """Record a completed span with explicit endpoints (the
         engine's retroactive accounting path).  ``parent`` is a
@@ -318,8 +333,8 @@ class Tracer:
             parent_id = None
             sampled = self._draw_sampled() if keep is None else keep
         else:
-            parent_id = parent.span_id  # type: ignore[union-attr]
-            sampled = parent.sampled  # type: ignore[union-attr]
+            parent_id = parent.span_id
+            sampled = parent.sampled
         if not sampled:
             # Unsampled traces skip allocation entirely — the shared
             # tombstone keeps parent chaining working (children inherit
@@ -339,7 +354,7 @@ class Tracer:
         t_s: "float | None" = None,
         track: str = "engine",
         keep: "bool | None" = None,
-        **attrs,
+        **attrs: Any,
     ) -> "TraceEvent | None":
         """Record an instant event (defaults to the current clock; an
         explicit ``t_s`` may lie in the past — e.g. an admission event
@@ -352,7 +367,7 @@ class Tracer:
         else:
             sampled = self._draw_sampled() if keep is None else keep
         if not sampled:
-            return None  # type: ignore[return-value]
+            return None
         ev = TraceEvent(
             name=name,
             t_s=self.now if t_s is None else float(t_s),

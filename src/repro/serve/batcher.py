@@ -156,7 +156,7 @@ class Batch:
                 f"launched with {self.padded_rows}"
             )
         outputs: list[np.ndarray] = []
-        for req, start in zip(self.requests, self.row_offsets):
+        for req, start in zip(self.requests, self.row_offsets, strict=True):
             outputs.append(c[start : start + req.rows])
         return outputs
 
@@ -201,7 +201,7 @@ def _build_batch(
     a: "np.ndarray | None" = None
     if stack:
         a = np.zeros((padded_rows, k), dtype=np.float32)
-        for req, start in zip(requests, row_offsets):
+        for req, start in zip(requests, row_offsets, strict=True):
             a[start : start + req.rows, : req.k] = req.a
     return Batch(
         batch_id=batch_id,

@@ -41,11 +41,11 @@ class CostLedger:
 
     __slots__ = ("name", "_costs", "_total", "_peak")
 
-    def __init__(self, name: str = "cost"):
+    def __init__(self, name: str = "cost") -> None:
         self.name = name
         self._costs: dict[Hashable, float] = {}
-        self._total = 0
-        self._peak = 0
+        self._total: float = 0
+        self._peak: float = 0
 
     # ------------------------------------------------------------------
     # State
@@ -63,16 +63,16 @@ class CostLedger:
         return iter(self._costs)
 
     @property
-    def total(self):
+    def total(self) -> float:
         """Summed cost over every entry (maintained incrementally)."""
         return self._total
 
     @property
-    def peak(self):
+    def peak(self) -> float:
         """High-water mark of :attr:`total` over the ledger's life."""
         return self._peak
 
-    def cost_of(self, key: Hashable):
+    def cost_of(self, key: Hashable) -> float:
         try:
             return self._costs[key]
         except KeyError:
@@ -83,7 +83,7 @@ class CostLedger:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def add(self, key: Hashable, cost) -> None:
+    def add(self, key: Hashable, cost: float) -> None:
         """Admit ``key`` at ``cost``.  A key is resident at most once —
         double-admission is exactly the accounting bug this ledger
         exists to catch."""
@@ -102,7 +102,7 @@ class CostLedger:
         if self._total > self._peak:
             self._peak = self._total
 
-    def adjust(self, key: Hashable, delta) -> None:
+    def adjust(self, key: Hashable, delta: float) -> None:
         """Grow (or shrink) a resident entry's cost by ``delta``; the
         entry must stay non-negative."""
         cost = self.cost_of(key) + delta
@@ -116,14 +116,14 @@ class CostLedger:
         if self._total > self._peak:
             self._peak = self._total
 
-    def remove(self, key: Hashable):
+    def remove(self, key: Hashable) -> float:
         """Release ``key`` and return the cost it held."""
         cost = self.cost_of(key)
         del self._costs[key]
         self._total -= cost
         return cost
 
-    def discard(self, key: Hashable):
+    def discard(self, key: Hashable) -> float:
         """Release ``key`` if resident; returns the freed cost (0 when
         the key was not held — the idempotent cleanup path)."""
         if key not in self._costs:
@@ -133,7 +133,7 @@ class CostLedger:
     # ------------------------------------------------------------------
     # Invariants
     # ------------------------------------------------------------------
-    def reconcile(self):
+    def reconcile(self) -> float:
         """Recompute the total from the entries; raise on drift from
         the incremental counter.  Returns the (verified) total."""
         actual = sum(self._costs.values())

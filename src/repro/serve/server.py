@@ -60,8 +60,8 @@ from repro.distributed.sharded import sharded_execute
 from repro.distributed.topology import CommEvent, DeviceGroup, Link, get_link
 from repro.errors import ServeError
 from repro.faults import FaultInjector, FaultPlan, parse_fault_spec
-from repro.obs.tracer import Tracer
 from repro.gpu.spec import GPUSpec
+from repro.obs.tracer import Tracer
 from repro.serve.batcher import BatchingPolicy, ContinuousBatcher, DynamicBatcher
 from repro.serve.cache import PlanCache
 from repro.serve.metrics import (
@@ -938,7 +938,7 @@ class InferenceServer:
         (devices see identical lookup streams, so the sum keeps the
         single-device schema)."""
         total = None
-        for cache, before in zip(self.plan_caches, snapshots):
+        for cache, before in zip(self.plan_caches, snapshots, strict=True):
             delta = cache.stats.since(before)
             if total is None:
                 total = delta
@@ -2046,7 +2046,7 @@ class InferenceServer:
                 if per_device is None:
                     per_device = list(pd)
                 else:
-                    per_device = [a + b for a, b in zip(per_device, pd)]
+                    per_device = [a + b for a, b in zip(per_device, pd, strict=True)]
         return total, tuple(spans), tuple(per_device or ()), comm_total
 
     def _drop_hopeless_model_work(
@@ -2238,7 +2238,7 @@ class InferenceServer:
                 if per_device is None:
                     per_device = list(pd)
                 else:
-                    per_device = [a + b for a, b in zip(per_device, pd)]
+                    per_device = [a + b for a, b in zip(per_device, pd, strict=True)]
 
         for inflight in cb.resident:
             if not inflight.needs_prefill:

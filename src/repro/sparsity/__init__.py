@@ -10,19 +10,19 @@ online packing of A tiles, and the Eq. 2 quality metrics.
 
 from repro.sparsity.config import NMPattern, sparsity_ratio
 from repro.sparsity.masks import (
-    random_nm_mask,
-    mask_from_indices,
-    vector_mask_to_element_mask,
     is_valid_nm_mask,
+    mask_from_indices,
+    random_nm_mask,
+    vector_mask_to_element_mask,
     window_indices_from_mask,
 )
 from repro.sparsity.pruning import magnitude_prune, prune_dense
 from repro.sparsity.compress import NMCompressedMatrix, compress, decompress
 from repro.sparsity.index_matrix import (
-    index_dtype_for,
-    index_bits,
-    validate_index_matrix,
     absolute_rows,
+    index_bits,
+    index_dtype_for,
+    validate_index_matrix,
 )
 from repro.sparsity.colinfo import ColumnInfo, preprocess_offline, query_col_info
 from repro.sparsity.gather import GatherLayout, build_gather_layout
@@ -30,19 +30,16 @@ from repro.sparsity.packing import pack_a_tile, packed_footprint_columns
 from repro.sparsity.quality import (
     confusion_matrix,
     mean_abs_error,
-    relative_frobenius_error,
     pruning_energy_kept,
+    relative_frobenius_error,
 )
 from repro.sparsity.permutation import (
     PermutationResult,
-    greedy_channel_permutation,
     apply_permutation,
+    greedy_channel_permutation,
     retained_energy,
 )
-from repro.sparsity.transposable import (
-    transposable_mask,
-    is_transposable_mask,
-)
+from repro.sparsity.transposable import is_transposable_mask, transposable_mask
 
 __all__ = [
     "NMPattern",

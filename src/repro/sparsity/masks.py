@@ -46,15 +46,20 @@ def random_nm_mask(
     k: int,
     n: int,
     rng: np.random.Generator | None = None,
+    *,
+    seed: int = 0,
 ) -> np.ndarray:
     """Draw a uniformly random valid vector mask of shape ``(g, M, q)``.
 
     Each window independently keeps a uniformly random subset of N of
     its M vector slots — the distribution the paper's benchmarks use
-    for synthetic weights.
+    for synthetic weights.  With no ``rng``, draws come from
+    ``default_rng(seed)`` (seed 0, like :mod:`repro.workloads.synthetic`)
+    so mask generation is reproducible by default; it used to fall back
+    to an *unseeded* generator, which repro-lint DET001 now forbids.
     """
     g, q = _window_geometry(pattern, k, n)
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(seed)
     # Argsort of random keys picks N distinct slots per (window, column
     # window) pair without a Python loop.
     keys = rng.random((g, pattern.m, q))

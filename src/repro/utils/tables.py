@@ -79,10 +79,10 @@ class TextTable:
         if self.title:
             lines.append(self.title)
             lines.append("=" * len(self.title))
-        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths, strict=True)))
         lines.append("-+-".join("-" * w for w in widths))
         for row in self.rows:
-            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience alias

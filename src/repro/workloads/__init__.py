@@ -1,24 +1,20 @@
 """Evaluation workloads: the paper's datasets and generators."""
 
 from repro.workloads.llama import (
-    LlamaModel,
     LLAMA_MODELS,
+    DataPoint,
+    LlamaModel,
+    build_paper_dataset,
     get_llama_model,
     llama_layer_shapes,
-    build_paper_dataset,
-    DataPoint,
 )
 from repro.workloads.cases import (
-    TABLE_II_CASES,
     PAPER_SPARSITY_PATTERNS,
+    TABLE_II_CASES,
     paper_patterns,
     table_ii_case,
 )
-from repro.workloads.synthetic import (
-    random_dense,
-    random_sparse_problem,
-    make_problem_suite,
-)
+from repro.workloads.synthetic import make_problem_suite, random_dense, random_sparse_problem
 
 __all__ = [
     "LlamaModel",

@@ -1,0 +1,17 @@
+"""Fixture: API001 references to the deprecated EXECUTE_BACKENDS shim."""
+
+from repro.constants import EXECUTE_BACKENDS  # line 3: deprecated import
+
+import repro.constants
+
+
+def bad_shim_uses():
+    names = EXECUTE_BACKENDS  # line 9: bare name
+    more = repro.constants.EXECUTE_BACKENDS  # line 10: attribute
+    return names, more
+
+
+def ok_registry_use():
+    from repro.backends import backend_names
+
+    return backend_names()

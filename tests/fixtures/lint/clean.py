@@ -1,0 +1,9 @@
+"""Fixture: a file no shipped rule fires on."""
+
+import numpy as np
+
+
+def seeded_and_sorted(names, wait_s, slo_s):
+    rng = np.random.default_rng(1234)
+    order = [rng.integers(10) for _ in sorted(set(names))]
+    return order, wait_s + slo_s

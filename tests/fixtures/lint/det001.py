@@ -1,0 +1,33 @@
+"""Fixture: DET001 unseeded / module-level RNG violations."""
+
+import random
+from random import shuffle
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_unseeded_default_rng():
+    return np.random.default_rng()  # line 11: no seed
+
+
+def bad_unseeded_from_import():
+    return default_rng()  # line 15: no seed through the from-import
+
+
+def bad_module_level_numpy():
+    return np.random.random(4)  # line 19: numpy global RNG
+
+
+def bad_stdlib_random():
+    random.seed(0)  # line 23: stdlib global RNG (even seeding it)
+    shuffle([1, 2, 3])  # line 24: from-imported stdlib fn
+    return random.choice([1, 2, 3])  # line 25
+
+
+def ok_seeded_draws():
+    rng = np.random.default_rng(0)
+    rng2 = default_rng([0, 0xAB])
+    explicit = random.Random(7)
+    # Methods on a Generator instance are not module-level state.
+    return rng.random(4), rng2.integers(10), explicit.random()

@@ -1,0 +1,19 @@
+"""Fixture: DET002 wall-clock reads outside the sanctioned modules."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def bad_wall_clock_reads():
+    a = time.time()  # line 9
+    b = time.perf_counter()  # line 10
+    c = time.monotonic()  # line 11
+    d = perf_counter()  # line 12: through the from-import
+    e = datetime.datetime.now()  # line 13
+    return a, b, c, d, e
+
+
+def ok_non_clock_time_functions():
+    time.sleep(0.0)  # sleeping is not *reading* the clock
+    return time.strptime("2026", "%Y")

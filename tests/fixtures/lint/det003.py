@@ -1,0 +1,29 @@
+"""Fixture: DET003 hash-ordered iteration feeding ordered output."""
+
+
+def bad_set_iteration(names):
+    out = []
+    for name in {"b", "a", "c"}:  # line 6: set literal
+        out.append(name)
+    for name in set(names):  # line 8: set() constructor
+        out.append(name)
+    for name in {n.lower() for n in names}:  # line 10: set comprehension
+        out.append(name)
+    return out
+
+
+def bad_keys_iteration(table):
+    rows = [table[key] for key in table.keys()]  # line 16: comprehension
+    for key in table.keys():  # line 17: for-loop
+        rows.append(key)
+    return rows
+
+
+def ok_sorted_and_direct(table, names):
+    for name in sorted(set(names)):
+        pass
+    for key in sorted(table):
+        pass
+    for key, value in table.items():  # insertion order, documented
+        pass
+    return frozenset(names)  # constructing a set is fine; iterating isn't

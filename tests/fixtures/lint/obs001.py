@@ -1,0 +1,17 @@
+"""Fixture: OBS001 Tracer.span() outside a `with` block."""
+
+import contextlib
+
+
+def bad_bare_span(tracer):
+    span = tracer.span("serve.batch")  # line 7: never closed
+    tracer.span("gpu.launch", model="llama-7b")  # line 8: dropped
+    return span
+
+
+def ok_with_and_enter_context(tracer):
+    with tracer.span("serve.batch"):
+        with tracer.span("gpu.launch", model="llama-7b"):
+            pass
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(tracer.span("serve.step"))

@@ -1,0 +1,17 @@
+"""Fixture: justified per-line pragma suppression."""
+
+import time
+
+import numpy as np
+
+
+def suppressed_sites():
+    t0 = time.perf_counter()  # repro-lint: disable=DET002 -- fixture timing
+    rng = np.random.default_rng()  # repro-lint: disable=DET001 -- fixture entropy
+    both = time.time(), np.random.default_rng()  # repro-lint: disable=all -- kitchen sink
+    return t0, rng, both
+
+
+def still_fires_elsewhere():
+    # The pragma above is line-scoped: this line still fires DET002.
+    return time.time()

@@ -1,0 +1,4 @@
+"""Fixture: a file the engine cannot parse (LINT999)."""
+
+def broken(:
+    return 1

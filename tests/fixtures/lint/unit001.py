@@ -1,0 +1,27 @@
+"""Fixture: UNIT001 unit-suffix mixing without conversions."""
+
+
+def bad_time_mixing(wait_s, slo_ms, deadline_s, p99_us):
+    total = wait_s + slo_ms  # line 5: s + ms
+    slack = deadline_s - slo_ms  # line 6: s - ms
+    late = p99_us > slo_ms  # line 7: us vs ms comparison
+    return total, slack, late
+
+
+def bad_byte_mixing(kv_bytes, dram_gb, spill_mb):
+    headroom = dram_gb - kv_bytes  # line 12: gb - bytes
+    fits = kv_bytes <= dram_gb  # line 13: bytes vs gb comparison
+    spill_mb += kv_bytes  # line 14: mb += bytes
+    return headroom, fits, spill_mb
+
+
+def bad_cross_dimension(elapsed_s, kv_bytes):
+    return elapsed_s + kv_bytes  # line 19: time + bytes
+
+
+def ok_conversions_and_rates(wait_s, slo_ms, kv_bytes, bw_bytes_per_s, q_ms):
+    total_ms = wait_s * 1e3 + slo_ms  # conversion literal in between
+    wait = wait_s + slo_ms / 1e3  # conversion on the other side
+    rate_ok = kv_bytes / bw_bytes_per_s  # division builds rates
+    same = q_ms <= slo_ms  # same unit
+    return total_ms, wait, rate_ok, same

@@ -142,7 +142,7 @@ class TestDeprecatedShims:
         import repro.constants as constants
 
         with pytest.warns(DeprecationWarning, match="deprecated"):
-            names = constants.EXECUTE_BACKENDS
+            names = constants.EXECUTE_BACKENDS  # repro-lint: disable=API001 -- exercising the deprecation shim
         assert names == backend_names()
         assert "toy" in names
 
@@ -150,7 +150,7 @@ class TestDeprecatedShims:
         import repro.core.api as api
 
         with pytest.warns(DeprecationWarning, match="deprecated"):
-            names = api.EXECUTE_BACKENDS
+            names = api.EXECUTE_BACKENDS  # repro-lint: disable=API001 -- exercising the deprecation shim
         assert names == backend_names()
 
     def test_unknown_attribute_still_raises(self):
@@ -167,20 +167,20 @@ class TestDeprecatedShims:
         import repro.core.api as api
 
         with pytest.warns(DeprecationWarning):
-            assert "toy" not in constants.EXECUTE_BACKENDS
+            assert "toy" not in constants.EXECUTE_BACKENDS  # repro-lint: disable=API001 -- exercising the deprecation shim
         register_backend(ToyBackend())
         try:
             for module in (constants, api):
                 with pytest.warns(DeprecationWarning, match="deprecated"):
-                    names = module.EXECUTE_BACKENDS
+                    names = module.EXECUTE_BACKENDS  # repro-lint: disable=API001 -- exercising the deprecation shim
                 assert names == backend_names()
                 assert "toy" in names
         finally:
             unregister_backend("toy")
         with pytest.warns(DeprecationWarning):
-            assert "toy" not in constants.EXECUTE_BACKENDS
+            assert "toy" not in constants.EXECUTE_BACKENDS  # repro-lint: disable=API001 -- exercising the deprecation shim
         with pytest.warns(DeprecationWarning):
-            assert "toy" not in api.EXECUTE_BACKENDS
+            assert "toy" not in api.EXECUTE_BACKENDS  # repro-lint: disable=API001 -- exercising the deprecation shim
 
 
 @pytest.fixture(scope="module")

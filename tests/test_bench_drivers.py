@@ -2,10 +2,10 @@
 
 import pytest
 
+from repro.bench.fig10 import render_fig10, run_fig10
 from repro.bench.fig7 import render_fig7, run_fig7
 from repro.bench.fig8 import render_fig8, run_fig8
 from repro.bench.fig9 import render_fig9, run_fig9
-from repro.bench.fig10 import render_fig10, run_fig10
 from repro.bench.tables import render_table1, run_table1
 
 

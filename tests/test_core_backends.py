@@ -247,7 +247,7 @@ class TestServingBackend:
         structural = self._run("structural")
         assert len(fast.request_records) == len(structural.request_records)
         for rf, rs in zip(
-            fast.request_records, structural.request_records
+            fast.request_records, structural.request_records, strict=True
         ):
             np.testing.assert_allclose(
                 rf.output, rs.output, rtol=RTOL, atol=ATOL

@@ -86,7 +86,7 @@ class TestDistributedSimulation:
         distributed = _server(devices=3, shard=shard).simulate(_trace())
         assert single.metrics.completed == distributed.metrics.completed
         for one, many in zip(
-            single.request_records, distributed.request_records
+            single.request_records, distributed.request_records, strict=True
         ):
             assert one.request.request_id == many.request.request_id
             np.testing.assert_allclose(

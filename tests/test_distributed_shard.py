@@ -64,7 +64,7 @@ class TestShardExtents:
                 extents = shard_extents(windows, devices)
                 assert extents[0][0] == 0
                 assert extents[-1][1] == windows
-                for (_, end), (start, _) in zip(extents, extents[1:]):
+                for (_, end), (start, _) in zip(extents, extents[1:], strict=False):
                     assert end == start
 
     def test_more_devices_than_windows_rejected(self):

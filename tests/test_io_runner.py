@@ -5,8 +5,8 @@ import io
 import numpy as np
 import pytest
 
-from repro.errors import CompressionError
 from repro.bench.runner import Sweep, run_sweep
+from repro.errors import CompressionError
 from repro.sparsity.compress import compress
 from repro.sparsity.config import NMPattern
 from repro.sparsity.io import FORMAT_VERSION, load_compressed, save_compressed

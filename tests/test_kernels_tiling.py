@@ -120,7 +120,7 @@ class TestCMAR:
 class TestKsDerivation:
     def test_eq5_budget_respected(self):
         pattern = NMPattern(16, 32, vector_length=32)
-        for cls, params in TABLE_I.items():
+        for params in TABLE_I.values():
             ks = max_ks_eq5(pattern, params.ms, params.ns, A100_SMEM, 4096)
             # Eq. 5: 8*ks*(ms + ns*N/M) <= SM_Size
             assert 8 * ks * (params.ms + params.ns * pattern.density) <= A100_SMEM + 1e-9

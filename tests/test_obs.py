@@ -269,6 +269,7 @@ class TestExporters:
         for a, b in zip(
             sorted(from_chrome["spans"], key=key),
             sorted(from_jsonl["spans"], key=key),
+            strict=True,
         ):
             assert a["name"] == b["name"]
             assert a["duration_s"] == pytest.approx(b["duration_s"])

@@ -8,10 +8,10 @@ tolerances encode "same shape" per EXPERIMENTS.md.
 
 import pytest
 
+from repro.bench.fig10 import run_fig10
 from repro.bench.fig7 import run_fig7
 from repro.bench.fig8 import run_fig8
 from repro.bench.fig9 import run_fig9
-from repro.bench.fig10 import run_fig10
 from repro.gpu.catalog import resolve_gpu
 from repro.kernels.tiling import MatrixSizeClass
 from repro.model.baselines.cublas import simulate_cublas

@@ -56,7 +56,7 @@ class TestModelMonotonicities:
             simulate_nm_spmm(m, n, k, NMPattern(nn, 32, 32), "A100").seconds
             for nn in (16, 12, 8, 4)
         ]
-        for slower, faster in zip(times, times[1:]):
+        for slower, faster in zip(times, times[1:], strict=False):
             assert faster <= slower * 1.001
 
     @settings(max_examples=8, deadline=None)

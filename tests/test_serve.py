@@ -386,7 +386,7 @@ class TestLoadgen:
         a = generate_requests(sources, 100.0, 1.0, seed=5)
         b = generate_requests(sources, 100.0, 1.0, seed=5)
         assert len(a) == len(b) > 0
-        for ra, rb in zip(a, b):
+        for ra, rb in zip(a, b, strict=True):
             assert ra.arrival_s == rb.arrival_s
             np.testing.assert_array_equal(ra.a, rb.a)
         assert [r.request_id for r in a] == list(range(len(a)))
@@ -526,7 +526,7 @@ class TestEngine:
         ]
         report = server.simulate(trace, policy=BatchingPolicy(max_wait_s=0.0))
         batches = sorted(report.metrics.batch_records, key=lambda b: b.started_s)
-        for prev, nxt in zip(batches, batches[1:]):
+        for prev, nxt in zip(batches, batches[1:], strict=False):
             assert nxt.started_s >= prev.finished_s - 1e-12
 
     def test_all_requests_complete_once(self, rng):

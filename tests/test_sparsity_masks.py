@@ -47,6 +47,33 @@ class TestRandomMask:
         m2 = random_nm_mask(pattern_2_4, 16, 12, np.random.default_rng(7))
         assert np.array_equal(m1, m2)
 
+    def test_reproducible_with_default_arguments(self, pattern_2_4):
+        # Regression (repro-lint DET001): the rng=None path used to
+        # fall back to an *unseeded* default_rng(), so two default-arg
+        # calls disagreed.  It now seeds from seed=0.
+        m1 = random_nm_mask(pattern_2_4, 16, 12)
+        m2 = random_nm_mask(pattern_2_4, 16, 12)
+        assert np.array_equal(m1, m2)
+        assert np.array_equal(
+            m1, random_nm_mask(pattern_2_4, 16, 12, np.random.default_rng(0))
+        )
+
+    def test_default_seed_kwarg_selects_stream(self, pattern_2_4):
+        assert np.array_equal(
+            random_nm_mask(pattern_2_4, 16, 12, seed=9),
+            random_nm_mask(pattern_2_4, 16, 12, np.random.default_rng(9)),
+        )
+        assert not np.array_equal(
+            random_nm_mask(pattern_2_4, 16, 12, seed=9),
+            random_nm_mask(pattern_2_4, 16, 12, seed=10),
+        )
+
+    def test_explicit_rng_wins_over_seed(self, pattern_2_4):
+        assert np.array_equal(
+            random_nm_mask(pattern_2_4, 16, 12, np.random.default_rng(3), seed=9),
+            random_nm_mask(pattern_2_4, 16, 12, np.random.default_rng(3)),
+        )
+
     @settings(max_examples=25, deadline=None)
     @given(patterns, st.integers(1, 4), st.integers(1, 4), st.integers(0, 99))
     def test_always_valid(self, pattern, gk, gn, seed):

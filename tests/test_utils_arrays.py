@@ -79,7 +79,7 @@ class TestTiles:
         spans = list(iter_tiles(extent, tile))
         assert spans[0][0] == 0
         assert spans[-1][1] == extent
-        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+        for (_a0, a1), (b0, _b1) in zip(spans, spans[1:], strict=False):
             assert a1 == b0
         assert len(spans) == tile_count(extent, tile)
 

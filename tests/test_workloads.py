@@ -111,7 +111,7 @@ class TestPaperPatterns:
     def test_m32_everywhere(self):
         """Fig. 7's 0% config uses M = N = 32."""
         assert PAPER_SPARSITY_PATTERNS[0.0] == (32, 32)
-        for _, (n, m) in PAPER_SPARSITY_PATTERNS.items():
+        for _, (_n, m) in PAPER_SPARSITY_PATTERNS.items():
             assert m == 32
 
 

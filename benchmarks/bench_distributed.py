@@ -36,6 +36,7 @@ import pathlib
 from repro.core.plan import build_plan
 from repro.distributed import DeviceGroup, modeled_shape_step
 from repro.sparsity.config import NMPattern
+from repro.utils.benchmeta import bench_meta
 from repro.utils.tables import TextTable
 from repro.workloads.llama import llama_layer_shape
 
@@ -153,12 +154,27 @@ def run_config(
     }
 
 
-def run_distributed_bench(*, smoke: bool = False) -> dict:
+def run_distributed_bench(
+    *, smoke: bool = False, generated_at: "str | None" = None
+) -> dict:
     shapes = SMOKE_SHAPES if smoke else SHAPES
     device_counts = SMOKE_DEVICE_COUNTS if smoke else DEVICE_COUNTS
     crossover_m = SMOKE_CROSSOVER_M if smoke else CROSSOVER_M
     return {
         "schema": SCHEMA,
+        "meta": bench_meta(
+            SCHEMA,
+            config={
+                "gpu": GPU,
+                "link": LINK,
+                "pattern": PATTERN.label(),
+                "shapes": [list(s) for s in shapes],
+                "device_counts": list(device_counts),
+                "crossover_m": list(crossover_m),
+                "scaling_m": SCALING_M,
+            },
+            generated_at=generated_at,
+        ),
         "gpu": GPU,
         "link": LINK,
         "pattern": PATTERN.label(),

@@ -59,6 +59,7 @@ from repro.sparsity.colinfo import preprocess_offline
 from repro.sparsity.compress import compress
 from repro.sparsity.config import NMPattern
 from repro.sparsity.pruning import prune_dense
+from repro.utils.benchmeta import bench_meta
 from repro.utils.tables import TextTable
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -230,7 +231,9 @@ def run_config(
     }
 
 
-def run_kernel_bench(*, smoke: bool = False) -> dict:
+def run_kernel_bench(
+    *, smoke: bool = False, generated_at: "str | None" = None
+) -> dict:
     """Run the full grid (or the CI smoke slice) and return the
     schema-shaped result."""
     shapes = SMOKE_SHAPES if smoke else SHAPES
@@ -250,7 +253,20 @@ def run_kernel_bench(*, smoke: bool = False) -> dict:
                 repeats=repeats,
             )
         )
-    return {"schema": SCHEMA, "configs": configs}
+    return {
+        "schema": SCHEMA,
+        "meta": bench_meta(
+            SCHEMA,
+            config={
+                "shapes": [[name, list(shape)] for name, shape in shapes],
+                "patterns": [p.label() for p in PATTERNS],
+                "repeats": repeats,
+                "funcbench": not smoke,
+            },
+            generated_at=generated_at,
+        ),
+        "configs": configs,
+    }
 
 
 def write_results(result: dict) -> pathlib.Path:

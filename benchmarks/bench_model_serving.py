@@ -59,6 +59,7 @@ from repro.serve.model_exec import (
     long_context_summarization,
     prefill_heavy_chat,
 )
+from repro.utils.benchmeta import bench_meta
 from repro.utils.tables import TextTable
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -101,7 +102,9 @@ def _comparison_leg(summary: dict) -> dict:
     }
 
 
-def run_model_serving_bench(*, smoke: bool = False) -> dict:
+def run_model_serving_bench(
+    *, smoke: bool = False, generated_at: "str | None" = None
+) -> dict:
     overrides = {"duration_s": SMOKE_DURATION_S} if smoke else {}
     configs = []
     for name, factory in SCENARIOS.items():
@@ -121,8 +124,20 @@ def run_model_serving_bench(*, smoke: bool = False) -> dict:
     ).summary()
     kv_leg = _comparison_leg(kv_summary)
     none_leg = _comparison_leg(none_summary)
+    seeds = {
+        factory(**overrides).seed for factory in SCENARIOS.values()
+    }
     return {
         "schema": SCHEMA,
+        "meta": bench_meta(
+            SCHEMA,
+            config={
+                **{c["name"]: c["scenario"] for c in configs},
+                "kv_comparison": kv_scenario.describe(),
+            },
+            seed=seeds.pop() if len(seeds) == 1 else None,
+            generated_at=generated_at,
+        ),
         "configs": configs,
         "kv_comparison": {
             "scenario": kv_scenario.describe(),

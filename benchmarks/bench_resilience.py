@@ -47,6 +47,7 @@ import pathlib
 
 from repro.serve.resilience import ResiliencePolicy
 from repro.serve.scenarios import LlamaServingScenario, TrafficTier
+from repro.utils.benchmeta import bench_meta
 from repro.utils.tables import TextTable
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -90,7 +91,9 @@ RESILIENCE_MODES: dict[str, "ResiliencePolicy | None"] = {
 }
 
 
-def run_resilience_bench(smoke: bool = False) -> dict:
+def run_resilience_bench(
+    smoke: bool = False, generated_at: "str | None" = None
+) -> dict:
     """Run the fault × resilience grid and return the schema result."""
     cells = []
     for fault_name, spec in FAULT_SCENARIOS.items():
@@ -114,7 +117,16 @@ def run_resilience_bench(smoke: bool = False) -> dict:
                     "metrics": report.summary(),
                 }
             )
-    return {"schema": SCHEMA, "cells": cells}
+    return {
+        "schema": SCHEMA,
+        "meta": bench_meta(
+            SCHEMA,
+            config={cell["name"]: cell["scenario"] for cell in cells},
+            seed=BASE_SCENARIO.seed,
+            generated_at=generated_at,
+        ),
+        "cells": cells,
+    }
 
 
 def cell_named(result: dict, name: str) -> dict:

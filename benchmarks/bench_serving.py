@@ -39,7 +39,10 @@ The per-launch histograms/means span ``launches`` = dynamic
 ``batches``, which continuous runs would under-count).  A top-level
 ``tracer_overhead`` block (additive) records the observability
 layer's cost on the medium config: disabled-facade and
-tracing-enabled wall times with their ratios.
+tracing-enabled wall times with their ratios.  A top-level ``meta``
+block (also additive; see :func:`repro.utils.benchmeta.bench_meta`)
+carries the seed and a fingerprint of the scenario grid so ``python
+-m repro bench diff`` refuses cross-configuration comparisons.
 
 Run standalone (``python benchmarks/bench_serving.py``) or under
 pytest-benchmark (``pytest benchmarks/bench_serving.py``).
@@ -56,6 +59,7 @@ import time
 from repro.obs import Tracer
 from repro.serve.batcher import BatchingPolicy
 from repro.serve.scenarios import LlamaServingScenario
+from repro.utils.benchmeta import bench_meta
 from repro.utils.tables import TextTable
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -157,8 +161,34 @@ def measure_tracer_overhead() -> dict:
     }
 
 
-def run_serving_bench() -> dict:
-    """Run every scenario and return the schema-shaped result."""
+def bench_metadata(generated_at: "str | None" = None) -> dict:
+    """The standard ``meta`` header for this benchmark.
+
+    The fingerprint covers only the scenario grid (name ->
+    ``describe()``), so a ``--smoke`` run — same grid, overhead
+    measurement skipped — stays comparable with the committed full
+    run, while any grid edit refuses comparison against stale
+    baselines."""
+    seeds = {scenario.seed for scenario in SCENARIOS.values()}
+    return bench_meta(
+        SCHEMA,
+        config={name: s.describe() for name, s in SCENARIOS.items()},
+        seed=seeds.pop() if len(seeds) == 1 else None,
+        generated_at=generated_at,
+    )
+
+
+def run_serving_bench(
+    *,
+    include_overhead: bool = True,
+    generated_at: "str | None" = None,
+) -> dict:
+    """Run every scenario and return the schema-shaped result.
+
+    ``include_overhead=False`` is the CI smoke mode: the scenario
+    metrics are deterministic on the simulated clock, but the
+    tracer-overhead block measures host wall time and has no business
+    in a regression gate."""
     configs = []
     for name, scenario in SCENARIOS.items():
         report = scenario.run()
@@ -169,11 +199,14 @@ def run_serving_bench() -> dict:
                 "metrics": report.summary(),
             }
         )
-    return {
+    result = {
         "schema": SCHEMA,
+        "meta": bench_metadata(generated_at),
         "configs": configs,
-        "tracer_overhead": measure_tracer_overhead(),
     }
+    if include_overhead:
+        result["tracer_overhead"] = measure_tracer_overhead()
+    return result
 
 
 def config_named(result: dict, name: str) -> dict:
@@ -183,9 +216,12 @@ def config_named(result: dict, name: str) -> dict:
     raise KeyError(name)
 
 
-def write_results(result: dict) -> pathlib.Path:
-    OUTPUT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-    return OUTPUT_PATH
+def write_results(
+    result: dict, path: "pathlib.Path | None" = None
+) -> pathlib.Path:
+    path = OUTPUT_PATH if path is None else path
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def render_results(result: dict) -> str:
@@ -263,6 +299,28 @@ def test_bench_serving(benchmark, emit):
 
 
 if __name__ == "__main__":  # pragma: no cover
-    bench_result = run_serving_bench()
+    import argparse
+
+    cli = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    cli.add_argument(
+        "--smoke", action="store_true",
+        help="skip the wall-clock tracer-overhead measurement "
+             "(deterministic metrics only, for CI bench diff)",
+    )
+    cli.add_argument(
+        "--out", default=None, metavar="PATH",
+        help=f"output path (default {OUTPUT_PATH})",
+    )
+    cli.add_argument(
+        "--timestamp", default=None, metavar="ISO8601",
+        help="recorded as meta.generated_at (this tool never reads "
+             "the wall clock itself)",
+    )
+    cli_args = cli.parse_args()
+    bench_result = run_serving_bench(
+        include_overhead=not cli_args.smoke,
+        generated_at=cli_args.timestamp,
+    )
     print(render_results(bench_result))
-    print(f"\nwrote {write_results(bench_result)}")
+    out = pathlib.Path(cli_args.out) if cli_args.out else None
+    print(f"\nwrote {write_results(bench_result, out)}")

@@ -11,6 +11,10 @@ the same rows/series the paper reports::
     python -m repro serve-sim       # dynamic-batching serving simulation
     python -m repro backends        # registered execution backends
     python -m repro trace summarize # top-k table from a serve-sim trace
+    python -m repro trace critical-path  # per-request latency buckets
+    python -m repro trace attribute # roofline placement of gpu.launches
+    python -m repro trace diff      # regression-gate two traces
+    python -m repro bench diff      # regression-gate two BENCH_*.json
     python -m repro all             # everything
 """
 
@@ -228,6 +232,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="schema-check a Chrome trace-event JSON file",
     )
     ptrv.add_argument("file", help="Chrome trace-event JSON file")
+    ptrc = trace_sub.add_parser(
+        "critical-path",
+        help="decompose per-request latency into queue/retry/compute/"
+             "comm/paging/host buckets",
+    )
+    ptrc.add_argument("file", help="trace file (either format)")
+    ptrc.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON instead of a table")
+    ptra = trace_sub.add_parser(
+        "attribute",
+        help="place every traced gpu.launch on its GPU's roofline",
+    )
+    ptra.add_argument("file", help="trace file (either format)")
+    ptra.add_argument("--top", type=int, default=12,
+                      help="launch groups to print (sorted by GPU time)")
+    ptra.add_argument("--json", action="store_true",
+                      help="emit the full report as JSON instead of a table")
+    ptrd = trace_sub.add_parser(
+        "diff",
+        help="compare two traces; exit 1 if a duration regressed",
+    )
+    ptrd.add_argument("old", help="baseline trace file")
+    ptrd.add_argument("new", help="candidate trace file")
+    ptrd.add_argument("--threshold", type=float, default=None,
+                      help="relative noise threshold (default 0.01)")
+    ptrd.add_argument("--all", action="store_true",
+                      help="also print unchanged metrics")
+
+    pbench = sub.add_parser(
+        "bench", help="operate on BENCH_*.json benchmark results"
+    )
+    bench_sub = pbench.add_subparsers(dest="bench_command", required=True)
+    pbd = bench_sub.add_parser(
+        "diff",
+        help="compare two benchmark results of the same schema; "
+             "exit 1 on regression, 2 on schema/config mismatch",
+    )
+    pbd.add_argument("old", help="baseline BENCH_*.json")
+    pbd.add_argument("new", help="candidate BENCH_*.json")
+    pbd.add_argument("--threshold", type=float, default=None,
+                     help="relative noise threshold (default per schema: "
+                          "0.01 modeled, 0.25 wall-clock kernels)")
+    pbd.add_argument("--smoke", action="store_true",
+                     help="compare only metrics present in both results "
+                          "(CI smoke subset vs committed full run)")
+    pbd.add_argument("--all", action="store_true",
+                     help="also print unchanged metrics")
 
     pall = sub.add_parser("all", help="run every experiment")
     pall.add_argument("--gpu", default="A100")
@@ -487,6 +538,54 @@ def main(argv: "list[str] | None" = None) -> int:
                 print(summarize_file(args.file, top=args.top))
             except (OSError, ObsError) as exc:
                 raise SystemExit(f"trace summarize: {exc}") from exc
+        elif args.trace_command == "critical-path":
+            import json as json_module
+
+            from repro.obs import load_trace
+            from repro.obs.analyze import extract_critical_paths
+
+            try:
+                report = extract_critical_paths(load_trace(args.file))
+            except (OSError, ValueError, ObsError) as exc:
+                raise SystemExit(f"trace critical-path: {exc}") from exc
+            if args.json:
+                print(json_module.dumps(report.to_dict(), indent=2,
+                                        sort_keys=True))
+            else:
+                print(report.render(title=f"critical path: {args.file}"))
+        elif args.trace_command == "attribute":
+            import json as json_module
+
+            from repro.obs import load_trace
+            from repro.obs.analyze import attribute_roofline
+
+            try:
+                report = attribute_roofline(load_trace(args.file))
+            except (OSError, ValueError, ObsError) as exc:
+                raise SystemExit(f"trace attribute: {exc}") from exc
+            if args.json:
+                print(json_module.dumps(report.to_dict(), indent=2,
+                                        sort_keys=True))
+            else:
+                print(report.render(
+                    top=args.top, title=f"roofline attribution: {args.file}"
+                ))
+        elif args.trace_command == "diff":
+            from repro.obs import load_trace
+            from repro.obs.analyze import diff_traces
+            from repro.obs.analyze.diff import DEFAULT_THRESHOLD
+
+            try:
+                report = diff_traces(
+                    load_trace(args.old),
+                    load_trace(args.new),
+                    threshold=(DEFAULT_THRESHOLD if args.threshold is None
+                               else args.threshold),
+                )
+            except (OSError, ValueError, ObsError) as exc:
+                raise SystemExit(f"trace diff: {exc}") from exc
+            print(report.render(all_rows=args.all))
+            return report.exit_code
         else:
             import json as json_module
 
@@ -504,6 +603,23 @@ def main(argv: "list[str] | None" = None) -> int:
                 f"{args.file}: valid Chrome trace "
                 f"({len(data['traceEvents'])} events)"
             )
+    elif args.experiment == "bench":
+        from repro.errors import ObsError
+        from repro.obs.analyze import diff_bench_files
+
+        try:
+            report = diff_bench_files(
+                args.old, args.new,
+                threshold=args.threshold, smoke=args.smoke,
+            )
+        except (OSError, ValueError) as exc:
+            print(f"bench diff: {exc}")
+            return 2
+        except ObsError as exc:
+            print(f"bench diff: refused: {exc}")
+            return 2
+        print(report.render(all_rows=args.all))
+        return report.exit_code
     elif args.experiment == "backends":
         print(render_backends())
     elif args.experiment == "lint":

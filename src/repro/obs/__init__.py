@@ -9,7 +9,12 @@ The layer every serving/distributed run reports through:
   JSONL exporters plus the loader/validator;
 * :func:`prometheus_text` — Prometheus-style text exposition;
 * :func:`summarize_spans` — flamegraph-style self/total aggregation
-  (``python -m repro trace summarize``).
+  (``python -m repro trace summarize``);
+* :mod:`repro.obs.analyze` — offline trace analytics: critical-path
+  latency decomposition, roofline attribution of traced launches, and
+  direction-aware trace/bench regression diffing (``trace
+  critical-path`` / ``trace attribute`` / ``trace diff`` /
+  ``bench diff``).
 
 Wire a tracer in with ``InferenceServer(tracer=Tracer())`` (or
 ``serve-sim --trace FILE``); tracing is off by default and the

@@ -1,0 +1,56 @@
+"""Trace analytics: offline analysis of recorded traces and bench
+results.
+
+Three consumers of the raw observability formats, all deterministic
+and dependency-free:
+
+* :func:`extract_critical_paths` — per-request latency decomposition
+  into queue / retry-backoff / compute / comm / paging / host buckets
+  that provably sum to end-to-end latency
+  (``python -m repro trace critical-path``);
+* :func:`attribute_roofline` — places every traced ``gpu.launch`` on
+  its GPU's roofline from the span's own FLOP/byte counts
+  (``python -m repro trace attribute``);
+* :func:`diff_traces` / :func:`diff_bench_files` — direction-aware
+  regression detection over traces and the five BENCH JSON schemas,
+  exit-code gated for CI (``trace diff`` / ``bench diff``).
+"""
+
+from repro.obs.analyze.attribution import (
+    AttributionReport,
+    LaunchGroup,
+    attribute_roofline,
+)
+from repro.obs.analyze.benchdiff import (
+    SCHEMA_THRESHOLDS,
+    BenchDiffReport,
+    diff_bench,
+    diff_bench_files,
+)
+from repro.obs.analyze.critical_path import (
+    BUCKETS,
+    CriticalPathReport,
+    RequestPath,
+    extract_critical_paths,
+)
+from repro.obs.analyze.delta import MetricDelta, classify, direction_for
+from repro.obs.analyze.diff import TraceDiffReport, diff_traces
+
+__all__ = [
+    "BUCKETS",
+    "RequestPath",
+    "CriticalPathReport",
+    "extract_critical_paths",
+    "LaunchGroup",
+    "AttributionReport",
+    "attribute_roofline",
+    "MetricDelta",
+    "classify",
+    "direction_for",
+    "TraceDiffReport",
+    "diff_traces",
+    "BenchDiffReport",
+    "SCHEMA_THRESHOLDS",
+    "diff_bench",
+    "diff_bench_files",
+]

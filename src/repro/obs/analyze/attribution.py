@@ -1,0 +1,251 @@
+"""Roofline attribution of traced GPU launches.
+
+Every ``gpu.launch`` span the server records carries the closed-form
+work counts of its :class:`~repro.kernels.blocked.KernelTrace` —
+``flops``, ``ldg_bytes``, ``stg_bytes`` — alongside the launch
+geometry (``model``, ``rows``, ``gpu``, and in model-execution mode
+the per-layer ``layer`` / ``kind``).  That is exactly what the paper's
+NCU methodology measures per kernel, so the trace alone places each
+launch group on its GPU's locked roofline (§IV-E, Fig. 10):
+
+* arithmetic intensity ``AI = flops / (ldg + stg)`` (Eq. 3 over the
+  traced global-memory traffic),
+* achieved FLOP/s ``= flops / modeled seconds``,
+* bound kind and distance-to-roof against
+  :class:`~repro.gpu.roofline.Roofline` for the span's GPU.
+
+Launches are grouped by ``(gpu, model, layer, rows)`` so a 7B decode
+step's QKV projection and its MLP up-projection attribute separately.
+Launches recorded before this instrumentation existed (no ``flops``
+attr, or ``failed`` retries whose work was thrown away) land in the
+``unattributed`` tail so totals stay honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ObsError
+from repro.gpu.catalog import resolve_gpu
+from repro.gpu.roofline import Roofline
+from repro.utils.stats import duration_digest
+from repro.utils.tables import TextTable
+
+__all__ = ["LaunchGroup", "AttributionReport", "attribute_roofline"]
+
+
+@dataclass(frozen=True)
+class LaunchGroup:
+    """All traced launches of one ``(gpu, model, layer, rows)`` shape."""
+
+    gpu: str
+    model: str
+    layer: str
+    rows: int
+    launches: int
+    seconds: float
+    flops: int
+    ldg_bytes: int
+    stg_bytes: int
+    p50_s: float
+    p95_s: float
+    max_s: float
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.ldg_bytes + self.stg_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Traced FLOPs per traced global-memory byte (Eq. 3)."""
+        return self.flops / self.bytes_moved if self.bytes_moved else 0.0
+
+    @property
+    def achieved_flops(self) -> float:
+        """FLOP/s against the simulated clock."""
+        return self.flops / self.seconds if self.seconds else 0.0
+
+    def placed(self, roofline: Roofline) -> "dict[str, Any]":
+        """This group placed on ``roofline``: bound kind, attainable
+        roof at its AI, and distance-to-roof (achieved/attainable)."""
+        ai = self.arithmetic_intensity
+        attainable = roofline.attainable(ai)
+        return {
+            "gpu": self.gpu,
+            "model": self.model,
+            "layer": self.layer,
+            "rows": self.rows,
+            "launches": self.launches,
+            "seconds": self.seconds,
+            "flops": self.flops,
+            "ldg_bytes": self.ldg_bytes,
+            "stg_bytes": self.stg_bytes,
+            "arithmetic_intensity": ai,
+            "achieved_flops": self.achieved_flops,
+            "attainable_flops": attainable,
+            "bound": roofline.bound_kind(ai).value,
+            "ridge_point": roofline.ridge_point,
+            "distance_to_roof": roofline.efficiency(ai, self.achieved_flops),
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass(frozen=True)
+class AttributionReport:
+    """Every launch group placed on its backend's roofline."""
+
+    groups: "tuple[dict[str, Any], ...]"
+    unattributed_launches: int
+    unattributed_seconds: float
+    total_seconds: float
+
+    def to_dict(self) -> "dict[str, Any]":
+        bound_seconds: "dict[str, float]" = {}
+        for g in self.groups:
+            bound = str(g["bound"])
+            bound_seconds[bound] = bound_seconds.get(bound, 0.0) + float(
+                g["seconds"]
+            )
+        return {
+            "groups": list(self.groups),
+            "total_seconds": self.total_seconds,
+            "seconds_by_bound": bound_seconds,
+            "unattributed": {
+                "launches": self.unattributed_launches,
+                "seconds": self.unattributed_seconds,
+            },
+        }
+
+    def render(self, *, top: int = 12, title: str = "roofline attribution") -> str:
+        """The ``trace attribute`` table, heaviest groups first."""
+        if not self.groups and not self.unattributed_launches:
+            return "no gpu.launch spans in trace"
+        table = TextTable(
+            [
+                "gpu", "model", "layer", "rows", "n", "time",
+                "AI", "achieved", "roof", "bound", "of roof",
+            ],
+            title=title,
+        )
+        for g in self.groups[: max(1, top)]:
+            table.add_row(
+                [
+                    str(g["gpu"]),
+                    str(g["model"]),
+                    str(g["layer"]),
+                    str(g["rows"]),
+                    str(g["launches"]),
+                    f"{float(g['seconds']) * 1e3:.3f} ms",
+                    f"{float(g['arithmetic_intensity']):.2f}",
+                    f"{float(g['achieved_flops']) / 1e9:.1f} GF/s",
+                    f"{float(g['attainable_flops']) / 1e9:.1f} GF/s",
+                    str(g["bound"]),
+                    f"{float(g['distance_to_roof']) * 100:.1f}%",
+                ]
+            )
+        lines = [table.render()]
+        doc = self.to_dict()
+        shares = ", ".join(
+            f"{kind}: {sec * 1e3:.3f} ms"
+            for kind, sec in sorted(doc["seconds_by_bound"].items())
+        )
+        if shares:
+            lines.append(f"gpu time by bound: {shares}")
+        if self.unattributed_launches:
+            lines.append(
+                f"unattributed: {self.unattributed_launches} launches, "
+                f"{self.unattributed_seconds * 1e3:.3f} ms "
+                "(failed retries or pre-instrumentation trace)"
+            )
+        return "\n".join(lines)
+
+
+def _spans(trace: Any) -> "list[dict[str, Any]]":
+    if isinstance(trace, Mapping):
+        return list(trace.get("spans", []))
+    if hasattr(trace, "spans"):
+        return [
+            {
+                "name": s.name,
+                "duration_s": s.duration_s,
+                "attrs": s.attrs,
+            }
+            for s in trace.spans
+        ]
+    raise ObsError(
+        f"expected a loaded trace dict or a Tracer, got {type(trace).__name__}"
+    )
+
+
+def attribute_roofline(
+    trace: Any, *, locked: bool = True
+) -> AttributionReport:
+    """Group ``trace``'s ``gpu.launch`` spans and place each group on
+    its GPU's roofline (locked clock by default, matching the paper)."""
+    grouped: "dict[tuple[str, str, str, int], dict[str, Any]]" = {}
+    durations: "dict[tuple[str, str, str, int], list[float]]" = {}
+    unattributed = 0
+    unattributed_s = 0.0
+    total_s = 0.0
+    for span in _spans(trace):
+        if span["name"] != "gpu.launch":
+            continue
+        seconds = float(span["duration_s"])
+        total_s += seconds
+        attrs = span.get("attrs") or {}
+        if attrs.get("failed") or "flops" not in attrs or "gpu" not in attrs:
+            unattributed += 1
+            unattributed_s += seconds
+            continue
+        key = (
+            str(attrs["gpu"]),
+            str(attrs.get("model", "?")),
+            str(attrs.get("layer", "-")),
+            int(attrs.get("rows", 0)),
+        )
+        acc = grouped.setdefault(
+            key,
+            {"launches": 0, "seconds": 0.0, "flops": 0,
+             "ldg_bytes": 0, "stg_bytes": 0},
+        )
+        acc["launches"] += 1
+        acc["seconds"] += seconds
+        acc["flops"] += int(attrs["flops"])
+        acc["ldg_bytes"] += int(attrs.get("ldg_bytes", 0))
+        acc["stg_bytes"] += int(attrs.get("stg_bytes", 0))
+        durations.setdefault(key, []).append(seconds)
+
+    rooflines: "dict[str, Roofline]" = {}
+    placed: "list[dict[str, Any]]" = []
+    for key in sorted(grouped):
+        gpu, model, layer, rows = key
+        acc = grouped[key]
+        if gpu not in rooflines:
+            rooflines[gpu] = Roofline.for_gpu(resolve_gpu(gpu), locked=locked)
+        digest = duration_digest(durations[key])
+        group = LaunchGroup(
+            gpu=gpu,
+            model=model,
+            layer=layer,
+            rows=rows,
+            launches=int(acc["launches"]),
+            seconds=float(acc["seconds"]),
+            flops=int(acc["flops"]),
+            ldg_bytes=int(acc["ldg_bytes"]),
+            stg_bytes=int(acc["stg_bytes"]),
+            p50_s=digest["p50"],
+            p95_s=digest["p95"],
+            max_s=digest["max"],
+        )
+        placed.append(group.placed(rooflines[gpu]))
+    placed.sort(key=lambda g: (-float(g["seconds"]), str(g["gpu"]),
+                               str(g["model"]), str(g["layer"])))
+    return AttributionReport(
+        groups=tuple(placed),
+        unattributed_launches=unattributed,
+        unattributed_seconds=unattributed_s,
+        total_seconds=total_s,
+    )

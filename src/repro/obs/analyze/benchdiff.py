@@ -1,0 +1,275 @@
+"""``bench diff``: regression gating over the committed BENCH JSONs.
+
+Understands all five benchmark schemas this repo emits:
+
+========================================  =====================================
+schema                                    content
+========================================  =====================================
+``nm-spmm/serving-bench/v2``              serving scenarios (modeled clock)
+``nm-spmm/kernel-bench/v1``               kernel wall-clock (machine-dependent)
+``nm-spmm/distributed-bench/v1``          TP crossover + scaling (modeled)
+``nm-spmm/resilience-bench/v1``           fault grid (modeled clock)
+``nm-spmm/model-serving-bench/v1``        Llama serving + KV study (modeled)
+========================================  =====================================
+
+Two guardrails before any numbers are compared:
+
+* **schema match** — diffing a serving bench against a kernel bench is
+  a usage error;
+* **config-fingerprint match** — each writer stamps a ``meta`` header
+  with a fingerprint of its scenario grid
+  (:func:`repro.utils.benchmeta.bench_meta`); comparing runs of
+  *different* configurations is refused rather than reported as a
+  "regression".
+
+Config lists are keyed by ``name`` (and crossover sweeps by ``m``), so
+ordering differences never produce spurious deltas.  Modeled metrics
+are deterministic per seed and use a tight threshold; the kernel
+bench's wall-clock numbers get a generous one and are skipped entirely
+under ``--smoke``.  Exit codes: 0 clean, 1 regression, 2 refusal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ObsError
+from repro.obs.analyze.delta import NO_CHANGE, REGRESSION, MetricDelta, classify
+from repro.utils.tables import TextTable
+
+__all__ = ["BenchDiffReport", "diff_bench", "diff_bench_files"]
+
+#: Relative noise thresholds per schema.  Modeled benchmarks only move
+#: when the code changes; the kernel bench measures host wall-clock.
+SCHEMA_THRESHOLDS = {
+    "nm-spmm/serving-bench/v2": 0.01,
+    "nm-spmm/kernel-bench/v1": 0.25,
+    "nm-spmm/distributed-bench/v1": 0.01,
+    "nm-spmm/resilience-bench/v1": 0.01,
+    "nm-spmm/model-serving-bench/v1": 0.01,
+}
+
+#: Schemas whose numeric leaves are host wall-clock measurements.
+_WALL_CLOCK_SCHEMAS = frozenset({"nm-spmm/kernel-bench/v1"})
+
+#: Keys describing the configuration rather than results — identity is
+#: already guarded by the fingerprint, and ``tracer_overhead`` is a
+#: host wall-clock measurement even in modeled benches.
+_SKIP_KEYS = frozenset(
+    {
+        "schema",
+        "meta",
+        "tracer_overhead",
+        "scenario",
+        "faults",
+        "pattern",
+        "shape",
+        "gpu",
+        "link",
+        "fault_scenario",
+    }
+)
+
+
+def _flatten(
+    node: Any, prefix: str, out: "dict[str, float | str]"
+) -> None:
+    if isinstance(node, dict):
+        for key in sorted(node):
+            if key in _SKIP_KEYS:
+                continue
+            _flatten(node[key], f"{prefix}.{key}" if prefix else str(key), out)
+    elif isinstance(node, list):
+        keyed = _key_list(node)
+        if keyed is not None:
+            for name, item in keyed:
+                _flatten(item, f"{prefix}[{name}]", out)
+        else:
+            for i, item in enumerate(node):
+                _flatten(item, f"{prefix}[{i}]", out)
+    elif isinstance(node, bool):
+        out[prefix] = str(node)
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    elif isinstance(node, str):
+        out[prefix] = node
+
+
+def _key_list(items: "list[Any]") -> "list[tuple[str, Any]] | None":
+    """Key a list of mappings by ``name`` (configs, cells) or ``m``
+    (crossover sweep points) so ordering never matters."""
+    if not items or not all(isinstance(i, dict) for i in items):
+        return None
+    for key in ("name", "m"):
+        if all(key in i for i in items):
+            return [(str(i[key]), i) for i in items]
+    return None
+
+
+@dataclass(frozen=True)
+class BenchDiffReport:
+    """All metric deltas between two benchmark result documents."""
+
+    schema: str
+    deltas: "tuple[MetricDelta, ...]"
+    string_changes: "tuple[tuple[str, str, str], ...]"
+    only_old: "tuple[str, ...]"
+    only_new: "tuple[str, ...]"
+
+    @property
+    def regressions(self) -> "tuple[MetricDelta, ...]":
+        return tuple(d for d in self.deltas if d.verdict == REGRESSION)
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 if any direction-aware metric regressed."""
+        return 1 if self.regressions else 0
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "schema": self.schema,
+            "deltas": [
+                {
+                    "path": d.path,
+                    "old": d.old,
+                    "new": d.new,
+                    "rel_change": d.rel_change,
+                    "verdict": d.verdict,
+                }
+                for d in self.deltas
+            ],
+            "string_changes": [
+                {"path": p, "old": o, "new": n}
+                for p, o, n in self.string_changes
+            ],
+            "only_old": list(self.only_old),
+            "only_new": list(self.only_new),
+            "regressions": len(self.regressions),
+        }
+
+    def render(self, *, all_rows: bool = False) -> str:
+        counts: "dict[str, int]" = {}
+        for d in self.deltas:
+            counts[d.verdict] = counts.get(d.verdict, 0) + 1
+        lines = [
+            f"bench diff [{self.schema}]: "
+            + ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        ]
+        shown = [
+            d for d in self.deltas if all_rows or d.verdict != NO_CHANGE
+        ]
+        if shown:
+            table = TextTable(["metric", "old", "new", "change", "verdict"])
+            for d in shown:
+                table.add_row(
+                    [
+                        d.path,
+                        f"{d.old:.6g}",
+                        f"{d.new:.6g}",
+                        f"{d.rel_change * 100:+.2f}%",
+                        d.verdict,
+                    ]
+                )
+            lines.append(table.render())
+        else:
+            lines.append("all metrics identical")
+        for path, old, new in self.string_changes:
+            lines.append(f"changed: {path}: {old!r} -> {new!r}")
+        if self.only_old:
+            lines.append("only in old: " + ", ".join(self.only_old))
+        if self.only_new:
+            lines.append("only in new: " + ", ".join(self.only_new))
+        if self.regressions:
+            lines.append(
+                f"REGRESSION: {len(self.regressions)} metric(s) beyond "
+                "threshold in the wrong direction"
+            )
+        return "\n".join(lines)
+
+
+def _schema_of(doc: "dict[str, Any]", label: str) -> str:
+    schema = doc.get("schema")
+    if not isinstance(schema, str):
+        raise ObsError(f"{label}: not a benchmark result (missing 'schema')")
+    return schema
+
+
+def diff_bench(
+    old: "dict[str, Any]",
+    new: "dict[str, Any]",
+    *,
+    threshold: "float | None" = None,
+    smoke: bool = False,
+) -> BenchDiffReport:
+    """Compare two benchmark result documents of the same schema.
+
+    Raises :class:`~repro.errors.ObsError` on schema or
+    config-fingerprint mismatch (a usage error, not a regression).
+    ``smoke`` compares only metrics present in both documents and
+    skips wall-clock schemas' measurements — the CI mode where a
+    freshly generated subset is diffed against the committed full run.
+    """
+    old_schema = _schema_of(old, "old")
+    new_schema = _schema_of(new, "new")
+    if old_schema != new_schema:
+        raise ObsError(
+            f"schema mismatch: old is {old_schema!r}, new is {new_schema!r}"
+        )
+    old_meta = old.get("meta") or {}
+    new_meta = new.get("meta") or {}
+    old_fp = old_meta.get("config_fingerprint")
+    new_fp = new_meta.get("config_fingerprint")
+    if old_fp and new_fp and old_fp != new_fp:
+        raise ObsError(
+            "config fingerprint mismatch: the two results ran different "
+            f"benchmark configurations ({old_fp} vs {new_fp}); refusing to "
+            "compare"
+        )
+    if threshold is None:
+        threshold = SCHEMA_THRESHOLDS.get(old_schema, 0.01)
+
+    old_flat: "dict[str, float | str]" = {}
+    new_flat: "dict[str, float | str]" = {}
+    _flatten(old, "", old_flat)
+    _flatten(new, "", new_flat)
+    if smoke and old_schema in _WALL_CLOCK_SCHEMAS:
+        old_flat = {}
+        new_flat = {}
+
+    deltas: "list[MetricDelta]" = []
+    strings: "list[tuple[str, str, str]]" = []
+    for path in sorted(set(old_flat) & set(new_flat)):
+        a, b = old_flat[path], new_flat[path]
+        if isinstance(a, str) or isinstance(b, str):
+            if str(a) != str(b):
+                strings.append((path, str(a), str(b)))
+            continue
+        deltas.append(classify(path, a, b, threshold=threshold))
+    only_old = () if smoke else tuple(sorted(set(old_flat) - set(new_flat)))
+    only_new = () if smoke else tuple(sorted(set(new_flat) - set(old_flat)))
+    return BenchDiffReport(
+        schema=old_schema,
+        deltas=tuple(deltas),
+        string_changes=tuple(strings),
+        only_old=only_old,
+        only_new=only_new,
+    )
+
+
+def diff_bench_files(
+    old_path: str,
+    new_path: str,
+    *,
+    threshold: "float | None" = None,
+    smoke: bool = False,
+) -> BenchDiffReport:
+    """:func:`diff_bench` over two JSON files on disk."""
+    with open(old_path, encoding="utf-8") as fh:
+        old = json.load(fh)
+    with open(new_path, encoding="utf-8") as fh:
+        new = json.load(fh)
+    if not isinstance(old, dict) or not isinstance(new, dict):
+        raise ObsError("benchmark results must be JSON objects")
+    return diff_bench(old, new, threshold=threshold, smoke=smoke)

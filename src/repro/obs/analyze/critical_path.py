@@ -1,0 +1,434 @@
+"""Critical-path extraction and latency decomposition.
+
+Answers "*why* is p99 high?" from a recorded trace alone: each
+completed request's end-to-end interval — bounded by its
+``queue.wait`` span (admission to service start) and its
+``request.complete`` event (completion time) — is decomposed into
+disjoint buckets by intersecting it with the engine's span tree:
+
+``queue``
+    Waiting in an admission queue with the engine healthy.
+``retry_backoff``
+    Overlap with failure/recovery machinery: ``serve.batch`` /
+    ``serve.step`` spans that carry ``failed=True`` (the doomed
+    launch's GPU time plus the retry round-trips it forces) and
+    ``reshard`` spans (post-death recovery shipping shards to the
+    survivors).
+``compute``
+    Overlap with healthy ``gpu.launch`` spans, net of their
+    communication tails.
+``comm``
+    Overlap with ``comm.<collective>`` spans (ring collectives of
+    tensor-parallel launches).
+``paging``
+    Overlap with ``kv.thrash`` spans (the no-memory-model baseline's
+    host-link reload of oversubscribed KV bytes).
+``host``
+    The remainder: per-step host overhead and engine gaps.
+
+The buckets sum to the request's end-to-end latency by construction
+(each is an intersection with one member of a disjoint partition of
+the timeline), so the decomposition is assertable — and is asserted
+in tier-1 against ``ServingMetrics.gpu_busy_s`` / ``comm_s``.
+
+Works on a loaded trace (:func:`~repro.obs.export.load_trace`) or a
+live :class:`~repro.obs.tracer.Tracer`.  Requires ``sample_rate=1``
+recordings for complete coverage; sampled traces decompose the kept
+subset.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ObsError
+from repro.utils.stats import duration_digest
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "BUCKETS",
+    "RequestPath",
+    "CriticalPathReport",
+    "extract_critical_paths",
+]
+
+#: Decomposition buckets, in presentation order.  Per request they sum
+#: to the end-to-end latency.
+BUCKETS = ("queue", "retry_backoff", "compute", "comm", "paging", "host")
+
+#: Span names whose overlap lands in ``retry_backoff`` when the span
+#: carries ``failed=True``.
+_ENGINE_SPANS = ("serve.batch", "serve.step")
+
+#: Event-name -> drop-outcome mapping (mirrors the server's ``_drop``).
+_DROP_EVENTS = {
+    "admission.shed": "shed",
+    "request.timeout": "timed-out",
+    "request.failed": "failed",
+}
+
+Interval = tuple[float, float]
+
+
+def _merge(intervals: "list[Interval]") -> "list[Interval]":
+    """Sorted union of possibly-overlapping intervals."""
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for lo, hi in intervals[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            if hi > last_hi:
+                merged[-1] = (last_lo, hi)
+        else:
+            merged.append((lo, hi))
+    return merged
+
+def _subtract(
+    base: "list[Interval]", cut: "list[Interval]"
+) -> "list[Interval]":
+    """``base`` minus ``cut`` (both already merged and sorted)."""
+    if not base or not cut:
+        return base
+    out: "list[Interval]" = []
+    j = 0
+    for lo, hi in base:
+        cursor = lo
+        while j < len(cut) and cut[j][1] <= cursor:
+            j += 1
+        k = j
+        while k < len(cut) and cut[k][0] < hi:
+            c_lo, c_hi = cut[k]
+            if c_lo > cursor:
+                out.append((cursor, c_lo))
+            cursor = max(cursor, c_hi)
+            if cursor >= hi:
+                break
+            k += 1
+        if cursor < hi:
+            out.append((cursor, hi))
+    return out
+
+
+def _overlap(lo: float, hi: float, merged: "list[Interval]",
+             starts: "list[float]") -> float:
+    """Total length of ``[lo, hi]``'s intersection with the merged
+    interval set (``starts`` is the precomputed list of interval
+    starts for bisection)."""
+    if hi <= lo or not merged:
+        return 0.0
+    total = 0.0
+    # The first interval that could intersect starts at or before lo.
+    i = max(0, bisect_right(starts, lo) - 1)
+    for j in range(i, len(merged)):
+        s, e = merged[j]
+        if s >= hi:
+            break
+        clip = min(e, hi) - max(s, lo)
+        if clip > 0:
+            total += clip
+    return total
+
+
+class _IntervalSet:
+    """A merged interval set with its bisection index."""
+
+    def __init__(self, intervals: "list[Interval]") -> None:
+        self.merged = intervals
+        self.starts = [lo for lo, _ in intervals]
+
+    def overlap(self, lo: float, hi: float) -> float:
+        return _overlap(lo, hi, self.merged, self.starts)
+
+
+@dataclass(frozen=True)
+class RequestPath:
+    """One completed request's latency decomposition."""
+
+    request_id: int
+    model: str
+    queue: str
+    priority: int
+    arrival_s: float
+    started_s: float
+    finished_s: float
+    queue_s: float
+    retry_backoff_s: float
+    compute_s: float
+    comm_s: float
+    paging_s: float
+    host_s: float
+
+    @property
+    def e2e_s(self) -> float:
+        """End-to-end latency: admission to completion."""
+        return self.finished_s - self.arrival_s
+
+    def buckets(self) -> "dict[str, float]":
+        """The decomposition as a bucket-name -> seconds mapping."""
+        return {
+            "queue": self.queue_s,
+            "retry_backoff": self.retry_backoff_s,
+            "compute": self.compute_s,
+            "comm": self.comm_s,
+            "paging": self.paging_s,
+            "host": self.host_s,
+        }
+
+    @property
+    def critical_bucket(self) -> str:
+        """The dominant bucket — where this request's time went
+        (ties break in :data:`BUCKETS` order)."""
+        values = self.buckets()
+        return max(BUCKETS, key=lambda b: (values[b], -BUCKETS.index(b)))
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Per-request decompositions plus trace-level reconciliation
+    totals (summed over *all* spans, sampled or not — these are the
+    quantities tier-1 asserts against ``ServingMetrics``)."""
+
+    requests: "tuple[RequestPath, ...]"
+    gpu_total_s: float
+    comm_total_s: float
+    paging_total_s: float
+    retry_span_s: float
+    drops: "dict[str, int]"
+    incomplete: int
+
+    def aggregate(self) -> "dict[str, Any]":
+        """Bucket totals/shares, per-request percentiles, and the
+        dominant-bucket histogram."""
+        out: "dict[str, Any]" = {
+            "requests": len(self.requests),
+            "incomplete": self.incomplete,
+            "drops": dict(self.drops),
+            "trace_totals": {
+                "gpu_launch_s": self.gpu_total_s,
+                "comm_s": self.comm_total_s,
+                "paging_s": self.paging_total_s,
+                "retry_span_s": self.retry_span_s,
+            },
+        }
+        if not self.requests:
+            return out
+        e2e = [r.e2e_s for r in self.requests]
+        out["e2e"] = duration_digest(e2e)
+        e2e_total = sum(e2e)
+        buckets: "dict[str, Any]" = {}
+        dominant: "dict[str, int]" = {}
+        for name in BUCKETS:
+            values = [r.buckets()[name] for r in self.requests]
+            total = sum(values)
+            digest = duration_digest(values)
+            digest["total"] = total
+            digest["share"] = total / e2e_total if e2e_total else 0.0
+            buckets[name] = digest
+            dominant[name] = sum(
+                1 for r in self.requests if r.critical_bucket == name
+            )
+        out["buckets"] = buckets
+        out["critical_bucket_counts"] = dominant
+        return out
+
+    def to_dict(self) -> "dict[str, Any]":
+        """JSON-able form: the aggregate plus per-request rows."""
+        doc = self.aggregate()
+        doc["per_request"] = [
+            {
+                "request_id": r.request_id,
+                "model": r.model,
+                "queue": r.queue,
+                "priority": r.priority,
+                "arrival_s": r.arrival_s,
+                "started_s": r.started_s,
+                "finished_s": r.finished_s,
+                "e2e_s": r.e2e_s,
+                "critical_bucket": r.critical_bucket,
+                **{f"{k}_s": v for k, v in r.buckets().items()},
+            }
+            for r in self.requests
+        ]
+        return doc
+
+    def render(self, *, title: str = "critical path") -> str:
+        """The ``trace critical-path`` table."""
+        agg = self.aggregate()
+        lines = [
+            f"requests decomposed: {agg['requests']}"
+            + (f"  (+{self.incomplete} incomplete)" if self.incomplete else "")
+        ]
+        if self.drops:
+            drops = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.drops.items())
+            )
+            lines.append(f"dropped without completing: {drops}")
+        if not self.requests:
+            lines.append("no completed requests in trace")
+            return "\n".join(lines)
+        e2e = agg["e2e"]
+        lines.append(
+            "e2e latency: "
+            f"p50 {e2e['p50'] * 1e3:.3f} ms  "
+            f"p95 {e2e['p95'] * 1e3:.3f} ms  "
+            f"p99 {e2e['p99'] * 1e3:.3f} ms  "
+            f"max {e2e['max'] * 1e3:.3f} ms"
+        )
+        table = TextTable(
+            ["bucket", "total", "share", "p50", "p95", "p99", "critical"],
+            title=title,
+        )
+        for name in BUCKETS:
+            b = agg["buckets"][name]
+            table.add_row(
+                [
+                    name,
+                    f"{b['total'] * 1e3:.3f} ms",
+                    f"{b['share'] * 100:.1f}%",
+                    f"{b['p50'] * 1e3:.3f} ms",
+                    f"{b['p95'] * 1e3:.3f} ms",
+                    f"{b['p99'] * 1e3:.3f} ms",
+                    str(agg["critical_bucket_counts"][name]),
+                ]
+            )
+        lines.append(table.render())
+        return "\n".join(lines)
+
+
+def _normalize(
+    trace: Any,
+) -> "tuple[list[dict[str, Any]], list[dict[str, Any]]]":
+    """Either a loaded trace dict or a live tracer -> plain span/event
+    dicts with ``name``/``track``/``attrs`` and seconds timestamps."""
+    if isinstance(trace, Mapping):
+        spans = list(trace.get("spans", []))
+        events = list(trace.get("events", []))
+        return spans, events
+    if hasattr(trace, "spans") and hasattr(trace, "events"):
+        spans = [
+            {
+                "name": s.name,
+                "track": s.track,
+                "start_s": s.start_s,
+                "duration_s": s.duration_s,
+                "attrs": s.attrs,
+            }
+            for s in trace.spans
+        ]
+        events = [
+            {
+                "name": ev.name,
+                "track": ev.track,
+                "t_s": ev.t_s,
+                "attrs": ev.attrs,
+            }
+            for ev in trace.events
+        ]
+        return spans, events
+    raise ObsError(
+        "expected a loaded trace dict or a Tracer, got "
+        f"{type(trace).__name__}"
+    )
+
+
+def _span_interval(span: "Mapping[str, Any]") -> Interval:
+    start = float(span["start_s"])
+    return (start, start + float(span["duration_s"]))
+
+
+def extract_critical_paths(trace: Any) -> CriticalPathReport:
+    """Decompose every completed request in ``trace``.
+
+    ``trace`` is a dict from :func:`~repro.obs.export.load_trace` or a
+    live :class:`~repro.obs.tracer.Tracer`.
+    """
+    spans, events = _normalize(trace)
+
+    failed_raw: "list[Interval]" = []
+    launch_ok_raw: "list[Interval]" = []
+    comm_raw: "list[Interval]" = []
+    thrash_raw: "list[Interval]" = []
+    gpu_total = comm_total = paging_total = 0.0
+    waits: "dict[int, dict[str, Any]]" = {}
+    for span in spans:
+        name = span["name"]
+        iv = _span_interval(span)
+        attrs = span.get("attrs") or {}
+        if name == "gpu.launch":
+            gpu_total += iv[1] - iv[0]
+            if not attrs.get("failed"):
+                launch_ok_raw.append(iv)
+        elif name.startswith("comm."):
+            comm_total += iv[1] - iv[0]
+            comm_raw.append(iv)
+        elif name == "kv.thrash":
+            paging_total += iv[1] - iv[0]
+            thrash_raw.append(iv)
+        elif name in _ENGINE_SPANS and attrs.get("failed"):
+            failed_raw.append(iv)
+        elif name == "reshard":
+            failed_raw.append(iv)
+        elif name == "queue.wait" and "request_id" in attrs:
+            waits[int(attrs["request_id"])] = span
+
+    failed = _merge(failed_raw)
+    retry_span_s = sum(hi - lo for lo, hi in failed)
+    launches = _IntervalSet(_subtract(_merge(launch_ok_raw), failed))
+    comms = _IntervalSet(_subtract(_merge(comm_raw), failed))
+    thrash = _IntervalSet(_subtract(_merge(thrash_raw), failed))
+    failed_set = _IntervalSet(failed)
+
+    completes: "dict[int, float]" = {}
+    drops: "dict[str, int]" = {}
+    for ev in events:
+        name = ev["name"]
+        attrs = ev.get("attrs") or {}
+        if name == "request.complete" and "request_id" in attrs:
+            completes[int(attrs["request_id"])] = float(ev["t_s"])
+        elif name in _DROP_EVENTS:
+            outcome = _DROP_EVENTS[name]
+            drops[outcome] = drops.get(outcome, 0) + 1
+
+    paths: "list[RequestPath]" = []
+    for rid in sorted(set(waits) & set(completes)):
+        wait_span = waits[rid]
+        attrs = wait_span.get("attrs") or {}
+        arrival, started = _span_interval(wait_span)
+        finished = completes[rid]
+        retry_wait = failed_set.overlap(arrival, started)
+        retry_svc = failed_set.overlap(started, finished)
+        launch_ov = launches.overlap(started, finished)
+        comm_ov = comms.overlap(started, finished)
+        paging = thrash.overlap(started, finished)
+        paths.append(
+            RequestPath(
+                request_id=rid,
+                model=str(attrs.get("model", "?")),
+                queue=str(attrs.get("queue", "?")),
+                priority=int(attrs.get("priority", 0)),
+                arrival_s=arrival,
+                started_s=started,
+                finished_s=finished,
+                queue_s=(started - arrival) - retry_wait,
+                retry_backoff_s=retry_wait + retry_svc,
+                compute_s=launch_ov - comm_ov,
+                comm_s=comm_ov,
+                paging_s=paging,
+                host_s=(finished - started) - retry_svc - launch_ov - paging,
+            )
+        )
+
+    incomplete = len(set(waits) ^ set(completes))
+    return CriticalPathReport(
+        requests=tuple(paths),
+        gpu_total_s=gpu_total,
+        comm_total_s=comm_total,
+        paging_total_s=paging_total,
+        retry_span_s=retry_span_s,
+        drops=drops,
+        incomplete=incomplete,
+    )

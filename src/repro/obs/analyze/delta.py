@@ -1,0 +1,147 @@
+"""Direction-aware metric deltas shared by ``trace diff`` and
+``bench diff``.
+
+Every comparison reduces to the same primitive: two numbers, a
+direction (is lower better, higher better, or neither?), and a noise
+threshold.  The verdict vocabulary:
+
+``no-change``
+    Bit-identical values — the expected outcome for a re-run of a
+    deterministic modeled benchmark at the same seed.
+``noise``
+    Within the relative threshold.  Modeled metrics use a tight
+    default (they only move when the code changes); wall-clock kernel
+    numbers get a generous one.
+``improvement`` / ``regression``
+    Beyond the threshold, classified by the metric's direction.
+``changed``
+    Beyond the threshold on a direction-neutral metric (e.g. an
+    eviction count) — reported, but never gates.
+
+Only ``regression`` affects the exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "NO_CHANGE",
+    "NOISE",
+    "IMPROVEMENT",
+    "REGRESSION",
+    "CHANGED",
+    "MetricDelta",
+    "classify",
+    "direction_for",
+]
+
+NO_CHANGE = "no-change"
+NOISE = "noise"
+IMPROVEMENT = "improvement"
+REGRESSION = "regression"
+CHANGED = "changed"
+
+#: Substrings marking a metric where bigger is better.  Checked before
+#: the lower-better list so e.g. ``hit_rate`` wins over a bare ``_s``
+#: suffix elsewhere in the path.
+_HIGHER_BETTER = (
+    "qps",
+    "gflops",
+    "speedup",
+    "throughput",
+    "goodput",
+    "attainment",
+    "hit_rate",
+    "completed",
+    "efficiency",
+    "scaling",
+)
+
+#: Substrings marking a metric where smaller is better.
+_LOWER_BETTER = (
+    "_ms",
+    "_s",
+    "seconds",
+    "latency",
+    "wait",
+    "makespan",
+    "overhead",
+    "thrash",
+    "evict",
+    "preempt",
+    "shed",
+    "timeout",
+    "failed",
+    "retries",
+    "violations",
+    "miss",
+    "drop",
+)
+
+
+def direction_for(path: str) -> "bool | None":
+    """``True`` if lower is better for the metric at ``path``,
+    ``False`` if higher is better, ``None`` if neutral."""
+    lowered = path.lower()
+    for token in _HIGHER_BETTER:
+        if token in lowered:
+            return False
+    for token in _LOWER_BETTER:
+        if token in lowered:
+            return True
+    return None
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's old/new pair with its classified verdict."""
+
+    path: str
+    old: float
+    new: float
+    rel_change: float
+    verdict: str
+    lower_better: "bool | None"
+
+    @property
+    def gating(self) -> bool:
+        return self.verdict == REGRESSION
+
+
+def classify(
+    path: str,
+    old: float,
+    new: float,
+    *,
+    threshold: float,
+    lower_better: "bool | None | str" = "auto",
+) -> MetricDelta:
+    """Classify one old/new pair.  ``lower_better="auto"`` derives the
+    direction from the metric path."""
+    direction: "bool | None"
+    if isinstance(lower_better, str):
+        direction = direction_for(path)
+    else:
+        direction = lower_better
+    if new == old:
+        rel = 0.0
+        verdict = NO_CHANGE
+    else:
+        rel = (new - old) / abs(old) if old else float("inf")
+        if abs(rel) <= threshold:
+            verdict = NOISE
+        elif direction is None:
+            verdict = CHANGED
+        elif (rel > 0) == direction:
+            verdict = REGRESSION
+        else:
+            verdict = IMPROVEMENT
+    return MetricDelta(
+        path=path,
+        old=old,
+        new=new,
+        rel_change=rel,
+        verdict=verdict,
+        lower_better=direction,
+    )

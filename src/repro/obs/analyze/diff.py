@@ -1,0 +1,158 @@
+"""``trace diff``: compare two recorded traces of the same workload.
+
+The unit of comparison is the per-span-name aggregate (count, total
+time, p95) from :func:`~repro.obs.summarize.summarize_spans`, plus —
+when both traces contain completed requests — the end-to-end latency
+digest and per-bucket totals from the critical-path decomposition.
+Traces are deterministic per seed, so a re-run of the same build at
+the same seed diffs to all-``no-change``; anything beyond the
+threshold on a duration is a real behavior change of the engine, not
+jitter.
+
+Durations are lower-better; span counts are direction-neutral (a new
+span kind is not a regression by itself) and never gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.analyze.critical_path import BUCKETS, extract_critical_paths
+from repro.obs.analyze.delta import REGRESSION, MetricDelta, classify
+from repro.obs.summarize import summarize_spans
+from repro.utils.tables import TextTable
+
+__all__ = ["TraceDiffReport", "diff_traces"]
+
+#: Modeled metrics only move when the code changes; 1% separates
+#: float dust from a real shift.
+DEFAULT_THRESHOLD = 0.01
+
+
+@dataclass(frozen=True)
+class TraceDiffReport:
+    """All per-metric deltas between two traces."""
+
+    deltas: "tuple[MetricDelta, ...]"
+    only_old: "tuple[str, ...]"
+    only_new: "tuple[str, ...]"
+
+    @property
+    def regressions(self) -> "tuple[MetricDelta, ...]":
+        return tuple(d for d in self.deltas if d.verdict == REGRESSION)
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean, 1 if any duration regressed."""
+        return 1 if self.regressions else 0
+
+    def to_dict(self) -> "dict[str, Any]":
+        return {
+            "deltas": [
+                {
+                    "path": d.path,
+                    "old": d.old,
+                    "new": d.new,
+                    "rel_change": d.rel_change,
+                    "verdict": d.verdict,
+                }
+                for d in self.deltas
+            ],
+            "only_old": list(self.only_old),
+            "only_new": list(self.only_new),
+            "regressions": len(self.regressions),
+        }
+
+    def render(self, *, all_rows: bool = False) -> str:
+        """Verdict table; quiet rows (``no-change``) are elided unless
+        ``all_rows``."""
+        shown = [
+            d for d in self.deltas if all_rows or d.verdict != "no-change"
+        ]
+        lines = []
+        counts: "dict[str, int]" = {}
+        for d in self.deltas:
+            counts[d.verdict] = counts.get(d.verdict, 0) + 1
+        lines.append(
+            "trace diff: "
+            + ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+        )
+        if self.only_old:
+            lines.append("only in old: " + ", ".join(self.only_old))
+        if self.only_new:
+            lines.append("only in new: " + ", ".join(self.only_new))
+        if shown:
+            table = TextTable(
+                ["metric", "old", "new", "change", "verdict"]
+            )
+            for d in shown:
+                table.add_row(
+                    [
+                        d.path,
+                        f"{d.old:.6g}",
+                        f"{d.new:.6g}",
+                        f"{d.rel_change * 100:+.2f}%",
+                        d.verdict,
+                    ]
+                )
+            lines.append(table.render())
+        else:
+            lines.append("no differences beyond threshold")
+        return "\n".join(lines)
+
+
+def _trace_metrics(trace: Any) -> "dict[str, tuple[float, bool | None]]":
+    """Flatten one trace to ``path -> (value, lower_better)``."""
+    out: "dict[str, tuple[float, bool | None]]" = {}
+    for row in summarize_spans(_spans_of(trace)):
+        name = row["name"]
+        out[f"span.{name}.count"] = (float(row["count"]), None)
+        out[f"span.{name}.total_s"] = (row["total_s"], True)
+        out[f"span.{name}.p95_s"] = (row["p95_s"], True)
+    cp = extract_critical_paths(trace)
+    if cp.requests:
+        agg = cp.aggregate()
+        for stat, value in agg["e2e"].items():
+            out[f"e2e.{stat}_s"] = (value, True)
+        for bucket in BUCKETS:
+            out[f"bucket.{bucket}.total_s"] = (
+                agg["buckets"][bucket]["total"],
+                True,
+            )
+        out["requests.completed"] = (float(agg["requests"]), False)
+    for outcome, n in cp.drops.items():
+        out[f"drops.{outcome}"] = (float(n), True)
+    return out
+
+
+def _spans_of(trace: Any) -> "list[Any]":
+    if isinstance(trace, dict):
+        return list(trace.get("spans", []))
+    return list(trace.spans)
+
+
+def diff_traces(
+    old: Any,
+    new: Any,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> TraceDiffReport:
+    """Compare two traces (loaded dicts or live tracers)."""
+    old_metrics = _trace_metrics(old)
+    new_metrics = _trace_metrics(new)
+    deltas = [
+        classify(
+            path,
+            old_metrics[path][0],
+            new_metrics[path][0],
+            threshold=threshold,
+            lower_better=old_metrics[path][1],
+        )
+        for path in sorted(set(old_metrics) & set(new_metrics))
+    ]
+    return TraceDiffReport(
+        deltas=tuple(deltas),
+        only_old=tuple(sorted(set(old_metrics) - set(new_metrics))),
+        only_new=tuple(sorted(set(new_metrics) - set(old_metrics))),
+    )

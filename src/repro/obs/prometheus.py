@@ -28,7 +28,15 @@ def _sanitize(name: str) -> str:
 
 
 def _escape(value: str) -> str:
+    """Label-value escaping per the exposition format: backslash,
+    double quote, and line feed."""
     return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` text escaping per the exposition format: backslash
+    and line feed only (quotes are legal in help text)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _labels(
@@ -54,7 +62,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     for metric in registry:
         name = _sanitize(metric.name)
         if metric.help:
-            lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             samples = metric.samples() or [((), 0.0)]

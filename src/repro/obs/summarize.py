@@ -2,9 +2,11 @@
 
 Groups a trace's spans by name and reports, per name, the call count,
 total (inclusive) time, self time (total minus the time of *direct*
-children — the flamegraph decomposition), and mean duration, sorted
-by total time.  Works on live :class:`~repro.obs.tracer.Tracer`
-spans and on spans loaded back from either export format
+children — the flamegraph decomposition), mean duration, and the
+p50/p95/max duration percentiles (shared with the roofline
+attribution report in :mod:`repro.obs.analyze`), sorted by total
+time.  Works on live :class:`~repro.obs.tracer.Tracer` spans and on
+spans loaded back from either export format
 (:func:`~repro.obs.export.load_trace`), since both carry
 ``span_id``/``parent_id``.
 """
@@ -14,6 +16,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from repro.errors import ObsError
+from repro.utils.stats import percentile
 from repro.utils.tables import TextTable
 
 __all__ = ["summarize_spans", "render_summary", "summarize_file"]
@@ -34,9 +37,9 @@ def _as_dict(span: Any) -> dict[str, Any]:
 def summarize_spans(spans: Iterable[Any]) -> list[dict[str, Any]]:
     """Aggregate spans by name.
 
-    Returns rows ``{"name", "count", "total_s", "self_s", "mean_s"}``
-    sorted by total time descending (name breaks ties), so ``rows[0]``
-    is where the simulated time went.
+    Returns rows ``{"name", "count", "total_s", "self_s", "mean_s",
+    "p50_s", "p95_s", "max_s"}`` sorted by total time descending (name
+    breaks ties), so ``rows[0]`` is where the simulated time went.
     """
     normalized = [_as_dict(s) for s in spans]
     child_time: dict[Any, float] = {}
@@ -47,6 +50,7 @@ def summarize_spans(spans: Iterable[Any]) -> list[dict[str, Any]]:
                 child_time.get(parent, 0.0) + span["duration_s"]
             )
     rows: dict[str, dict[str, Any]] = {}
+    durations: dict[str, list[float]] = {}
     for span in normalized:
         row = rows.setdefault(
             span["name"],
@@ -57,12 +61,17 @@ def summarize_spans(spans: Iterable[Any]) -> list[dict[str, Any]]:
         row["self_s"] += span["duration_s"] - child_time.get(
             span.get("span_id"), 0.0
         )
+        durations.setdefault(span["name"], []).append(span["duration_s"])
     out = []
     for row in rows.values():
         # Clamp float dust: self time is >= 0 by construction (children
         # nest inside their parent on the simulated clock).
         row["self_s"] = max(0.0, row["self_s"])
         row["mean_s"] = row["total_s"] / row["count"]
+        sample = durations[row["name"]]
+        row["p50_s"] = percentile(sample, 50)
+        row["p95_s"] = percentile(sample, 95)
+        row["max_s"] = max(sample)
         out.append(row)
     out.sort(key=lambda r: (-r["total_s"], r["name"]))
     return out
@@ -75,7 +84,8 @@ def render_summary(
     if not rows:
         raise ObsError("no spans to summarize")
     table = TextTable(
-        ["span", "count", "total", "self", "mean"], title=title
+        ["span", "count", "total", "self", "mean", "p50", "p95", "max"],
+        title=title,
     )
     for row in rows[: max(1, top)]:
         table.add_row(
@@ -85,10 +95,15 @@ def render_summary(
                 f"{row['total_s'] * 1e3:.3f} ms",
                 f"{row['self_s'] * 1e3:.3f} ms",
                 f"{row['mean_s'] * 1e3:.3f} ms",
+                f"{row['p50_s'] * 1e3:.3f} ms",
+                f"{row['p95_s'] * 1e3:.3f} ms",
+                f"{row['max_s'] * 1e3:.3f} ms",
             ]
         )
     if len(rows) > top:
-        table.add_row([f"... {len(rows) - top} more", "", "", "", ""])
+        table.add_row(
+            [f"... {len(rows) - top} more", "", "", "", "", "", "", ""]
+        )
     return table.render()
 
 

@@ -28,15 +28,29 @@ __all__ = ["CacheStats", "LRUCache", "PlanEntry", "PlanCache"]
 @dataclass(frozen=True)
 class PlanEntry:
     """What the serving engine needs per launch geometry: the execution
-    plan plus its perf-model report (modeled seconds drive the simulated
-    clock)."""
+    plan, its perf-model report (modeled seconds drive the simulated
+    clock), and the closed-form :class:`~repro.kernels.blocked.
+    KernelTrace` of the launch (FLOP and global-memory byte counts),
+    which the tracer stamps onto every ``gpu.launch`` span so the
+    trace-analytics roofline attribution never re-derives work from
+    shapes."""
 
     plan: ExecutionPlan
     report: object  # KernelReport; kept untyped to avoid a model import
+    trace: object = None  # KernelTrace; same import-avoidance
 
     @property
     def modeled_seconds(self) -> float:
         return self.report.seconds  # type: ignore[attr-defined]
+
+    @property
+    def launch_cost(self) -> "tuple[int, int, int]":
+        """``(flops, ldg_bytes, stg_bytes)`` of one launch — the
+        roofline-attribution counts, zeros if no trace was built."""
+        if self.trace is None:
+            return (0, 0, 0)
+        t = self.trace
+        return (t.flops, t.ldg_bytes, t.stg_bytes)  # type: ignore[attr-defined]
 
 
 @dataclass
@@ -68,7 +82,16 @@ class PlanCache:
             # LRU is the single bounded owner of serving plans, so
             # evicting an entry really frees it.
             plan = op.plan_for(m, handle)
-            return PlanEntry(plan=plan, report=plan.simulate())
+            col_info = (
+                handle.col_info(plan.ws, plan.params.ns)
+                if plan.uses_packing
+                else None
+            )
+            trace = plan.analytic_trace(
+                col_info,
+                index_itemsize=handle.compressed.indices.dtype.itemsize,
+            )
+            return PlanEntry(plan=plan, report=plan.simulate(), trace=trace)
 
         return self._lru.get_or_build(key, build)
 

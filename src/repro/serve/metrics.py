@@ -16,6 +16,7 @@ from typing import Sequence
 
 from repro.errors import ServeError
 from repro.serve.request import RequestRecord
+from repro.utils.stats import percentile as _percentile
 from repro.utils.tables import TextTable
 
 __all__ = [
@@ -36,24 +37,17 @@ DROP_OUTCOMES = ("shed", "timed-out", "failed")
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile with linear interpolation (no numpy
-    dependency so the metrics layer stays trivially deterministic).
+    """The ``q``-th percentile with linear interpolation (shared with
+    the trace summarizer via :mod:`repro.utils.stats`, so a serving
+    p99 and a per-span p99 agree byte-for-byte on the same sample).
 
     >>> percentile([1.0, 2.0, 3.0, 4.0], 50)
     2.5
     """
-    if not values:
-        raise ServeError("percentile of an empty sample")
-    if not 0 <= q <= 100:
-        raise ServeError(f"percentile q must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = (len(ordered) - 1) * q / 100.0
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    try:
+        return _percentile(values, q)
+    except ValueError as exc:
+        raise ServeError(str(exc)) from None
 
 
 @dataclass(frozen=True)

@@ -785,9 +785,16 @@ class InferenceServer:
         padded_rows: int,
         state: "_RunState | None" = None,
         t_s: float = 0.0,
-    ) -> "tuple[float, tuple[float, ...], CommEvent | None, object]":
+    ) -> (
+        "tuple[float, tuple[float, ...], CommEvent | None, object,"
+        " tuple[int, int, int]]"
+    ):
         """Model one ``padded_rows``-row launch of ``entry``:
-        ``(modeled_gpu_s, per_device_gpu_s, comm_event, plan)``.
+        ``(modeled_gpu_s, per_device_gpu_s, comm_event, plan, cost)``
+        where ``cost`` is the launch's ``(flops, ldg_bytes,
+        stg_bytes)`` from the cached plans' analytic traces (summed
+        over device shards) — the counts roofline attribution places
+        against the GPU's peaks.
 
         Single-device entries go through the shared plan cache exactly
         as before (plan returned for the numerics path, no comm
@@ -814,22 +821,31 @@ class InferenceServer:
             seconds = plan_entry.modeled_seconds
             if injector is not None:
                 seconds *= injector.device_factor(device, t_s)
-            return seconds, (), None, plan_entry.plan
+            return seconds, (), None, plan_entry.plan, plan_entry.launch_cost
         per_device = []
+        flops = ldg_bytes = stg_bytes = 0
         for shard in entry.sharded.shards:
             device = phys[shard.device]
-            seconds = self._cached_plan(
+            plan_entry = self._cached_plan(
                 self.plan_caches[device], device, entry,
                 shard.handle, padded_rows,
-            ).modeled_seconds
+            )
+            seconds = plan_entry.modeled_seconds
             if injector is not None:
                 seconds *= injector.device_factor(device, t_s)
             per_device.append(seconds)
+            shard_flops, shard_ldg, shard_stg = plan_entry.launch_cost
+            flops += shard_flops
+            ldg_bytes += shard_ldg
+            stg_bytes += shard_stg
         group = entry.group
         if injector is not None:
             group = injector.degraded_group(group, t_s)
         comm = entry.sharded.collective(group, padded_rows)
-        return max(per_device) + comm.seconds, tuple(per_device), comm, None
+        return (
+            max(per_device) + comm.seconds, tuple(per_device), comm, None,
+            (flops, ldg_bytes, stg_bytes),
+        )
 
     def _trace_launch(
         self,
@@ -843,6 +859,9 @@ class InferenceServer:
         model: str,
         device_ids: "tuple[int, ...] | None" = None,
         failed: bool = False,
+        rows: "int | None" = None,
+        gpu: "str | None" = None,
+        cost: "tuple[int, int, int] | None" = None,
     ):
         """Record one launch's GPU-side spans: ``gpu.launch`` covering
         the full modeled busy time (so summed launch durations equal
@@ -850,7 +869,12 @@ class InferenceServer:
         ``device.compute`` child per device shard, and — when the
         launch communicates — a ``comm.<collective>`` child occupying
         the launch's tail (compute gates the ring, so the collective
-        finishes the launch), carrying the modeled wire bytes."""
+        finishes the launch), carrying the modeled wire bytes.
+
+        ``rows``/``gpu``/``cost`` enrich the ``gpu.launch`` span with
+        the padded row count, the GPU-catalog name, and the launch's
+        ``(flops, ldg_bytes, stg_bytes)`` — scaled by ``steps`` —
+        which ``trace attribute`` places on the roofline offline."""
         handles = self._launch_metric_cache.get(model)
         if handles is None:
             handles = (
@@ -873,6 +897,14 @@ class InferenceServer:
             tr.advance(launch_end)
             return None
         extra = {"failed": True} if failed else {}
+        if rows is not None:
+            extra["rows"] = rows
+        if gpu is not None:
+            extra["gpu"] = gpu
+        if cost is not None:
+            extra["flops"] = steps * cost[0]
+            extra["ldg_bytes"] = steps * cost[1]
+            extra["stg_bytes"] = steps * cost[2]
         launch = tr.add_span(
             "gpu.launch", start_s, launch_end,
             track="gpu", parent=parent, model=model, steps=steps, **extra,
@@ -897,11 +929,18 @@ class InferenceServer:
     def _trace_queue_wait(
         self, tr: Tracer, request: InferenceRequest, started_s: float,
         queue: str, keep: "bool | None" = None,
+        finished_s: "float | None" = None,
     ) -> None:
         """One request's time-in-queue as a span on the ``queue``
         track (admission to service start) plus a wait histogram.
         ``keep`` ties the span to its batch's sampling decision (the
-        histogram records regardless — metrics never sample)."""
+        histogram records regardless — metrics never sample).
+
+        ``finished_s`` additionally emits a ``request.complete`` event
+        at the request's completion time: together with ``queue.wait``
+        it bounds the request's end-to-end interval, which the
+        critical-path analyzer decomposes into queue / compute / comm
+        / paging / retry-backoff buckets offline."""
         hist = self._qwait_metric_cache.get(queue)
         if hist is None:
             hist = self._bm(
@@ -918,6 +957,14 @@ class InferenceServer:
             request_id=request.request_id, model=request.model,
             priority=request.priority, queue=queue,
         )
+        if finished_s is not None:
+            tr.event(
+                "request.complete", t_s=finished_s, track="queue",
+                keep=keep, request_id=request.request_id,
+                model=request.model, priority=request.priority,
+                queue=queue, started_s=started_s,
+                arrival_s=request.arrival_s,
+            )
 
     def _execute_batch(self, entry: ModelEntry, batch, plan) -> list:
         """Run one batch's numerics and split per-request outputs."""
@@ -1705,7 +1752,7 @@ class InferenceServer:
         batch = batcher.form_batch(
             queue, stack=self.execute_numerics, pad_to_k=entry.handle.k
         )
-        modeled_s, per_device, comm, plan = self._modeled_launch(
+        modeled_s, per_device, comm, plan, cost = self._modeled_launch(
             entry, batch.padded_rows, state, start_s
         )
         comm_s = 0.0 if comm is None else comm.seconds
@@ -1725,6 +1772,8 @@ class InferenceServer:
                     tr, batch_span, start_s, 1, modeled_s,
                     per_device, comm, batch.model,
                     device_ids=device_ids, failed=True,
+                    rows=batch.padded_rows, gpu=entry.op.gpu.name,
+                    cost=cost,
                 )
             metrics.add_batch(
                 BatchRecord(
@@ -1766,11 +1815,13 @@ class InferenceServer:
             )
             for request in batch.requests:
                 self._trace_queue_wait(
-                    tr, request, start_s, "prefill", keep=keep
+                    tr, request, start_s, "prefill", keep=keep,
+                    finished_s=start_s + request.steps * step_s,
                 )
             self._trace_launch(
                 tr, batch_span, start_s, max_steps, modeled_s,
                 per_device, comm, batch.model, device_ids=device_ids,
+                rows=batch.padded_rows, gpu=entry.op.gpu.name, cost=cost,
             )
 
         for idx, request in enumerate(batch.requests):
@@ -1831,7 +1882,7 @@ class InferenceServer:
             stack=self.execute_numerics,
             pad_to_k=entry.handle.k,
         )
-        modeled_gpu_s, per_device, comm, plan = self._modeled_launch(
+        modeled_gpu_s, per_device, comm, plan, cost = self._modeled_launch(
             entry, batch.padded_rows, state, start_s
         )
         comm_s = 0.0 if comm is None else comm.seconds
@@ -1843,7 +1894,8 @@ class InferenceServer:
             return self._failed_step(
                 name, cb, batch, start_s, finished_s, modeled_gpu_s,
                 per_device, comm, comm_s, joined, preempted,
-                fail_device, device_ids, state,
+                fail_device, device_ids, state, cost=cost,
+                gpu=entry.op.gpu.name,
             )
         self._note_launch_ok(entry, state)
         state.cb_streak[name] = 0
@@ -1885,11 +1937,12 @@ class InferenceServer:
             for _, inflight in finished_entries:
                 self._trace_queue_wait(
                     tr, inflight.request, inflight.joined_s, "decode",
-                    keep=keep,
+                    keep=keep, finished_s=finished_s,
                 )
             self._trace_launch(
                 tr, step_span, start_s, 1, modeled_gpu_s,
                 per_device, comm, name, device_ids=device_ids,
+                rows=batch.padded_rows, gpu=entry.op.gpu.name, cost=cost,
             )
         for idx, inflight in finished_entries:
             metrics.add_request(
@@ -1939,6 +1992,8 @@ class InferenceServer:
         fail_device: int,
         device_ids: tuple,
         state: _RunState,
+        cost: "tuple[int, int, int] | None" = None,
+        gpu: "str | None" = None,
     ) -> float:
         """Account one continuous step that suffered a launch fault:
         GPU time spent, no sequence advanced.  Every resident sequence
@@ -1992,6 +2047,7 @@ class InferenceServer:
             self._trace_launch(
                 tr, step_span, start_s, 1, modeled_gpu_s,
                 per_device, comm, name, device_ids=device_ids, failed=True,
+                rows=batch.padded_rows, gpu=gpu, cost=cost,
             )
         metrics.add_step(
             StepRecord(
@@ -2026,19 +2082,21 @@ class InferenceServer:
     ) -> "tuple[float, tuple, tuple[float, ...], float]":
         """One walk of the whole layer stack at ``padded_rows`` rows:
         ``(total_s, layer_spans, per_device_s, comm_s)``, where
-        ``layer_spans`` is ``(layer_name, start_offset, seconds)`` per
-        layer in walk order — layers execute back-to-back, so the
-        walk's modeled time is their plain sum (each distributed
-        layer's seconds already includes its collective)."""
+        ``layer_spans`` is ``(layer_name, start_offset, seconds,
+        cost)`` per layer in walk order — layers execute back-to-back,
+        so the walk's modeled time is their plain sum (each
+        distributed layer's seconds already includes its collective).
+        ``cost`` is the layer launch's ``(flops, ldg_bytes,
+        stg_bytes)`` for the per-layer ``gpu.launch`` span attrs."""
         total = 0.0
         comm_total = 0.0
         per_device: "list[float] | None" = None
         spans = []
         for sub in entry.layers:
-            seconds, pd, comm, _ = self._modeled_launch(
+            seconds, pd, comm, _, cost = self._modeled_launch(
                 sub, padded_rows, state, t_s
             )
-            spans.append((sub.name, total, seconds))
+            spans.append((sub.name, total, seconds, cost))
             total += seconds
             if comm is not None:
                 comm_total += comm.seconds
@@ -2284,11 +2342,22 @@ class InferenceServer:
 
         fail_device = self._launch_fault(entry, start_s, state)
         if fail_device is not None:
+            walk_costs = [
+                cost
+                for _, _, _, layer_spans in prefills
+                for _, _, _, cost in layer_spans
+            ] + [cost for _, _, _, cost in decode_spans]
+            step_cost = (
+                sum(c[0] for c in walk_costs),
+                sum(c[1] for c in walk_costs),
+                sum(c[2] for c in walk_costs),
+            )
             before_ids = {e.request.request_id for e in cb.resident}
             result = self._failed_step(
                 name, cb, batch, start_s, finished_s, modeled_gpu_s,
                 per_device_t, None, comm_s, joined, preempted,
-                fail_device, device_ids, state,
+                fail_device, device_ids, state, cost=step_cost,
+                gpu=entry.op.gpu.name,
             )
             # The failed launch advanced nothing: sequences dropped by
             # retry exhaustion (or evicted by a death re-shard inside
@@ -2327,6 +2396,7 @@ class InferenceServer:
                     preempted=preempted, kv_evicted=kv_evicted,
                     **batch.trace_attrs(),
                 )
+                gpu_name = entry.op.gpu.name
                 offset = start_s
                 for inflight, tokens, seconds, spans in prefills:
                     span = tr.add_span(
@@ -2335,13 +2405,16 @@ class InferenceServer:
                         request_id=inflight.request.request_id,
                         tokens=tokens,
                     )
-                    for layer_name, layer_off, layer_s in spans:
+                    prefill_rows = run_policy.bucket_rows(tokens)
+                    for layer_name, layer_off, layer_s, cost in spans:
                         tr.add_span(
                             "gpu.launch",
                             offset + layer_off,
                             offset + layer_off + layer_s,
                             track="gpu", parent=span, model=name,
-                            layer=layer_name,
+                            layer=layer_name, rows=prefill_rows,
+                            gpu=gpu_name, flops=cost[0],
+                            ldg_bytes=cost[1], stg_bytes=cost[2],
                         )
                     offset += seconds
                 span = tr.add_span(
@@ -2349,13 +2422,15 @@ class InferenceServer:
                     track="gpu", parent=step_span, model=name,
                     rows=batch.rows,
                 )
-                for layer_name, layer_off, layer_s in decode_spans:
+                for layer_name, layer_off, layer_s, cost in decode_spans:
                     tr.add_span(
                         "gpu.launch",
                         offset + layer_off,
                         offset + layer_off + layer_s,
                         track="gpu", parent=span, model=name,
-                        layer=layer_name,
+                        layer=layer_name, rows=batch.padded_rows,
+                        gpu=gpu_name, flops=cost[0],
+                        ldg_bytes=cost[1], stg_bytes=cost[2],
                     )
                 offset += decode_s
                 if thrash_s > 0:
@@ -2388,7 +2463,7 @@ class InferenceServer:
             for _, inflight in finished_entries:
                 self._trace_queue_wait(
                     tr, inflight.request, inflight.joined_s, "decode",
-                    keep=keep,
+                    keep=keep, finished_s=finished_s,
                 )
             handles = self._launch_metric_cache.get(name)
             if handles is None:

@@ -1,0 +1,63 @@
+"""Common ``meta`` header for benchmark result JSONs.
+
+Every ``BENCH_*.json`` writer stamps the same header so downstream
+tooling (``python -m repro bench diff``) can refuse nonsensical
+comparisons instead of reporting them as regressions:
+
+``schema``
+    Duplicated from the document root for self-description.
+``seed``
+    The RNG seed the benchmark ran at (``None`` for seedless suites).
+``config_fingerprint``
+    A short digest of the benchmark's *configuration* — the scenario
+    grid, shapes, and sweep parameters, never the measured results.
+    Two result files are comparable iff their fingerprints match.
+``generated_at``
+    Caller-supplied timestamp string or ``None``.  Deliberately an
+    argument: this library never reads the wall clock (determinism
+    lint DET002) — drivers pass e.g. a CI-provided ISO timestamp.
+
+>>> meta = bench_meta("nm-spmm/serving-bench/v2", config={"a": 1}, seed=7)
+>>> sorted(meta)
+['config_fingerprint', 'generated_at', 'schema', 'seed']
+>>> meta["config_fingerprint"] == bench_meta(
+...     "nm-spmm/serving-bench/v2", config={"a": 1}, seed=7
+... )["config_fingerprint"]
+True
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["bench_meta", "config_fingerprint"]
+
+
+def config_fingerprint(config: Any) -> str:
+    """A 16-hex-digit digest of a JSON-able configuration description.
+
+    Canonical-JSON (sorted keys, no whitespace variance) so dict
+    ordering never perturbs the fingerprint.
+    """
+    canonical = json.dumps(
+        config, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def bench_meta(
+    schema: str,
+    *,
+    config: Any,
+    seed: "int | None" = None,
+    generated_at: "str | None" = None,
+) -> "dict[str, Any]":
+    """The standard benchmark ``meta`` block."""
+    return {
+        "schema": schema,
+        "seed": seed,
+        "config_fingerprint": config_fingerprint(config),
+        "generated_at": generated_at,
+    }

@@ -189,6 +189,23 @@ class TestMetrics:
         assert "wait_s_sum 0.5" in text
         assert "wait_s_count 1" in text
 
+    def test_prometheus_escapes_label_values_and_help(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", 'served "fast"\nbackslash \\ path').inc(
+            1, model='llama "7b"\n\\v1'
+        )
+        text = prometheus_text(reg)
+        # HELP: backslash and newline escaped; quotes stay literal.
+        assert (
+            '# HELP req_total served "fast"\\nbackslash \\\\ path' in text
+        )
+        # Label values additionally escape double quotes.
+        assert r'req_total{model="llama \"7b\"\n\\v1"} 1' in text
+        # Every emitted line is a single exposition line (no raw \n
+        # leaked out of a value).
+        for line in text.splitlines():
+            assert line == line.strip("\r")
+
     def test_default_buckets_span_the_simulated_range(self):
         assert DEFAULT_TIME_BUCKETS[0] == 1e-6
         assert DEFAULT_TIME_BUCKETS[-1] == 10.0
@@ -293,6 +310,24 @@ class TestExporters:
         assert launch["count"] == 2
         assert launch["total_s"] == pytest.approx(0.8)
         assert launch["mean_s"] == pytest.approx(0.4)
+
+    def test_summarize_duration_percentiles(self):
+        rows = summarize_spans(_toy_tracer().spans)
+        launch = [r for r in rows if r["name"] == "gpu.launch"][0]
+        # Two launches of 0.5 and 0.3: linear-interpolated percentiles.
+        assert launch["p50_s"] == pytest.approx(0.4)
+        assert launch["p95_s"] == pytest.approx(0.49)
+        assert launch["max_s"] == pytest.approx(0.5)
+        single = [r for r in rows if r["count"] == 1][0]
+        assert single["p50_s"] == single["p95_s"] == single["max_s"]
+
+    def test_summarize_render_includes_percentile_columns(self):
+        from repro.obs import render_summary
+
+        text = render_summary(summarize_spans(_toy_tracer().spans))
+        header = text.splitlines()[2]
+        for column in ("p50", "p95", "max"):
+            assert column in header
 
     def test_summarize_file_renders_either_format(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -1,0 +1,554 @@
+"""Trace analytics: critical-path decomposition (and its exact
+reconciliation against :class:`~repro.serve.metrics.ServingMetrics`),
+roofline attribution of traced launches, and the trace/bench
+regression diffing that gates CI."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.errors import ObsError
+from repro.gpu.catalog import resolve_gpu
+from repro.gpu.roofline import Roofline
+from repro.obs import Tracer, load_trace, write_chrome_trace
+from repro.obs.analyze import (
+    BUCKETS,
+    attribute_roofline,
+    classify,
+    diff_bench,
+    diff_traces,
+    direction_for,
+    extract_critical_paths,
+)
+from repro.obs.analyze.critical_path import _merge, _overlap, _subtract
+from repro.serve.model_exec import long_context_summarization
+from repro.serve.scenarios import LlamaServingScenario
+from repro.utils.benchmeta import bench_meta, config_fingerprint
+
+
+def traced_run(**overrides):
+    defaults = dict(
+        qps=300.0,
+        duration_s=0.05,
+        execute_numerics=False,
+        seed=7,
+    )
+    defaults.update(overrides)
+    tracer = Tracer()
+    report = LlamaServingScenario(tracer=tracer, **defaults).run()
+    return tracer, report
+
+
+def assert_sums_exact(cp):
+    assert cp.requests
+    for r in cp.requests:
+        assert math.isclose(
+            sum(r.buckets().values()), r.e2e_s, rel_tol=1e-9, abs_tol=1e-12
+        )
+        for name, value in r.buckets().items():
+            assert value >= -1e-12, (r.request_id, name, value)
+
+
+# ---------------------------------------------------------------------------
+# Interval algebra
+# ---------------------------------------------------------------------------
+class TestIntervals:
+    def test_merge_overlapping_and_adjacent(self):
+        assert _merge([(3.0, 4.0), (0.0, 1.0), (0.5, 2.0), (2.0, 2.5)]) == [
+            (0.0, 2.5),
+            (3.0, 4.0),
+        ]
+
+    def test_subtract_splits_and_clips(self):
+        base = [(0.0, 10.0)]
+        cut = [(2.0, 3.0), (5.0, 7.0)]
+        assert _subtract(base, cut) == [(0.0, 2.0), (3.0, 5.0), (7.0, 10.0)]
+        assert _subtract([(0.0, 1.0)], [(0.0, 1.0)]) == []
+        assert _subtract([], [(0.0, 1.0)]) == []
+
+    def test_overlap_window(self):
+        merged = [(0.0, 2.0), (4.0, 6.0)]
+        starts = [lo for lo, _ in merged]
+        assert _overlap(1.0, 5.0, merged, starts) == pytest.approx(2.0)
+        assert _overlap(2.0, 4.0, merged, starts) == 0.0
+        assert _overlap(5.0, 5.0, merged, starts) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 100, allow_nan=False),
+                st.floats(0, 10, allow_nan=False),
+            ),
+            max_size=12,
+        ),
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0, 20, allow_nan=False),
+    )
+    def test_overlap_never_exceeds_window_or_set(self, raw, lo, width):
+        merged = _merge([(s, s + w) for s, w in raw if w > 0])
+        starts = [s for s, _ in merged]
+        got = _overlap(lo, lo + width, merged, starts)
+        assert 0.0 <= got <= width + 1e-9
+        assert got <= sum(hi - lo_ for lo_, hi in merged) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Critical-path decomposition
+# ---------------------------------------------------------------------------
+class TestCriticalPath:
+    def test_two_device_faulted_run_reconciles_exactly(self):
+        """The acceptance invariant: on a seeded 2-device faulted run,
+        per-request bucket sums equal the end-to-end span durations and
+        the aggregate compute/comm totals equal the ServingMetrics
+        aggregates."""
+        tracer, report = traced_run(
+            devices=2,
+            shard="column",
+            faults="launch:p=0.4,start=0.0,end=0.05;seed=7",
+            resilience=True,
+        )
+        cp = extract_critical_paths(tracer)
+        assert_sums_exact(cp)
+        assert math.isclose(
+            cp.gpu_total_s, report.metrics.gpu_busy_s, rel_tol=1e-9
+        )
+        assert math.isclose(
+            cp.comm_total_s, report.metrics.comm_s, rel_tol=1e-9
+        )
+        # The fault window actually produced failed launches, and their
+        # cost shows up in the retry-backoff bucket.
+        assert report.metrics.launch_faults > 0
+        assert sum(r.retry_backoff_s for r in cp.requests) > 0
+        assert cp.retry_span_s > 0
+
+    def test_clean_run_has_empty_retry_bucket(self):
+        tracer, report = traced_run(devices=2, shard="column")
+        cp = extract_critical_paths(tracer)
+        assert_sums_exact(cp)
+        assert sum(r.retry_backoff_s for r in cp.requests) == 0.0
+        assert cp.incomplete == 0
+        assert cp.drops == {}
+        # Completed-request accounting matches the metrics.
+        assert len(cp.requests) == report.metrics.completed
+
+    def test_devfail_reshard_lands_in_retry_bucket(self):
+        tracer, _ = traced_run(
+            duration_s=0.3,
+            devices=2,
+            shard="column",
+            faults="devfail:device=1,at=0.1",
+            resilience=True,
+        )
+        assert tracer.find("reshard")
+        cp = extract_critical_paths(tracer)
+        assert_sums_exact(cp)
+        assert cp.retry_span_s > 0
+        assert sum(r.retry_backoff_s for r in cp.requests) > 0
+
+    def test_model_mode_paging_bucket_reconciles(self):
+        """KV thrash (no-memory-model baseline) shows up as paging, and
+        gpu.launch + kv.thrash together cover the metrics' GPU busy
+        time in model-execution mode."""
+        tracer = Tracer()
+        report = long_context_summarization(
+            duration_s=0.5, kv_admission="none", tracer=tracer
+        ).run()
+        cp = extract_critical_paths(tracer)
+        assert_sums_exact(cp)
+        assert cp.paging_total_s > 0
+        assert any(r.paging_s > 0 for r in cp.requests)
+        assert math.isclose(
+            cp.gpu_total_s + cp.paging_total_s,
+            report.metrics.gpu_busy_s,
+            rel_tol=1e-9,
+        )
+
+    def test_queue_bucket_dominates_overloaded_run(self):
+        tracer, _ = traced_run(qps=500.0)
+        cp = extract_critical_paths(tracer)
+        agg = cp.aggregate()
+        assert agg["buckets"]["queue"]["share"] > 0.5
+        assert max(
+            agg["critical_bucket_counts"],
+            key=agg["critical_bucket_counts"].__getitem__,
+        ) == "queue"
+
+    def test_aggregate_shares_sum_to_one(self):
+        tracer, _ = traced_run()
+        agg = extract_critical_paths(tracer).aggregate()
+        assert sum(
+            agg["buckets"][b]["share"] for b in BUCKETS
+        ) == pytest.approx(1.0)
+
+    def test_drop_events_counted(self):
+        trace = {
+            "spans": [],
+            "events": [
+                {"name": "request.timeout", "track": "queue", "t_s": 1.0,
+                 "attrs": {"request_id": 1}},
+                {"name": "request.timeout", "track": "queue", "t_s": 2.0,
+                 "attrs": {"request_id": 2}},
+                {"name": "admission.shed", "track": "queue", "t_s": 0.5,
+                 "attrs": {"request_id": 3}},
+                {"name": "request.failed", "track": "queue", "t_s": 3.0,
+                 "attrs": {"request_id": 4}},
+            ],
+        }
+        cp = extract_critical_paths(trace)
+        assert cp.drops == {"timed-out": 2, "shed": 1, "failed": 1}
+        assert cp.requests == ()
+
+    def test_synthetic_trace_buckets_exact(self):
+        """A hand-built trace where every bucket value is known."""
+        trace = {
+            "spans": [
+                {"name": "queue.wait", "track": "queue", "start_s": 0.0,
+                 "duration_s": 4.0,
+                 "attrs": {"request_id": 1, "model": "m", "queue": "default",
+                           "priority": 0}},
+                # A failed step overlapping the tail of the wait and the
+                # head of service.
+                {"name": "serve.step", "track": "engine", "start_s": 3.0,
+                 "duration_s": 2.0, "attrs": {"failed": True}},
+                # A healthy launch with a comm tail, inside service.
+                {"name": "gpu.launch", "track": "gpu", "start_s": 6.0,
+                 "duration_s": 2.0, "attrs": {}},
+                {"name": "comm.all-gather", "track": "comm", "start_s": 7.5,
+                 "duration_s": 0.5, "attrs": {}},
+                {"name": "kv.thrash", "track": "gpu", "start_s": 8.0,
+                 "duration_s": 1.0, "attrs": {}},
+            ],
+            "events": [
+                {"name": "request.complete", "track": "queue", "t_s": 10.0,
+                 "attrs": {"request_id": 1}},
+            ],
+        }
+        cp = extract_critical_paths(trace)
+        (r,) = cp.requests
+        assert r.queue_s == pytest.approx(3.0)        # [0,3] healthy wait
+        assert r.retry_backoff_s == pytest.approx(2.0)  # [3,4]+[4,5]
+        assert r.compute_s == pytest.approx(1.5)      # [6,8] minus comm
+        assert r.comm_s == pytest.approx(0.5)
+        assert r.paging_s == pytest.approx(1.0)
+        assert r.host_s == pytest.approx(2.0)         # [5,6] + [9,10]
+        assert sum(r.buckets().values()) == pytest.approx(r.e2e_s)
+        assert r.critical_bucket == "queue"
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_chaos_decomposition_sums_exactly_property(self, seed):
+        """Hypothesis acceptance property: for any seeded chaos run the
+        decomposition sums to the end-to-end duration exactly."""
+        tracer, report = traced_run(
+            seed=seed,
+            devices=2,
+            shard="column",
+            faults=f"launch:p=0.3,start=0.0,end=0.05;seed={seed}",
+            resilience=True,
+        )
+        cp = extract_critical_paths(tracer)
+        if cp.requests:
+            assert_sums_exact(cp)
+        assert math.isclose(
+            cp.gpu_total_s, report.metrics.gpu_busy_s, rel_tol=1e-9
+        )
+        assert math.isclose(
+            cp.comm_total_s, report.metrics.comm_s, rel_tol=1e-9
+        )
+
+    def test_loaded_trace_matches_live_tracer(self, tmp_path):
+        tracer, _ = traced_run(devices=2, shard="column")
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, path)
+        live = extract_critical_paths(tracer)
+        loaded = extract_critical_paths(load_trace(path))
+        assert len(live.requests) == len(loaded.requests)
+        for a, b in zip(live.requests, loaded.requests):
+            for name in BUCKETS:
+                assert a.buckets()[name] == pytest.approx(
+                    b.buckets()[name], rel=1e-6, abs=1e-12
+                )
+
+    def test_render_and_to_dict(self):
+        tracer, _ = traced_run()
+        cp = extract_critical_paths(tracer)
+        text = cp.render()
+        assert "critical path" in text and "queue" in text
+        doc = cp.to_dict()
+        assert doc["per_request"]
+        assert set(doc["buckets"]) == set(BUCKETS)
+
+    def test_rejects_garbage_input(self):
+        with pytest.raises(ObsError):
+            extract_critical_paths(42)
+
+
+# ---------------------------------------------------------------------------
+# Roofline attribution
+# ---------------------------------------------------------------------------
+class TestAttribution:
+    def test_groups_cover_all_healthy_launch_time(self):
+        tracer, report = traced_run(devices=2, shard="column")
+        ar = attribute_roofline(tracer)
+        assert ar.groups
+        assert ar.unattributed_launches == 0
+        grouped_s = sum(g["seconds"] for g in ar.groups)
+        assert math.isclose(
+            grouped_s + ar.unattributed_seconds,
+            report.metrics.gpu_busy_s,
+            rel_tol=1e-9,
+        )
+        assert math.isclose(ar.total_seconds, grouped_s, rel_tol=1e-9)
+
+    def test_failed_launches_are_unattributed(self):
+        tracer, report = traced_run(
+            devices=2,
+            shard="column",
+            faults="launch:p=0.4,start=0.0,end=0.05;seed=7",
+            resilience=True,
+        )
+        assert report.metrics.launch_faults > 0
+        ar = attribute_roofline(tracer)
+        assert ar.unattributed_launches > 0
+        assert ar.unattributed_seconds > 0
+
+    def test_bound_classification_matches_roofline(self):
+        tracer, _ = traced_run(devices=2, shard="column")
+        ar = attribute_roofline(tracer)
+        for g in ar.groups:
+            roofline = Roofline.for_gpu(resolve_gpu(g["gpu"]), locked=True)
+            assert g["bound"] == roofline.bound_kind(
+                g["arithmetic_intensity"]
+            ).value
+            assert g["attainable_flops"] == pytest.approx(
+                roofline.attainable(g["arithmetic_intensity"])
+            )
+            assert 0 <= g["distance_to_roof"] <= 1.0 + 1e-9
+            assert g["flops"] > 0 and g["ldg_bytes"] > 0
+
+    def test_model_mode_attributes_per_layer(self):
+        tracer = Tracer()
+        long_context_summarization(duration_s=0.3, tracer=tracer).run()
+        ar = attribute_roofline(tracer)
+        layers = {g["layer"] for g in ar.groups}
+        assert len(layers) > 1            # per-layer shapes split out
+        assert "-" not in layers          # every launch carries a layer
+
+    def test_render(self):
+        tracer, _ = traced_run()
+        text = attribute_roofline(tracer).render()
+        assert "roofline attribution" in text
+        assert "bound" in text
+
+    def test_empty_trace(self):
+        ar = attribute_roofline({"spans": [], "events": []})
+        assert ar.groups == ()
+        assert "no gpu.launch spans" in ar.render()
+
+
+# ---------------------------------------------------------------------------
+# Delta classification + trace diff
+# ---------------------------------------------------------------------------
+class TestDelta:
+    def test_directions(self):
+        assert direction_for("configs[a].metrics.latency.p99_ms") is True
+        assert direction_for("configs[a].metrics.achieved_qps") is False
+        assert direction_for("backends.fast.gflops") is False
+        assert direction_for("continuous.steps") is None
+
+    def test_verdicts(self):
+        assert classify("x.p99_ms", 10.0, 10.0, threshold=0.01).verdict == "no-change"
+        assert classify("x.p99_ms", 10.0, 10.05, threshold=0.01).verdict == "noise"
+        assert classify("x.p99_ms", 10.0, 11.0, threshold=0.01).verdict == "regression"
+        assert classify("x.p99_ms", 11.0, 10.0, threshold=0.01).verdict == "improvement"
+        assert classify("x.qps", 10.0, 11.0, threshold=0.01).verdict == "improvement"
+        assert classify("x.qps", 11.0, 10.0, threshold=0.01).verdict == "regression"
+        assert classify("x.steps", 10.0, 20.0, threshold=0.01).verdict == "changed"
+
+    def test_zero_baseline(self):
+        delta = classify("x.p99_ms", 0.0, 1.0, threshold=0.01)
+        assert delta.verdict == "regression"
+        assert math.isinf(delta.rel_change)
+
+
+class TestTraceDiff:
+    def test_identical_rerun_is_no_change(self):
+        a, _ = traced_run(devices=2, shard="column")
+        b, _ = traced_run(devices=2, shard="column")
+        report = diff_traces(a, b)
+        assert report.exit_code == 0
+        assert all(d.verdict == "no-change" for d in report.deltas)
+
+    def test_slower_engine_flags_regression(self):
+        a, _ = traced_run()
+        b, _ = traced_run(host_overhead_s=2e-3)
+        report = diff_traces(a, b)
+        assert report.exit_code == 1
+        assert any("e2e" in d.path for d in report.regressions)
+        assert "regression" in report.render()
+
+
+# ---------------------------------------------------------------------------
+# Bench diff
+# ---------------------------------------------------------------------------
+def _serving_doc(p99=2.0, fingerprint="abc123", schema="nm-spmm/serving-bench/v2"):
+    return {
+        "schema": schema,
+        "meta": {
+            "schema": schema,
+            "seed": 0,
+            "config_fingerprint": fingerprint,
+            "generated_at": None,
+        },
+        "configs": [
+            {
+                "name": "poisson-7b",
+                "scenario": "qps=200",
+                "metrics": {
+                    "latency": {"p50_ms": 1.0, "p99_ms": p99},
+                    "achieved_qps": 100.0,
+                },
+            }
+        ],
+        "tracer_overhead": {"enabled_ratio": 1.5},
+    }
+
+
+class TestBenchDiff:
+    def test_identical_rerun_exits_zero(self):
+        report = diff_bench(_serving_doc(), _serving_doc())
+        assert report.exit_code == 0
+        assert all(d.verdict == "no-change" for d in report.deltas)
+
+    def test_ten_percent_p99_regression_detected(self):
+        report = diff_bench(_serving_doc(p99=2.0), _serving_doc(p99=2.2))
+        assert report.exit_code == 1
+        (reg,) = report.regressions
+        assert "p99_ms" in reg.path
+        assert reg.rel_change == pytest.approx(0.10)
+
+    def test_qps_drop_is_regression_p99_drop_is_improvement(self):
+        faster = _serving_doc(p99=1.5)
+        report = diff_bench(_serving_doc(), faster)
+        assert report.exit_code == 0
+        assert any(d.verdict == "improvement" for d in report.deltas)
+        slow_qps = _serving_doc()
+        slow_qps["configs"][0]["metrics"]["achieved_qps"] = 50.0
+        assert diff_bench(_serving_doc(), slow_qps).exit_code == 1
+
+    def test_refuses_cross_config_comparison(self):
+        with pytest.raises(ObsError, match="fingerprint"):
+            diff_bench(_serving_doc(), _serving_doc(fingerprint="zzz999"))
+
+    def test_refuses_schema_mismatch(self):
+        with pytest.raises(ObsError, match="schema mismatch"):
+            diff_bench(
+                _serving_doc(), _serving_doc(schema="nm-spmm/kernel-bench/v1")
+            )
+
+    def test_tracer_overhead_never_diffed(self):
+        slow = _serving_doc()
+        slow["tracer_overhead"]["enabled_ratio"] = 99.0
+        report = diff_bench(_serving_doc(), slow)
+        assert report.exit_code == 0
+        assert not any("tracer_overhead" in d.path for d in report.deltas)
+
+    def test_config_order_does_not_matter(self):
+        a = _serving_doc()
+        a["configs"].append(
+            {"name": "z", "scenario": "s", "metrics": {"achieved_qps": 5.0}}
+        )
+        b = json.loads(json.dumps(a))
+        b["configs"].reverse()
+        assert diff_bench(a, b).exit_code == 0
+
+    def test_committed_bench_files_self_diff_clean(self):
+        for name in (
+            "BENCH_serving.json",
+            "BENCH_kernels.json",
+            "BENCH_distributed.json",
+            "BENCH_resilience.json",
+            "BENCH_model_serving.json",
+        ):
+            doc = json.loads(open(name, encoding="utf-8").read())
+            assert doc["meta"]["config_fingerprint"]
+            report = diff_bench(doc, doc)
+            assert report.exit_code == 0, name
+
+
+class TestBenchMeta:
+    def test_fingerprint_is_order_insensitive_and_stable(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+        assert len(config_fingerprint({"a": 1})) == 16
+
+    def test_meta_shape(self):
+        meta = bench_meta("s", config={"x": 1}, seed=3, generated_at="t")
+        assert meta == {
+            "schema": "s",
+            "seed": 3,
+            "config_fingerprint": config_fingerprint({"x": 1}),
+            "generated_at": "t",
+        }
+
+
+# ---------------------------------------------------------------------------
+# CLI verbs
+# ---------------------------------------------------------------------------
+class TestCli:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        tracer, _ = traced_run(devices=2, shard="column")
+        path = tmp_path / "trace.json"
+        write_chrome_trace(tracer, path)
+        return str(path)
+
+    def test_critical_path_verb(self, trace_file, capsys):
+        assert main(["trace", "critical-path", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out and "retry_backoff" in out
+
+    def test_critical_path_json(self, trace_file, capsys):
+        assert main(["trace", "critical-path", trace_file, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["buckets"]) == set(BUCKETS)
+
+    def test_attribute_verb(self, trace_file, capsys):
+        assert main(["trace", "attribute", trace_file]) == 0
+        assert "roofline attribution" in capsys.readouterr().out
+
+    def test_trace_diff_verb(self, trace_file, capsys):
+        assert main(["trace", "diff", trace_file, trace_file]) == 0
+        assert "no differences" in capsys.readouterr().out
+
+    def test_trace_diff_missing_file(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["trace", "diff", trace_file, "/nonexistent.json"])
+
+    def test_bench_diff_verb(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_serving_doc()))
+        new.write_text(json.dumps(_serving_doc(p99=2.5)))
+        assert main(["bench", "diff", str(old), str(old)]) == 0
+        assert main(["bench", "diff", str(old), str(new)]) == 1
+
+    def test_bench_diff_refusal_exits_two(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        other = tmp_path / "other.json"
+        old.write_text(json.dumps(_serving_doc()))
+        other.write_text(json.dumps(_serving_doc(fingerprint="zzz")))
+        assert main(["bench", "diff", str(old), str(other)]) == 2
+        assert "refused" in capsys.readouterr().out
+        assert main(["bench", "diff", str(old), "/nonexistent.json"]) == 2
+
+    def test_bench_diff_committed_self(self, capsys):
+        assert main(["bench", "diff", "BENCH_serving.json",
+                     "BENCH_serving.json", "--smoke"]) == 0
